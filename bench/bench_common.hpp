@@ -1,0 +1,156 @@
+// Shared plumbing for the experiment benches: competitor runners that
+// train one configuration and return its evaluation series plus the
+// traffic its simulated network carried. Every bench emits CSV rows:
+//   series,<label>,<iter>,<inception_score>,<fid>
+//
+// Every bench accepts --iters / --workers / --batch / --seed / --full;
+// defaults are scaled for a single CPU core (the paper used 4 GPUs and
+// I=50,000 — see EXPERIMENTS.md for the mapping).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/complexity.hpp"
+#include "core/md_gan.hpp"
+#include "data/synthetic.hpp"
+#include "gan/fl_gan.hpp"
+#include "metrics/evaluator.hpp"
+
+namespace mdgan::bench {
+
+struct TrafficSummary {
+  std::uint64_t c_to_w = 0;
+  std::uint64_t w_to_c = 0;
+  std::uint64_t w_to_w = 0;
+  std::uint64_t max_worker_ingress_per_iter = 0;
+  std::uint64_t max_server_ingress_per_iter = 0;
+
+  static TrafficSummary of(const dist::Network& net) {
+    TrafficSummary t;
+    t.c_to_w = net.totals(dist::LinkKind::kServerToWorker).bytes;
+    t.w_to_c = net.totals(dist::LinkKind::kWorkerToServer).bytes;
+    t.w_to_w = net.totals(dist::LinkKind::kWorkerToWorker).bytes;
+    for (std::size_t w = 1; w <= net.n_workers(); ++w) {
+      t.max_worker_ingress_per_iter =
+          std::max(t.max_worker_ingress_per_iter,
+                   net.max_ingress_per_iteration(static_cast<int>(w)));
+    }
+    t.max_server_ingress_per_iter =
+        net.max_ingress_per_iteration(dist::kServerId);
+    return t;
+  }
+};
+
+struct Series {
+  std::string label;
+  std::vector<metrics::EvalRecord> points;
+  TrafficSummary traffic;
+};
+
+inline void print_series(const Series& s) {
+  for (const auto& r : s.points) {
+    std::printf("series,%s,%lld,%.4f,%.4f\n", s.label.c_str(),
+                static_cast<long long>(r.iter), r.scores.inception_score,
+                r.scores.fid);
+  }
+}
+
+inline void print_final_table(const std::vector<Series>& all) {
+  std::printf("\n%-28s %10s %10s %12s %12s\n", "competitor", "final IS",
+              "final FID", "C<->W", "W<->W");
+  for (const auto& s : all) {
+    if (s.points.empty()) continue;
+    const auto& last = s.points.back();
+    std::printf("%-28s %10.3f %10.2f %12s %12s\n", s.label.c_str(),
+                last.scores.inception_score, last.scores.fid,
+                core::human_bytes(s.traffic.c_to_w + s.traffic.w_to_c)
+                    .c_str(),
+                core::human_bytes(s.traffic.w_to_w).c_str());
+  }
+}
+
+// --- competitor runners -------------------------------------------------
+
+struct RunContext {
+  const data::InMemoryDataset& train;
+  metrics::Evaluator& evaluator;
+  gan::GanArch arch;
+  std::int64_t iters;
+  std::int64_t eval_every;
+  std::uint64_t seed;
+};
+
+inline Series run_standalone(const RunContext& ctx, gan::GanHyperParams hp,
+                             const std::string& label) {
+  Series out{label, {}, {}};
+  gan::StandaloneGan alone(ctx.arch, hp, ctx.seed);
+  out.points.push_back(
+      {0, ctx.evaluator.evaluate(alone.generator(), ctx.arch,
+                                 alone.codes())});
+  alone.train(ctx.train, ctx.iters, ctx.eval_every,
+              [&](std::int64_t it, nn::Sequential& g) {
+                out.points.push_back(
+                    {it, ctx.evaluator.evaluate(g, ctx.arch,
+                                                alone.codes())});
+              });
+  return out;
+}
+
+inline Series run_fl_gan(const RunContext& ctx, gan::GanHyperParams hp,
+                         std::size_t workers,
+                         const std::string& label) {
+  Series out{label, {}, {}};
+  Rng split_rng(ctx.seed);
+  auto shards = data::split_iid(ctx.train, workers, split_rng);
+  dist::Network net(workers);
+  gan::FlGanConfig cfg;
+  cfg.hp = hp;
+  gan::FlGan fl(ctx.arch, cfg, std::move(shards), ctx.seed, net);
+  {
+    auto g = fl.server_generator();
+    out.points.push_back(
+        {0, ctx.evaluator.evaluate(g, ctx.arch, fl.codes())});
+  }
+  fl.train(ctx.iters, ctx.eval_every,
+           [&](std::int64_t it, nn::Sequential& g) {
+             out.points.push_back(
+                 {it, ctx.evaluator.evaluate(g, ctx.arch, fl.codes())});
+           });
+  out.traffic = TrafficSummary::of(net);
+  return out;
+}
+
+struct MdGanRunOptions {
+  std::size_t k = 1;
+  bool swap_enabled = true;
+  const dist::CrashSchedule* crashes = nullptr;
+};
+
+inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
+                         std::size_t workers, MdGanRunOptions opts,
+                         const std::string& label) {
+  Series out{label, {}, {}};
+  Rng split_rng(ctx.seed);
+  auto shards = data::split_iid(ctx.train, workers, split_rng);
+  dist::Network net(workers);
+  core::MdGanConfig cfg;
+  cfg.hp = hp;
+  cfg.k = opts.k;
+  cfg.swap_enabled = opts.swap_enabled;
+  core::MdGan md(ctx.arch, cfg, std::move(shards), ctx.seed, net,
+                 opts.crashes);
+  out.points.push_back(
+      {0, ctx.evaluator.evaluate(md.generator(), ctx.arch, md.codes())});
+  md.train(ctx.iters, ctx.eval_every,
+           [&](std::int64_t it, nn::Sequential& g) {
+             out.points.push_back(
+                 {it, ctx.evaluator.evaluate(g, ctx.arch, md.codes())});
+           });
+  out.traffic = TrafficSummary::of(net);
+  return out;
+}
+
+}  // namespace mdgan::bench

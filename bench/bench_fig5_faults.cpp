@@ -1,0 +1,75 @@
+// Figure 5 reproduction: MD-GAN under fail-stop worker crashes. One
+// worker (and its data shard) dies every I/N iterations, so the last
+// crash coincides with the end of the run. Compared against the
+// no-crash MD-GAN run with identical seed/config and the standalone
+// baselines at b in {10, 100} — exactly the paper's panel layout.
+//
+//   --dataset=digits (default) or cifar; --full for paper-leaning scale.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace mdgan;
+using namespace mdgan::bench;
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool full = flags.get_bool("full");
+  const std::size_t workers = flags.get_int("workers", full ? 10 : 5);
+  const std::int64_t iters = flags.get_int("iters", full ? 2000 : 200);
+  const std::int64_t eval_every =
+      flags.get_int("eval-every", std::max<std::int64_t>(iters / 5, 1));
+  const std::uint64_t seed = flags.get_int("seed", 42);
+  const std::string dataset = flags.get("dataset", "digits");
+  const std::string arch_name =
+      flags.get("arch", dataset == "cifar" ? "cnn-cifar" : "mlp-mnist");
+  const std::size_t b = flags.get_int("batch", 10);
+
+  std::printf("=== Figure 5: fault tolerance under worker crashes (%s / "
+              "%s, N=%zu, I=%lld, one crash every %lld iters) ===\n",
+              dataset.c_str(), arch_name.c_str(), workers,
+              static_cast<long long>(iters),
+              static_cast<long long>(iters / workers));
+
+  auto train = data::make_dataset_by_name(
+      dataset, workers * (full ? 2000 : 400), seed);
+  auto test = data::make_dataset_by_name(dataset, 512, seed + 1);
+  auto arch = gan::make_arch(gan::arch_from_name(arch_name));
+  metrics::Evaluator evaluator(train, test, {64, 3, 64, 1e-3f}, 256, seed);
+
+  RunContext ctx{train, evaluator, arch, iters, eval_every, seed};
+  gan::GanHyperParams hp10, hp100;
+  hp10.batch = b;
+  hp100.batch = full ? 100 : 40;
+  const std::size_t k = core::k_log_n(workers);
+
+  std::vector<Series> all;
+  // Best-performing MD-GAN setup (k = floor(log N)), crash-free.
+  all.push_back(run_md_gan(ctx, hp10, workers, {.k = k},
+                           "md-gan no-crash"));
+  print_series(all.back());
+
+  // Same setup with the paper's crash schedule.
+  auto crashes = dist::CrashSchedule::evenly_spaced(iters, workers);
+  all.push_back(run_md_gan(ctx, hp10, workers,
+                           {.k = k, .crashes = &crashes},
+                           "md-gan crashes"));
+  print_series(all.back());
+
+  // Standalone baselines for context.
+  all.push_back(run_standalone(
+      ctx, hp10, "standalone b=" + std::to_string(hp10.batch)));
+  print_series(all.back());
+  all.push_back(run_standalone(
+      ctx, hp100, "standalone b=" + std::to_string(hp100.batch)));
+  print_series(all.back());
+
+  print_final_table(all);
+  std::printf(
+      "\npaper shape to check: crashes barely hurt on the MNIST-like "
+      "panel; on CIFAR-like data divergence appears after early "
+      "crashes, scores comparable to standalone until most workers are "
+      "gone.\n");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Micro benchmarks (google-benchmark) of the kernels the experiments
+// stand on: matmul, im2col-based conv, the MLP generator/discriminator
+// forward+backward, the feedback computation a worker performs per
+// iteration, the serialization of a swap message, and the derangement
+// draw of the swap protocol. These quantify where a global iteration's
+// time goes.
+#include <benchmark/benchmark.h>
+
+#include "common/serialize.hpp"
+#include "gan/arch.hpp"
+#include "gan/trainer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+using namespace mdgan;
+
+namespace {
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulGanShaped(benchmark::State& state) {
+  // The dominant matmul of the MLP discriminator: (b, 784) x (784, 512).
+  const auto b = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Tensor x = Tensor::randn({b, 784}, rng);
+  Tensor w = Tensor::randn({784, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = matmul(x, w);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MatmulGanShaped)->Arg(10)->Arg(100);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::Conv2D conv(3, 16, 3, 3, 2, 1);
+  nn::he_normal(conv.weight(), 27, rng);
+  Tensor x = Tensor::randn({b, 3, 32, 32}, rng);
+  for (auto _ : state) {
+    Tensor y = conv.forward(x, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Conv2DForward)->Arg(10)->Arg(50);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({10, 3, 32, 32}, rng);
+  std::size_t oh, ow;
+  for (auto _ : state) {
+    Tensor cols = im2col(x, 3, 3, 2, 1, oh, ow);
+    benchmark::DoNotOptimize(cols.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_MlpGeneratorForward(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  Tensor z = Tensor::randn({b, arch.latent_dim}, rng);
+  for (auto _ : state) {
+    Tensor x = g.forward(z, true);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_MlpGeneratorForward)->Arg(10)->Arg(100);
+
+void BM_WorkerFeedback(benchmark::State& state) {
+  // Algorithm 1 lines 9-10: the per-iteration feedback computation of
+  // one worker (D forward + backward to the input).
+  const auto b = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto d = gan::build_discriminator(arch, rng);
+  Tensor x = Tensor::randn({b, arch.image_dim()}, rng);
+  std::vector<int> labels(b, 3);
+  for (auto _ : state) {
+    Tensor f = gan::generator_feedback(d, x, &labels, false);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_WorkerFeedback)->Arg(10)->Arg(100);
+
+void BM_DiscLearningStep(benchmark::State& state) {
+  const auto b = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto d = gan::build_discriminator(arch, rng);
+  opt::Adam adam(d.params(), d.grads(), {});
+  Tensor x_real = Tensor::randn({b, arch.image_dim()}, rng);
+  Tensor x_fake = Tensor::randn({b, arch.image_dim()}, rng);
+  std::vector<int> y(b, 1);
+  for (auto _ : state) {
+    auto stats = gan::disc_learning_step(d, adam, x_real, y, x_fake, y,
+                                         true);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_DiscLearningStep)->Arg(10)->Arg(100);
+
+void BM_SwapSerialization(benchmark::State& state) {
+  // One swap message: flatten + serialize + parse + assign of a full
+  // MLP discriminator (|theta| = 670,219 floats).
+  Rng rng(8);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto d = gan::build_discriminator(arch, rng);
+  for (auto _ : state) {
+    auto params = d.flatten_parameters();
+    ByteBuffer buf;
+    buf.write_floats(params.data(), params.size());
+    auto back = buf.read_floats();
+    d.assign_parameters(back);
+    benchmark::DoNotOptimize(buf.size());
+  }
+  state.SetBytesProcessed(state.iterations() * 670219 * 4);
+}
+BENCHMARK(BM_SwapSerialization);
+
+void BM_Derangement(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    auto p = rng.derangement(n);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_Derangement)->Arg(10)->Arg(50);
+
+void BM_AdamStepMlpGenerator(benchmark::State& state) {
+  Rng rng(10);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  opt::Adam adam(g.params(), g.grads(), {});
+  for (auto* grad : g.grads()) {
+    rng.fill_normal(grad->data(), grad->numel(), 0.f, 0.01f);
+  }
+  for (auto _ : state) {
+    adam.step();
+  }
+  state.SetItemsProcessed(state.iterations() * 716560);
+}
+BENCHMARK(BM_AdamStepMlpGenerator);
+
+}  // namespace
+
+BENCHMARK_MAIN();

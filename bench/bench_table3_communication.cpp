@@ -1,0 +1,68 @@
+// Table III reproduction: communication complexities per link type for
+// FL-GAN and MD-GAN, both symbolically (the paper's formulas) and
+// instantiated for the three architectures.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/complexity.hpp"
+
+using namespace mdgan;
+
+namespace {
+
+void print_dims(const char* name, core::GanDims dims) {
+  const auto fl = core::fl_gan_comm(dims);
+  const auto md = core::md_gan_comm(dims);
+  std::printf("\n-- %s, b=%llu, N=%llu, m=%llu, E=%llu, I=%llu --\n", name,
+              (unsigned long long)dims.batch,
+              (unsigned long long)dims.n_workers,
+              (unsigned long long)dims.local_m,
+              (unsigned long long)dims.epochs,
+              (unsigned long long)dims.iters);
+  std::printf("%-18s %14s %14s\n", "link", "FL-GAN", "MD-GAN");
+  auto row = [](const char* what, std::uint64_t a, std::uint64_t b) {
+    std::printf("%-18s %14s %14s\n", what, core::human_bytes(a).c_str(),
+                core::human_bytes(b).c_str());
+  };
+  row("C->W (C)", fl.c_to_w_at_server, md.c_to_w_at_server);
+  row("C->W (W)", fl.c_to_w_at_worker, md.c_to_w_at_worker);
+  row("W->C (W)", fl.w_to_c_at_worker, md.w_to_c_at_worker);
+  row("W->C (C)", fl.w_to_c_at_server, md.w_to_c_at_server);
+  row("W->W (W)", fl.w_to_w_at_worker, md.w_to_w_at_worker);
+  std::printf("%-18s %14llu %14llu\n", "Total # C<->W",
+              (unsigned long long)fl.num_cw_events,
+              (unsigned long long)md.num_cw_events);
+  std::printf("%-18s %14llu %14llu\n", "Total # W<->W",
+              (unsigned long long)fl.num_ww_events,
+              (unsigned long long)md.num_ww_events);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+
+  std::printf("=== Table III: communication complexities ===\n");
+  std::printf("symbolic (paper row -> formula, in values not bytes):\n");
+  std::printf("  %-14s %-16s %-16s\n", "link", "FL-GAN", "MD-GAN");
+  std::printf("  %-14s %-16s %-16s\n", "C->W (C)", "N(theta+w)", "2bdN");
+  std::printf("  %-14s %-16s %-16s\n", "C->W (W)", "theta+w", "2bd");
+  std::printf("  %-14s %-16s %-16s\n", "W->C (W)", "theta+w", "bd");
+  std::printf("  %-14s %-16s %-16s\n", "W->C (C)", "N(theta+w)", "bdN");
+  std::printf("  %-14s %-16s %-16s\n", "# C<->W", "Ib/(mE)", "I");
+  std::printf("  %-14s %-16s %-16s\n", "W->W (W)", "-", "theta");
+  std::printf("  %-14s %-16s %-16s\n", "# W<->W", "-", "Ib/(mE)");
+  std::printf("(the paper's Table III writes the per-worker C->W volume "
+              "as bd; its own text fixes the constant to two batches, "
+              "2bd per worker — we keep the constants)\n");
+
+  auto mlp = core::paper_mnist_mlp_dims();
+  auto cnn = core::paper_mnist_cnn_dims();
+  auto cifar = core::paper_cifar_cnn_dims();
+  mlp.batch = cnn.batch = cifar.batch = flags.get_int("batch", 10);
+
+  print_dims("MNIST MLP", mlp);
+  print_dims("MNIST CNN", cnn);
+  print_dims("CIFAR10 CNN", cifar);
+  return 0;
+}

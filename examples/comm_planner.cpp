@@ -1,0 +1,77 @@
+// Network dimensioning helper built on the paper's analytic cost model
+// (§IV-D, Figure 2): given a GAN architecture, batch size and worker
+// count, print the per-iteration/per-round traffic of MD-GAN vs FL-GAN
+// at every link, plus the batch-size crossover where FL-GAN becomes
+// cheaper for workers.
+//
+//   ./comm_planner [--arch=cnn-mnist|mlp-mnist|cnn-cifar] [--workers=10]
+//                  [--batch=10]
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/complexity.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mdgan;
+  CliFlags flags(argc, argv);
+  const std::string arch = flags.get("arch", "cnn-cifar");
+  core::GanDims dims;
+  if (arch == "mlp-mnist") {
+    dims = core::paper_mnist_mlp_dims();
+  } else if (arch == "cnn-mnist") {
+    dims = core::paper_mnist_cnn_dims();
+  } else if (arch == "cnn-cifar") {
+    dims = core::paper_cifar_cnn_dims();
+  } else {
+    std::fprintf(stderr, "unknown arch '%s'\n", arch.c_str());
+    return 1;
+  }
+  dims.n_workers = flags.get_int("workers", 10);
+  dims.batch = flags.get_int("batch", 10);
+  dims.k = flags.get_int("k", 1);
+  dims.iters = flags.get_int("iters", 50000);
+
+  std::printf("arch %s: |w|=%llu |theta|=%llu d=%llu, N=%llu, b=%llu, "
+              "I=%llu\n\n",
+              arch.c_str(),
+              static_cast<unsigned long long>(dims.gen_params),
+              static_cast<unsigned long long>(dims.disc_params),
+              static_cast<unsigned long long>(dims.data_dim),
+              static_cast<unsigned long long>(dims.n_workers),
+              static_cast<unsigned long long>(dims.batch),
+              static_cast<unsigned long long>(dims.iters));
+
+  const auto fl = core::fl_gan_comm(dims);
+  const auto md = core::md_gan_comm(dims);
+  std::printf("%-22s %14s %14s\n", "per-event traffic", "FL-GAN", "MD-GAN");
+  auto row = [](const char* name, std::uint64_t a, std::uint64_t b) {
+    std::printf("%-22s %14s %14s\n", name, core::human_bytes(a).c_str(),
+                core::human_bytes(b).c_str());
+  };
+  row("C->W at server", fl.c_to_w_at_server, md.c_to_w_at_server);
+  row("C->W at worker", fl.c_to_w_at_worker, md.c_to_w_at_worker);
+  row("W->C at worker", fl.w_to_c_at_worker, md.w_to_c_at_worker);
+  row("W->C at server", fl.w_to_c_at_server, md.w_to_c_at_server);
+  row("W->W at worker", fl.w_to_w_at_worker, md.w_to_w_at_worker);
+  std::printf("%-22s %14llu %14llu\n", "# C<->W events",
+              static_cast<unsigned long long>(fl.num_cw_events),
+              static_cast<unsigned long long>(md.num_cw_events));
+  std::printf("%-22s %14llu %14llu\n", "# W<->W events",
+              static_cast<unsigned long long>(fl.num_ww_events),
+              static_cast<unsigned long long>(md.num_ww_events));
+
+  const double crossover = core::md_fl_worker_crossover_batch(dims);
+  std::printf(
+      "\nworker-ingress crossover: MD-GAN is cheaper per iteration below "
+      "b = %.0f\n",
+      crossover);
+
+  const auto flc = core::fl_gan_compute(dims);
+  const auto mdc = core::md_gan_compute(dims);
+  std::printf(
+      "\nworker compute score (Table II units): FL-GAN %.3g, MD-GAN %.3g "
+      "(ratio %.2f)\n",
+      flc.comp_worker, mdc.comp_worker, mdc.comp_worker / flc.comp_worker);
+  return 0;
+}

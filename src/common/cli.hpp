@@ -1,0 +1,34 @@
+// Tiny --flag=value / --flag value parser shared by benches and examples,
+// so every experiment binary accepts the same knobs (--iters, --workers,
+// --seed, --full, ...) without pulling in an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mdgan {
+
+class CliFlags {
+ public:
+  // Parses argv; unknown flags are kept and retrievable, so callers can
+  // validate. Accepts "--name=value", "--name value" and bare "--name"
+  // (boolean true).
+  CliFlags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mdgan

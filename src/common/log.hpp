@@ -1,0 +1,40 @@
+// Leveled logging to stderr. Benches print their data tables to stdout;
+// everything diagnostic goes through here so stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mdgan {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define MDGAN_LOG_DEBUG ::mdgan::detail::LogLine(::mdgan::LogLevel::kDebug)
+#define MDGAN_LOG_INFO ::mdgan::detail::LogLine(::mdgan::LogLevel::kInfo)
+#define MDGAN_LOG_WARN ::mdgan::detail::LogLine(::mdgan::LogLevel::kWarn)
+#define MDGAN_LOG_ERROR ::mdgan::detail::LogLine(::mdgan::LogLevel::kError)
+
+}  // namespace mdgan

@@ -1,0 +1,126 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace mdgan {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zeros from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Mix the stream id into the original seed through splitmix64 rounds;
+  // children of the same parent with different ids get unrelated states.
+  std::uint64_t x = seed_ ^ (0xd1342543de82ef95ull * (stream_id + 1));
+  splitmix64(x);
+  return Rng(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+float Rng::uniform() {
+  // 24 high-quality bits -> [0,1) float.
+  return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+}
+
+float Rng::uniform(float lo, float hi) { return lo + (hi - lo) * uniform(); }
+
+float Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  float u1 = uniform();
+  // Avoid log(0).
+  while (u1 <= 1e-12f) u1 = uniform();
+  const float u2 = uniform();
+  const float r = std::sqrt(-2.f * std::log(u1));
+  const float theta = 2.f * std::numbers::pi_v<float> * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index: n must be > 0");
+  // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+  return static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  if (hi < lo) throw std::invalid_argument("Rng::range: hi < lo");
+  return lo + static_cast<std::int64_t>(
+                  index(static_cast<std::size_t>(hi - lo + 1)));
+}
+
+bool Rng::coin(float p_true) { return uniform() < p_true; }
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  for (std::size_t i = n; i > 1; --i) {
+    std::size_t j = index(i);
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+std::vector<std::size_t> Rng::derangement(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("Rng::derangement: need n >= 2");
+  // Rejection sampling; expected number of tries is e ~ 2.72.
+  for (;;) {
+    auto p = permutation(n);
+    bool ok = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] == i) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return p;
+  }
+}
+
+void Rng::fill_normal(float* dst, std::size_t n, float mean, float stddev) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = normal(mean, stddev);
+}
+
+void Rng::fill_uniform(float* dst, std::size_t n, float lo, float hi) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = uniform(lo, hi);
+}
+
+}  // namespace mdgan

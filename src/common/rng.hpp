@@ -1,0 +1,72 @@
+// Deterministic, splittable random number generation.
+//
+// Every node in the simulated cluster (server, workers, datasets, swap
+// protocol) owns an independent stream derived from a single experiment
+// seed, so a whole run is a pure function of (seed, config). This is what
+// makes the crash/no-crash comparisons of the paper's Figure 5 meaningful:
+// the only difference between the two runs is the fault schedule.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mdgan {
+
+// xoshiro256++ 1.0 (Blackman & Vigna, public domain reference algorithm),
+// seeded through splitmix64 so that low-entropy seeds still produce
+// well-distributed state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Derives an independent stream: same (seed, stream_id) -> same stream,
+  // different stream_id -> decorrelated stream. Used to hand one RNG to
+  // each worker / dataset / protocol without sharing state.
+  Rng split(std::uint64_t stream_id) const;
+
+  std::uint64_t next_u64();
+  // UniformRandomBitGenerator interface (usable with std::shuffle etc.).
+  result_type operator()() { return next_u64(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  // Uniform in [0, 1).
+  float uniform();
+  // Uniform in [lo, hi).
+  float uniform(float lo, float hi);
+  // Standard normal via Box-Muller (cached spare value).
+  float normal();
+  float normal(float mean, float stddev);
+  // Uniform integer in [0, n). n must be > 0.
+  std::size_t index(std::size_t n);
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+  // Bernoulli draw.
+  bool coin(float p_true = 0.5f);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+  // Random derangement of [0, n): a permutation with no fixed point, used
+  // by the discriminator swap so no worker keeps its own discriminator.
+  // Requires n >= 2.
+  std::vector<std::size_t> derangement(std::size_t n);
+
+  // Fill helpers.
+  void fill_normal(float* dst, std::size_t n, float mean = 0.f,
+                   float stddev = 1.f);
+  void fill_uniform(float* dst, std::size_t n, float lo = 0.f,
+                    float hi = 1.f);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_ = 0;
+  bool has_spare_ = false;
+  float spare_ = 0.f;
+};
+
+}  // namespace mdgan

@@ -1,0 +1,4 @@
+#include "common/serialize.hpp"
+
+// Header-only today; this TU pins the library so every module links
+// against a single definition site if out-of-line methods are added.

@@ -1,0 +1,87 @@
+// Value-semantic byte buffers used as the wire format of the simulated
+// cluster. Every message between nodes is serialized into a ByteBuffer;
+// its size() is what the traffic accountant records, so the bytes in
+// Table IV / Figure 2 come from real serialized payloads, not estimates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mdgan {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+
+  std::size_t size() const { return data_.size(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    data_.insert(data_.end(), p, p + sizeof(T));
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (read_pos_ + sizeof(T) > data_.size()) {
+      throw std::out_of_range("ByteBuffer: read past end");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
+    read_pos_ += sizeof(T);
+    return v;
+  }
+
+  void write_floats(const float* src, std::size_t n) {
+    write_pod<std::uint64_t>(n);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n * sizeof(float));
+  }
+
+  std::vector<float> read_floats() {
+    const auto n = read_pod<std::uint64_t>();
+    if (read_pos_ + n * sizeof(float) > data_.size()) {
+      throw std::out_of_range("ByteBuffer: float read past end");
+    }
+    std::vector<float> out(n);
+    std::memcpy(out.data(), data_.data() + read_pos_, n * sizeof(float));
+    read_pos_ += n * sizeof(float);
+    return out;
+  }
+
+  void write_string(const std::string& s) {
+    write_pod<std::uint64_t>(s.size());
+    data_.insert(data_.end(), s.begin(), s.end());
+  }
+
+  std::string read_string() {
+    const auto n = read_pod<std::uint64_t>();
+    if (read_pos_ + n > data_.size()) {
+      throw std::out_of_range("ByteBuffer: string read past end");
+    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + read_pos_), n);
+    read_pos_ += n;
+    return s;
+  }
+
+  // Remaining unread bytes (for framing checks in tests).
+  std::size_t remaining() const { return data_.size() - read_pos_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace mdgan

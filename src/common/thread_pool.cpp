@@ -1,0 +1,81 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mdgan {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t n_chunks = std::min(n, size());
+  if (n_chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
+  std::vector<std::future<void>> futs;
+  futs.reserve(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    futs.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace mdgan

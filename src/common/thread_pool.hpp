@@ -1,0 +1,59 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// The cluster simulation uses it to run the N workers of a global
+// iteration concurrently (they are data-parallel by construction: each
+// touches only its own shard, discriminator and inbox). Tensor kernels
+// use parallel_for for row-blocked matmul. On a 1-core host the pool is
+// created with a single thread and parallel_for degrades to a serial
+// loop through the exact same code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mdgan {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  // Run fn(begin, end) over [0, n) split into roughly equal chunks, one
+  // per thread. Blocks until all chunks are done. Exceptions from chunks
+  // are propagated (the first one encountered).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool, lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience free function over the global pool.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace mdgan

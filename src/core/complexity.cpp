@@ -1,0 +1,150 @@
+#include "core/complexity.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace mdgan::core {
+
+GanDims paper_mnist_mlp_dims() {
+  GanDims d;
+  d.gen_params = 716560;
+  d.disc_params = 670219;
+  d.data_dim = 28 * 28 * 1;
+  d.local_m = 6000;  // 60k MNIST / 10 workers
+  return d;
+}
+
+GanDims paper_mnist_cnn_dims() {
+  GanDims d;
+  d.gen_params = 628058;
+  d.disc_params = 286048;
+  d.data_dim = 28 * 28 * 1;
+  d.local_m = 6000;
+  return d;
+}
+
+GanDims paper_cifar_cnn_dims() {
+  GanDims d;
+  d.gen_params = 628110;
+  d.disc_params = 100203;
+  d.data_dim = 32 * 32 * 3;
+  d.local_m = 5000;  // 50k CIFAR10 / 10 workers
+  return d;
+}
+
+namespace {
+std::uint64_t fl_rounds(const GanDims& dims) {
+  // Total # C<->W = I*b/(mE): one round every mE/b local iterations.
+  const std::uint64_t denom = dims.local_m * dims.epochs;
+  if (denom == 0) throw std::invalid_argument("fl_rounds: mE == 0");
+  return dims.iters * dims.batch / denom;
+}
+}  // namespace
+
+CommTable fl_gan_comm(const GanDims& dims) {
+  CommTable t;
+  const std::uint64_t model_bytes =
+      dims.model_values() * dims.bytes_per_value;
+  t.c_to_w_at_server = dims.n_workers * model_bytes;
+  t.c_to_w_at_worker = model_bytes;
+  t.w_to_c_at_worker = model_bytes;
+  t.w_to_c_at_server = dims.n_workers * model_bytes;
+  t.w_to_w_at_worker = 0;
+  t.num_cw_events = fl_rounds(dims);
+  t.num_ww_events = 0;
+  return t;
+}
+
+CommTable md_gan_comm(const GanDims& dims) {
+  CommTable t;
+  const std::uint64_t batch_bytes =
+      dims.batch * dims.data_dim * dims.bytes_per_value;
+  // Two generated batches reach every worker; one feedback of the same
+  // size leaves it (paper §IV-D1).
+  t.c_to_w_at_server = 2 * dims.n_workers * batch_bytes;
+  t.c_to_w_at_worker = 2 * batch_bytes;
+  t.w_to_c_at_worker = batch_bytes;
+  t.w_to_c_at_server = dims.n_workers * batch_bytes;
+  t.w_to_w_at_worker = dims.disc_params * dims.bytes_per_value;
+  t.num_cw_events = dims.iters;  // every global iteration
+  // Swaps happen every mE/b iterations -> I*b/(mE) swap events.
+  t.num_ww_events = fl_rounds(dims);
+  return t;
+}
+
+ComputeTable fl_gan_compute(const GanDims& dims) {
+  // Paper Table II, FL-GAN column.
+  ComputeTable t;
+  const double model = static_cast<double>(dims.model_values());
+  const double i = static_cast<double>(dims.iters);
+  const double b = static_cast<double>(dims.batch);
+  const double n = static_cast<double>(dims.n_workers);
+  const double me = static_cast<double>(dims.local_m * dims.epochs);
+  t.comp_server = i * b * n * model / me;  // averaging work per round
+  t.mem_server = n * model;
+  t.comp_worker = i * b * model;  // full GAN fwd+bwd per iteration
+  t.mem_worker = model;
+  return t;
+}
+
+ComputeTable md_gan_compute(const GanDims& dims) {
+  // Paper Table II, MD-GAN column.
+  ComputeTable t;
+  const double w = static_cast<double>(dims.gen_params);
+  const double theta = static_cast<double>(dims.disc_params);
+  const double i = static_cast<double>(dims.iters);
+  const double b = static_cast<double>(dims.batch);
+  const double n = static_cast<double>(dims.n_workers);
+  const double d = static_cast<double>(dims.data_dim);
+  const double k = static_cast<double>(dims.k);
+  t.comp_server = i * b * (d * n + k * w);
+  t.mem_server = b * (d * n + k * w);
+  t.comp_worker = i * b * theta;  // discriminator only: the /2 claim
+  t.mem_worker = theta;
+  return t;
+}
+
+std::uint64_t fl_worker_ingress_bytes(const GanDims& dims) {
+  return dims.model_values() * dims.bytes_per_value;
+}
+
+std::uint64_t fl_server_ingress_bytes(const GanDims& dims) {
+  return dims.n_workers * dims.model_values() * dims.bytes_per_value;
+}
+
+std::uint64_t md_worker_ingress_bytes(const GanDims& dims) {
+  // Two generated batches (C->W) per iteration; a swapped discriminator
+  // (W->W) arrives only every mE/b iterations and is excluded from the
+  // steady-state per-iteration figure, matching the paper's Fig. 2
+  // construction (its MD-GAN lines scale strictly with b).
+  return 2 * dims.batch * dims.data_dim * dims.bytes_per_value;
+}
+
+std::uint64_t md_server_ingress_bytes(const GanDims& dims) {
+  return dims.n_workers * dims.batch * dims.data_dim * dims.bytes_per_value;
+}
+
+double md_fl_worker_crossover_batch(const GanDims& dims) {
+  const double per_image =
+      2.0 * static_cast<double>(dims.data_dim * dims.bytes_per_value);
+  if (per_image <= 0) throw std::invalid_argument("crossover: d == 0");
+  return static_cast<double>(fl_worker_ingress_bytes(dims)) / per_image;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  const double b = static_cast<double>(bytes);
+  if (bytes >= 1000ull * 1000 * 1000) {
+    os << b / 1e9 << " GB";
+  } else if (bytes >= 1000ull * 1000) {
+    os << b / 1e6 << " MB";
+  } else if (bytes >= 1000ull) {
+    os << b / 1e3 << " kB";
+  } else {
+    os << bytes << " B";
+  }
+  return os.str();
+}
+
+}  // namespace mdgan::core

@@ -1,0 +1,85 @@
+// Analytic complexity model of the paper's §IV-D: Table II (computation
+// and memory), Table III (communication complexities), Table IV
+// (instantiated CIFAR10 costs) and Figure 2 (max ingress per iteration
+// vs batch size, with the MD-GAN / FL-GAN crossover).
+//
+// All byte counts are float32 single-copy parameter/data transfers —
+// what our simulated wire actually carries. The paper's Table IV mixes
+// accounting conventions (FL-GAN rows there are consistent with
+// 3 tensors x 8 bytes per parameter, i.e. value + two Adam moments in
+// float64, while MD-GAN rows are float32 single-copy); EXPERIMENTS.md
+// reports both views side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mdgan::core {
+
+// Every symbol of the paper's Table I that the cost model needs.
+struct GanDims {
+  std::uint64_t gen_params = 0;   // |w|
+  std::uint64_t disc_params = 0;  // |θ|
+  std::uint64_t data_dim = 0;     // d: values per data object
+  std::uint64_t batch = 10;       // b
+  std::uint64_t local_m = 5000;   // m: objects per worker shard
+  std::uint64_t epochs = 1;       // E
+  std::uint64_t n_workers = 10;   // N
+  std::uint64_t k = 1;            // k (MD-GAN)
+  std::uint64_t iters = 50000;    // I
+  std::uint64_t bytes_per_value = 4;
+
+  std::uint64_t model_values() const { return gen_params + disc_params; }
+};
+
+// The paper's published parameter counts (§V-b), for analytic plots that
+// should land on the paper's numbers regardless of our CPU-scaled nets.
+GanDims paper_mnist_mlp_dims();
+GanDims paper_mnist_cnn_dims();
+GanDims paper_cifar_cnn_dims();
+
+// --- Table III: communication volumes ---------------------------------
+struct CommTable {
+  // Bytes per synchronization event (one FL round / one MD iteration).
+  std::uint64_t c_to_w_at_server = 0;  // egress at C
+  std::uint64_t c_to_w_at_worker = 0;  // ingress at one W
+  std::uint64_t w_to_c_at_worker = 0;  // egress at one W
+  std::uint64_t w_to_c_at_server = 0;  // ingress at C
+  std::uint64_t w_to_w_at_worker = 0;  // per swap, one W (MD-GAN only)
+  // Event counts over the full run of I iterations.
+  std::uint64_t num_cw_events = 0;  // "Total # C<->W"
+  std::uint64_t num_ww_events = 0;  // "Total # W<->W"
+};
+
+CommTable fl_gan_comm(const GanDims& dims);
+CommTable md_gan_comm(const GanDims& dims);
+
+// --- Table II: computation / memory orders ----------------------------
+// Values are the O(.) expressions evaluated numerically (unit-less
+// work/memory scores usable for ratios, e.g. the paper's "half the
+// worker load" claim).
+struct ComputeTable {
+  double comp_server = 0;
+  double mem_server = 0;
+  double comp_worker = 0;
+  double mem_worker = 0;
+};
+
+ComputeTable fl_gan_compute(const GanDims& dims);
+ComputeTable md_gan_compute(const GanDims& dims);
+
+// --- Figure 2: per-iteration ingress ----------------------------------
+// FL-GAN moves (|w|+|θ|) per node per round regardless of b; MD-GAN
+// moves 2bd into each worker and bdN into the server every iteration.
+std::uint64_t fl_worker_ingress_bytes(const GanDims& dims);
+std::uint64_t fl_server_ingress_bytes(const GanDims& dims);
+std::uint64_t md_worker_ingress_bytes(const GanDims& dims);
+std::uint64_t md_server_ingress_bytes(const GanDims& dims);
+
+// Batch size at which MD-GAN worker ingress overtakes FL-GAN's
+// (fractional; the paper quotes ~550 for MNIST and ~400 for CIFAR10).
+double md_fl_worker_crossover_batch(const GanDims& dims);
+
+std::string human_bytes(std::uint64_t bytes);
+
+}  // namespace mdgan::core

@@ -1,0 +1,355 @@
+#include "core/md_gan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "dist/cluster.hpp"
+
+namespace mdgan::core {
+
+std::size_t k_log_n(std::size_t n_workers) {
+  if (n_workers == 0) throw std::invalid_argument("k_log_n: N == 0");
+  const auto k = static_cast<std::size_t>(
+      std::floor(std::log(static_cast<double>(n_workers))));
+  return std::max<std::size_t>(1, std::min(k, n_workers));
+}
+
+MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
+             std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
+             dist::Network& net, const dist::CrashSchedule* crashes)
+    : arch_(arch),
+      cfg_(cfg),
+      codes_(arch.image.num_classes, arch.latent_dim),
+      net_(net),
+      crashes_(crashes),
+      seed_(seed),
+      server_rng_(Rng(seed).split(0x5e1)),
+      swap_rng_(Rng(seed).split(0x50a9)) {
+  if (shards.empty()) throw std::invalid_argument("MdGan: no shards");
+  if (net_.n_workers() != shards.size()) {
+    throw std::invalid_argument("MdGan: network sized for " +
+                                std::to_string(net_.n_workers()) +
+                                " workers, got " +
+                                std::to_string(shards.size()) + " shards");
+  }
+  if (cfg_.k == 0 || cfg_.k > shards.size()) {
+    throw std::invalid_argument("MdGan: need 1 <= k <= N");
+  }
+  const std::size_t n_discs =
+      cfg_.n_discriminators == 0 ? shards.size() : cfg_.n_discriminators;
+  if (n_discs > shards.size()) {
+    throw std::invalid_argument("MdGan: more discriminators than workers");
+  }
+
+  // The same init stream as the standalone/FL-GAN constructors, so a
+  // (seed, arch) pair pins identical initial weights across competitors
+  // — required by the N=1 equivalence test.
+  Rng init_rng = Rng(seed).split(0x1417);
+  g_ = gan::build_generator(arch_, init_rng);
+  nn::Sequential d0 = gan::build_discriminator(arch_, init_rng);
+  g_opt_ = std::make_unique<opt::Adam>(g_.params(), g_.grads(),
+                                       cfg_.hp.g_adam);
+
+  workers_.reserve(shards.size());
+  for (std::size_t n = 0; n < shards.size(); ++n) {
+    auto w = std::make_unique<Worker>();
+    w->shard = std::move(shards[n]);
+    if (w->shard.size() < cfg_.hp.batch) {
+      throw std::invalid_argument("MdGan: shard smaller than batch size");
+    }
+    w->rng = Rng(seed).split(0x3d9a).split(n + 1);
+    workers_.push_back(std::move(w));
+  }
+
+  discs_.reserve(n_discs);
+  for (std::size_t j = 0; j < n_discs; ++j) {
+    Disc disc;
+    Rng scratch = Rng(seed).split(0x1417);
+    disc.net = gan::build_discriminator(arch_, scratch);
+    // Paper §IV-A: discriminators may differ per worker; like the paper
+    // we start them identical (copies of D_0) for simplicity.
+    d0.clone_parameters_into(disc.net);
+    disc.opt = std::make_unique<opt::Adam>(disc.net.params(),
+                                           disc.net.grads(),
+                                           cfg_.hp.d_adam);
+    disc.holder = static_cast<int>(j + 1);  // D_j starts on worker j+1
+    discs_.push_back(std::move(disc));
+  }
+}
+
+nn::Sequential& MdGan::discriminator_of(std::size_t worker_1based) {
+  for (auto& d : discs_) {
+    if (d.holder == static_cast<int>(worker_1based)) return d.net;
+  }
+  throw std::out_of_range("MdGan: worker " + std::to_string(worker_1based) +
+                          " hosts no discriminator");
+}
+
+int MdGan::holder_of(std::size_t disc_index) const {
+  return discs_.at(disc_index).holder;
+}
+
+std::int64_t MdGan::swap_period() const {
+  const std::size_t m = workers_.front()->shard.size();
+  const std::int64_t period = static_cast<std::int64_t>(
+      cfg_.epochs_per_swap * m / cfg_.hp.batch);
+  return period > 0 ? period : 1;
+}
+
+std::vector<std::size_t> MdGan::live_discs() {
+  // Fail-stop: a discriminator on a crashed worker is gone. Prune it so
+  // its parameters can never re-enter the game.
+  std::vector<std::size_t> alive_discs;
+  for (std::size_t j = 0; j < discs_.size(); ++j) {
+    if (discs_[j].holder > 0 && net_.is_alive(discs_[j].holder)) {
+      alive_discs.push_back(j);
+    } else {
+      discs_[j].holder = -1;
+    }
+  }
+  return alive_discs;
+}
+
+void MdGan::server_generate_and_send(const std::vector<std::size_t>& discs,
+                                     std::size_t k_eff) {
+  const std::size_t b = cfg_.hp.batch;
+  latent_batches_.clear();
+  latent_labels_.clear();
+  latent_batches_.reserve(k_eff);
+  latent_labels_.reserve(k_eff);
+
+  // Generate K = {X(1..k)}. Generated in train mode: the update-step
+  // re-forward reproduces the exact same activations (batch statistics
+  // depend only on the batch itself).
+  std::vector<Tensor> generated;
+  generated.reserve(k_eff);
+  for (std::size_t j = 0; j < k_eff; ++j) {
+    std::vector<int> labels;
+    Tensor z = gan::sample_latent(arch_, codes_, b, server_rng_, labels);
+    generated.push_back(g_.forward(z, /*train=*/true));
+    latent_batches_.push_back(std::move(z));
+    latent_labels_.push_back(std::move(labels));
+  }
+
+  // SPLIT (§IV-B1): the participant at position p gets X_g = X(p mod k),
+  // X_d = X((p+1) mod k) — two distinct batches whenever k >= 2.
+  for (std::size_t p = 0; p < discs.size(); ++p) {
+    const std::size_t gi = p % k_eff;
+    const std::size_t di = (p + 1) % k_eff;
+    ByteBuffer buf;
+    buf.write_pod<std::uint32_t>(static_cast<std::uint32_t>(gi));
+    buf.write_floats(generated[gi].data(), generated[gi].numel());
+    for (int y : latent_labels_[gi]) buf.write_pod<std::int32_t>(y);
+    buf.write_pod<std::uint32_t>(static_cast<std::uint32_t>(di));
+    buf.write_floats(generated[di].data(), generated[di].numel());
+    for (int y : latent_labels_[di]) buf.write_pod<std::int32_t>(y);
+    net_.send(dist::kServerId, discs_[discs[p]].holder, "gen_batches",
+              std::move(buf));
+  }
+}
+
+void MdGan::worker_iteration(std::size_t disc_index) {
+  Disc& disc = discs_[disc_index];
+  Worker& w = *workers_[disc.holder - 1];
+  const std::size_t b = cfg_.hp.batch;
+  const std::size_t d = arch_.image_dim();
+
+  auto msg = net_.receive_tagged(disc.holder, "gen_batches");
+  if (!msg) {
+    throw std::logic_error("MdGan worker " + std::to_string(disc.holder) +
+                           ": missing generated batches");
+  }
+  const auto gi = msg->payload.read_pod<std::uint32_t>();
+  auto xg_flat = msg->payload.read_floats();
+  std::vector<int> yg(b);
+  for (auto& y : yg) y = msg->payload.read_pod<std::int32_t>();
+  msg->payload.read_pod<std::uint32_t>();  // d-batch id (unused here)
+  auto xd_flat = msg->payload.read_floats();
+  std::vector<int> yd(b);
+  for (auto& y : yd) y = msg->payload.read_pod<std::int32_t>();
+
+  Tensor x_g({b, d}, std::move(xg_flat));
+  Tensor x_d({b, d}, std::move(xd_flat));
+
+  // L discriminator learning steps (Algorithm 1 lines 6-8).
+  std::vector<int> y_real;
+  Tensor x_real = w.shard.sample_batch(w.rng, b, &y_real);
+  for (std::size_t l = 0; l < cfg_.hp.disc_steps; ++l) {
+    gan::disc_learning_step(disc.net, *disc.opt, x_real, y_real, x_d, yd,
+                            arch_.acgan);
+  }
+
+  // Error feedback F_n on X_g (Algorithm 1 lines 9-10), optionally
+  // compressed at the wire boundary (§VII-2).
+  Tensor feedback = gan::generator_feedback(
+      disc.net, x_g, arch_.acgan ? &yg : nullptr, cfg_.hp.saturating);
+
+  ByteBuffer buf;
+  buf.write_pod<std::uint32_t>(gi);
+  dist::compress(feedback.vec(), cfg_.feedback_compression, buf);
+  net_.send(disc.holder, dist::kServerId, "feedback", std::move(buf));
+}
+
+void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
+  const std::size_t b = cfg_.hp.batch;
+  const std::size_t d = arch_.image_dim();
+
+  // Collect feedbacks, grouped by generated-batch id.
+  std::vector<Tensor> upstream(k_eff);
+  std::vector<std::size_t> counts(k_eff, 0);
+  for (std::size_t i = 0; i < n_feedbacks; ++i) {
+    auto msg = net_.receive_tagged(dist::kServerId, "feedback");
+    if (!msg) throw std::logic_error("MdGan server: missing feedback");
+    const auto j = msg->payload.read_pod<std::uint32_t>();
+    Tensor fb({b, d}, dist::decompress(msg->payload));
+    if (upstream[j].empty()) {
+      upstream[j] = std::move(fb);
+    } else {
+      upstream[j] += fb;
+    }
+    ++counts[j];
+  }
+
+  // ∆w = (1/N) Σ_n backprop(F_n) — equivalently, per batch j, backprop
+  // the summed feedback scaled by 1/N (paper §IV-B2; the 1/b factor is
+  // already inside each F_n).
+  const float inv_n = 1.f / static_cast<float>(n_feedbacks);
+  g_opt_->zero_grad();
+  for (std::size_t j = 0; j < k_eff; ++j) {
+    if (counts[j] == 0) continue;  // batch unused by the SPLIT this round
+    // Re-forward G on the cached latent batch: G's parameters have not
+    // changed since generation, so this reproduces x exactly and primes
+    // the layer caches for backward.
+    g_.forward(latent_batches_[j], /*train=*/true);
+    upstream[j] *= inv_n;
+    g_.backward(upstream[j]);
+  }
+  g_opt_->step();
+  ++gen_updates_;
+}
+
+void MdGan::server_update_async(const std::vector<std::size_t>& discs,
+                                std::size_t k_eff) {
+  const std::size_t b = cfg_.hp.batch;
+  const std::size_t d = arch_.image_dim();
+  // One Adam update per feedback, in arrival order. The re-forward uses
+  // the *current* generator parameters, which already moved since the
+  // batch was generated — the inconsistent-update regime of §VII-1.
+  for (std::size_t i = 0; i < discs.size(); ++i) {
+    auto msg = net_.receive_tagged(dist::kServerId, "feedback");
+    if (!msg) throw std::logic_error("MdGan server: missing feedback");
+    const auto j = msg->payload.read_pod<std::uint32_t>();
+    if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
+    Tensor fb({b, d}, dist::decompress(msg->payload));
+    g_opt_->zero_grad();
+    g_.forward(latent_batches_[j], /*train=*/true);
+    g_.backward(fb);
+    g_opt_->step();
+    ++gen_updates_;
+  }
+}
+
+void MdGan::swap_discriminators() {
+  auto alive_discs = live_discs();
+  const auto alive_workers = net_.alive_workers();
+  if (alive_discs.empty() || alive_workers.size() < 2) return;
+
+  // New holders: a uniform injection of discriminators into alive
+  // workers with no discriminator staying put (gossip SWAP of §IV-C1;
+  // with n_discs == N this is exactly a derangement, and with
+  // n_discs < N it relocates the discriminators to a fresh subset so
+  // the whole dataset is visited over time — §VII-4).
+  const std::size_t nd = alive_discs.size();
+  std::vector<int> targets;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    auto perm = swap_rng_.permutation(alive_workers.size());
+    targets.clear();
+    bool ok = true;
+    for (std::size_t p = 0; p < nd; ++p) {
+      const int target = alive_workers[perm[p]];
+      if (target == discs_[alive_discs[p]].holder) {
+        ok = false;
+        break;
+      }
+      targets.push_back(target);
+    }
+    if (ok) break;
+    targets.clear();
+  }
+  if (targets.empty()) return;  // e.g. one worker alive hosting the disc
+
+  // Ship parameters old holder -> new holder (W->W traffic), then adopt.
+  for (std::size_t p = 0; p < nd; ++p) {
+    Disc& disc = discs_[alive_discs[p]];
+    const auto params = disc.net.flatten_parameters();
+    ByteBuffer buf;
+    buf.write_pod<std::uint32_t>(
+        static_cast<std::uint32_t>(alive_discs[p]));
+    buf.write_floats(params.data(), params.size());
+    net_.send(disc.holder, targets[p], "disc_swap", std::move(buf));
+  }
+  for (std::size_t p = 0; p < nd; ++p) {
+    Disc& disc = discs_[alive_discs[p]];
+    auto msg = net_.receive_tagged(targets[p], "disc_swap");
+    if (!msg) throw std::logic_error("MdGan swap: missing message");
+    msg->payload.read_pod<std::uint32_t>();
+    disc.net.assign_parameters(msg->payload.read_floats());
+    disc.holder = targets[p];
+  }
+}
+
+void MdGan::train(std::int64_t iters, std::int64_t eval_every,
+                  const gan::EvalHook& hook) {
+  const std::int64_t period = swap_period();
+  for (std::int64_t i = 1; i <= iters; ++i) {
+    net_.begin_iteration(i);
+    if (crashes_) {
+      for (int w : crashes_->crashes_at(i)) {
+        if (net_.is_alive(w)) {
+          net_.crash(w);
+          MDGAN_LOG_INFO << "iteration " << i << ": worker " << w
+                         << " crashed (fail-stop), "
+                         << net_.alive_worker_count() << " left";
+        }
+      }
+    }
+    const auto participants = live_discs();
+    if (participants.empty()) {
+      MDGAN_LOG_WARN << "iteration " << i
+                     << ": no live discriminators; stopping training";
+      break;
+    }
+    const std::size_t k_eff = std::min(cfg_.k, participants.size());
+
+    server_generate_and_send(participants, k_eff);
+    dist::for_each_worker(
+        [&] {
+          std::vector<int> ids(participants.size());
+          for (std::size_t p = 0; p < participants.size(); ++p) {
+            ids[p] = static_cast<int>(p);
+          }
+          return ids;
+        }(),
+        [this, &participants](int p) {
+          worker_iteration(participants[static_cast<std::size_t>(p)]);
+        },
+        cfg_.parallel_workers);
+    if (cfg_.async) {
+      server_update_async(participants, k_eff);
+    } else {
+      server_update_sync(participants.size(), k_eff);
+    }
+
+    if (cfg_.swap_enabled && i % period == 0) {
+      swap_discriminators();
+    }
+    iters_run_ = i;
+    if (hook && eval_every > 0 && (i % eval_every == 0 || i == iters)) {
+      hook(i, g_);
+    }
+  }
+}
+
+}  // namespace mdgan::core

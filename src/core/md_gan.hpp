@@ -1,0 +1,149 @@
+// MD-GAN (Algorithm 1 of the paper): a single generator on the central
+// server trained against distributed discriminators.
+//
+// One global iteration:
+//  1. server generates k batches X(1..k) from G and sends every
+//     participating worker two distinct batches (SPLIT rule, §IV-B1);
+//  2. each worker runs L discriminator learning steps on (X_d, X_r);
+//  3. each worker computes the error feedback F_n = dJ_gen/dx on X_g
+//     and ships it to the server (b*d floats — independent of |θ|);
+//  4. the server folds all feedbacks into ∆w by backpropagating through
+//     G and applies Adam (§IV-B2).
+// Every E local epochs the discriminators move peer-to-peer along a
+// random derangement (§IV-C1); disabling that exchange is the no-swap
+// ablation of Figure 4.
+//
+// Beyond the paper's evaluated configuration, the implementation covers
+// three §VII "perspectives" as config switches:
+//  * async (§VII-1): the server applies one Adam update per received
+//    feedback instead of waiting for all of them; feedbacks late in the
+//    round are stale with respect to the already-updated generator —
+//    the inconsistency regime the paper describes.
+//  * feedback_compression (§VII-2, the Adacomp direction): int8
+//    quantization or top-k sparsification of F_n at the serialization
+//    boundary (traffic numbers stay measured, now smaller).
+//  * n_discriminators < N (§VII-4): fewer discriminators than workers;
+//    the swap relocates them to a fresh random subset of workers each
+//    period, so the whole distributed dataset is leveraged over time.
+//
+// Fail-stop crashes (Figure 5) are injected through a CrashSchedule: a
+// crashed worker stops participating, its shard is lost, and any
+// discriminator it hosted dies with it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dist/compression.hpp"
+#include "dist/fault.hpp"
+#include "dist/network.hpp"
+#include "gan/trainer.hpp"
+
+namespace mdgan::core {
+
+struct MdGanConfig {
+  gan::GanHyperParams hp;
+  std::size_t k = 1;                // generated batches per iteration
+  std::size_t epochs_per_swap = 1;  // E
+  bool swap_enabled = true;         // false reproduces Fig. 4's dotted
+  bool parallel_workers = true;
+  // 0 = one discriminator per worker (the paper's evaluated setup);
+  // any value in [1, N] enables the §VII-4 sparse-discriminator mode.
+  std::size_t n_discriminators = 0;
+  // §VII-1 asynchronous server: one Adam update per feedback.
+  bool async = false;
+  // §VII-2 feedback compression on the W->C link.
+  dist::CompressionConfig feedback_compression;
+};
+
+// Helper for the paper's k = floor(log N) configuration (natural log,
+// clamped to [1, N]).
+std::size_t k_log_n(std::size_t n_workers);
+
+class MdGan {
+ public:
+  // shards[n] is worker n+1's local dataset; net must be sized for
+  // shards.size() workers. `crashes` (optional) injects fail-stop
+  // faults at iteration boundaries.
+  MdGan(gan::GanArch arch, MdGanConfig cfg,
+        std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
+        dist::Network& net,
+        const dist::CrashSchedule* crashes = nullptr);
+
+  // Runs `iters` global iterations (= generator updates in sync mode;
+  // in async mode one iteration still processes every participant but
+  // applies one generator update per feedback). Stops early if every
+  // worker has crashed. Hook receives the server generator.
+  void train(std::int64_t iters, std::int64_t eval_every = 0,
+             const gan::EvalHook& hook = nullptr);
+
+  nn::Sequential& generator() { return g_; }
+  // Discriminator hosted by this worker (throws if the worker currently
+  // hosts none — possible in sparse-discriminator mode).
+  nn::Sequential& discriminator_of(std::size_t worker_1based);
+  // Worker currently hosting discriminator `disc_index` (0-based).
+  int holder_of(std::size_t disc_index) const;
+  std::size_t discriminator_count() const { return discs_.size(); }
+
+  const gan::GanArch& arch() const { return arch_; }
+  const gan::ClassCodes& codes() const { return codes_; }
+  const dist::Network& network() const { return net_; }
+  // Global iterations between two swaps: E * m / b.
+  std::int64_t swap_period() const;
+  std::int64_t iterations_run() const { return iters_run_; }
+  // Total generator updates applied (== iterations in sync mode,
+  // ~participants-per-iteration times more in async mode).
+  std::int64_t generator_updates() const { return gen_updates_; }
+
+ private:
+  struct Disc {
+    nn::Sequential net;
+    std::unique_ptr<opt::Adam> opt;
+    int holder = -1;  // worker id hosting this discriminator
+  };
+  struct Worker {
+    data::InMemoryDataset shard;
+    Rng rng;
+  };
+
+  // Discriminators whose holders are still alive; prunes the others
+  // (fail-stop: a disc dies with its host).
+  std::vector<std::size_t> live_discs();
+
+  void server_generate_and_send(const std::vector<std::size_t>& discs,
+                                std::size_t k_eff);
+  void worker_iteration(std::size_t disc_index);
+  // Sync server reduce: averages all feedbacks per batch, one Adam step.
+  void server_update_sync(std::size_t n_feedbacks, std::size_t k_eff);
+  // Async server: one Adam step per feedback, in arrival order.
+  void server_update_async(const std::vector<std::size_t>& discs,
+                           std::size_t k_eff);
+  void swap_discriminators();
+
+  gan::GanArch arch_;
+  MdGanConfig cfg_;
+  gan::ClassCodes codes_;
+  dist::Network& net_;
+  const dist::CrashSchedule* crashes_;
+  std::uint64_t seed_;
+
+  // Server state.
+  nn::Sequential g_;
+  std::unique_ptr<opt::Adam> g_opt_;
+  Rng server_rng_;
+  Rng swap_rng_;
+  // Latent batches of the current iteration, for the re-forward in the
+  // update step (index = batch id).
+  std::vector<Tensor> latent_batches_;
+  std::vector<std::vector<int>> latent_labels_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<Disc> discs_;
+  std::int64_t iters_run_ = 0;
+  std::int64_t gen_updates_ = 0;
+};
+
+}  // namespace mdgan::core

@@ -1,0 +1,100 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdgan::data {
+
+InMemoryDataset::InMemoryDataset(DatasetMeta meta, Tensor images,
+                                 std::vector<int> labels)
+    : meta_(std::move(meta)),
+      images_(std::move(images)),
+      labels_(std::move(labels)) {
+  if (images_.rank() != 2 || images_.dim(0) != labels_.size() ||
+      images_.dim(1) != meta_.dim()) {
+    throw std::invalid_argument(
+        "InMemoryDataset: images must be (n, c*h*w) aligned with labels");
+  }
+}
+
+Tensor InMemoryDataset::sample(std::size_t i) const { return images_.row(i); }
+
+Tensor InMemoryDataset::sample_batch(Rng& rng, std::size_t b,
+                                     std::vector<int>* labels) const {
+  if (size() == 0) throw std::logic_error("sample_batch: empty dataset");
+  std::vector<std::size_t> idx(b);
+  for (auto& v : idx) v = rng.index(size());
+  return gather(idx, labels);
+}
+
+Tensor InMemoryDataset::gather(const std::vector<std::size_t>& idx,
+                               std::vector<int>* labels) const {
+  const std::size_t d = dim();
+  Tensor out({idx.size(), d});
+  if (labels) labels->resize(idx.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    if (idx[r] >= size()) throw std::out_of_range("gather: index");
+    std::copy_n(images_.data() + idx[r] * d, d, out.data() + r * d);
+    if (labels) (*labels)[r] = labels_[idx[r]];
+  }
+  return out;
+}
+
+InMemoryDataset InMemoryDataset::subset(
+    const std::vector<std::size_t>& idx) const {
+  std::vector<int> sub_labels;
+  Tensor sub_images = gather(idx, &sub_labels);
+  return InMemoryDataset(meta_, std::move(sub_images), std::move(sub_labels));
+}
+
+std::vector<std::size_t> InMemoryDataset::class_histogram() const {
+  std::vector<std::size_t> hist(meta_.num_classes, 0);
+  for (int y : labels_) {
+    if (y >= 0 && static_cast<std::size_t>(y) < hist.size()) ++hist[y];
+  }
+  return hist;
+}
+
+std::vector<InMemoryDataset> split_iid(const InMemoryDataset& full,
+                                       std::size_t n_shards, Rng& rng) {
+  if (n_shards == 0) throw std::invalid_argument("split_iid: n_shards == 0");
+  if (full.size() < n_shards) {
+    throw std::invalid_argument("split_iid: fewer samples than shards");
+  }
+  auto order = rng.permutation(full.size());
+  const std::size_t per = full.size() / n_shards;
+  std::vector<InMemoryDataset> shards;
+  shards.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    std::vector<std::size_t> idx(order.begin() + s * per,
+                                 order.begin() + (s + 1) * per);
+    shards.push_back(full.subset(idx));
+  }
+  return shards;
+}
+
+EpochSampler::EpochSampler(std::size_t dataset_size, std::size_t batch,
+                           Rng rng)
+    : n_(dataset_size), b_(batch), rng_(rng) {
+  if (b_ == 0 || b_ > n_) {
+    throw std::invalid_argument("EpochSampler: need 0 < batch <= n");
+  }
+  reshuffle();
+}
+
+void EpochSampler::reshuffle() {
+  order_ = rng_.permutation(n_);
+  cursor_ = 0;
+}
+
+const std::vector<std::size_t>& EpochSampler::next() {
+  if (cursor_ + b_ > n_) {
+    reshuffle();
+    ++epoch_;
+  }
+  current_.assign(order_.begin() + cursor_, order_.begin() + cursor_ + b_);
+  cursor_ += b_;
+  return current_;
+}
+
+}  // namespace mdgan::data

@@ -1,0 +1,99 @@
+// In-memory labeled image datasets.
+//
+// All datasets here are *synthetic substitutes* for the paper's MNIST /
+// CIFAR10 / CelebA (no network access in this environment — see
+// DESIGN.md §2). They preserve what the experiments exercise: tensor
+// shapes, 10 balanced classes, a learnable-but-nontrivial distribution,
+// and deterministic regeneration from a seed. Pixel values are stored in
+// [-1, 1] to match the tanh generator output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mdgan::data {
+
+struct DatasetMeta {
+  std::size_t channels = 1;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t num_classes = 10;
+  std::string name;
+
+  // Flattened per-sample dimension d = c*h*w — the paper's "object size".
+  std::size_t dim() const { return channels * height * width; }
+};
+
+class InMemoryDataset {
+ public:
+  InMemoryDataset() = default;
+  InMemoryDataset(DatasetMeta meta, Tensor images, std::vector<int> labels);
+
+  const DatasetMeta& meta() const { return meta_; }
+  std::size_t size() const { return labels_.size(); }
+  std::size_t dim() const { return meta_.dim(); }
+
+  // Row-major (n, d) storage of all samples.
+  const Tensor& images() const { return images_; }
+  const std::vector<int>& labels() const { return labels_; }
+
+  int label(std::size_t i) const { return labels_.at(i); }
+  // Copy of sample i as a flat (d) tensor.
+  Tensor sample(std::size_t i) const;
+
+  // Random batch with replacement: images (b, d), labels filled if
+  // non-null. This is the SAMPLES(B_n, b) of Algorithm 1 line 4.
+  Tensor sample_batch(Rng& rng, std::size_t b,
+                      std::vector<int>* labels = nullptr) const;
+
+  // Batch by explicit indices (deterministic epoch iteration).
+  Tensor gather(const std::vector<std::size_t>& idx,
+                std::vector<int>* labels = nullptr) const;
+
+  // Subset copy (used by the i.i.d. partitioner).
+  InMemoryDataset subset(const std::vector<std::size_t>& idx) const;
+
+  // Per-class counts; diagnostic + tested for balance.
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  DatasetMeta meta_;
+  Tensor images_;  // (n, d)
+  std::vector<int> labels_;
+};
+
+// Splits `full` into n_shards disjoint shards of equal size (within one
+// sample) after an i.i.d. shuffle — the paper's B = union of B_n setup
+// with |B_n| = |B| / N. Leftover samples (size % n_shards) are dropped so
+// shards stay exactly balanced in size.
+std::vector<InMemoryDataset> split_iid(const InMemoryDataset& full,
+                                       std::size_t n_shards, Rng& rng);
+
+// Shuffled index-batch iterator for epoch-ordered training (FL-GAN /
+// standalone local epochs).
+class EpochSampler {
+ public:
+  EpochSampler(std::size_t dataset_size, std::size_t batch, Rng rng);
+
+  // Next batch of indices; reshuffles when the epoch is exhausted. Drops
+  // the trailing partial batch (as common in GAN training loops).
+  const std::vector<std::size_t>& next();
+  std::size_t batches_per_epoch() const { return n_ / b_; }
+  std::size_t epoch() const { return epoch_; }
+
+ private:
+  void reshuffle();
+
+  std::size_t n_, b_;
+  Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+  std::size_t epoch_ = 0;
+  std::vector<std::size_t> current_;
+};
+
+}  // namespace mdgan::data

@@ -1,0 +1,84 @@
+#include "data/image_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace mdgan::data {
+namespace {
+
+std::uint8_t to_byte(float v) {
+  // [-1, 1] -> [0, 255].
+  const float scaled = (v + 1.f) * 0.5f * 255.f;
+  return static_cast<std::uint8_t>(std::clamp(scaled, 0.f, 255.f));
+}
+
+void write_raster(const std::string& path, const std::vector<std::uint8_t>&
+                                               bytes,
+                  std::size_t h, std::size_t w, std::size_t channels) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("write_image: cannot open " + path);
+  std::fprintf(f, "%s\n%zu %zu\n255\n", channels == 1 ? "P5" : "P6", w, h);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    throw std::runtime_error("write_image: short write to " + path);
+  }
+}
+
+// CHW float -> interleaved bytes at offset (y0, x0) inside a canvas.
+void blit(const Tensor& flat, const DatasetMeta& meta,
+          std::vector<std::uint8_t>& canvas, std::size_t canvas_w,
+          std::size_t y0, std::size_t x0, std::size_t channels) {
+  const std::size_t hw = meta.height * meta.width;
+  for (std::size_t y = 0; y < meta.height; ++y) {
+    for (std::size_t x = 0; x < meta.width; ++x) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        const float v = flat[c * hw + y * meta.width + x];
+        canvas[((y0 + y) * canvas_w + (x0 + x)) * channels + c] =
+            to_byte(v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void write_image(const std::string& path, const Tensor& flat_image,
+                 const DatasetMeta& meta) {
+  if (flat_image.numel() != meta.dim()) {
+    throw std::invalid_argument("write_image: tensor/meta size mismatch");
+  }
+  if (meta.channels != 1 && meta.channels != 3) {
+    throw std::invalid_argument("write_image: 1 or 3 channels supported");
+  }
+  std::vector<std::uint8_t> bytes(meta.dim());
+  blit(flat_image, meta, bytes, meta.width, 0, 0, meta.channels);
+  write_raster(path, bytes, meta.height, meta.width, meta.channels);
+}
+
+void write_image_grid(const std::string& path, const Tensor& batch,
+                      const DatasetMeta& meta, std::size_t count,
+                      std::size_t cols) {
+  if (batch.rank() != 2 || batch.dim(1) != meta.dim()) {
+    throw std::invalid_argument("write_image_grid: batch/meta mismatch");
+  }
+  if (meta.channels != 1 && meta.channels != 3) {
+    throw std::invalid_argument("write_image_grid: 1 or 3 channels");
+  }
+  count = std::min(count, batch.dim(0));
+  if (count == 0) throw std::invalid_argument("write_image_grid: empty");
+  cols = std::min(cols, count);
+  const std::size_t rows = (count + cols - 1) / cols;
+  const std::size_t gw = cols * meta.width;
+  const std::size_t gh = rows * meta.height;
+  std::vector<std::uint8_t> canvas(gw * gh * meta.channels, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    blit(batch.row(i), meta, canvas, gw, (i / cols) * meta.height,
+         (i % cols) * meta.width, meta.channels);
+  }
+  write_raster(path, canvas, gh, gw, meta.channels);
+}
+
+}  // namespace mdgan::data

@@ -1,0 +1,26 @@
+// Minimal image writers (binary PGM/PPM) so examples and debugging
+// sessions can look at generated samples without any image library.
+// Inputs are flat [-1, 1] tensors in the repo's CHW convention.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mdgan::data {
+
+// Writes one image (flat (d) tensor, values in [-1,1]) as PGM (1
+// channel) or PPM (3 channels) according to `meta`. Throws on I/O error
+// or shape mismatch.
+void write_image(const std::string& path, const Tensor& flat_image,
+                 const DatasetMeta& meta);
+
+// Tiles the first `count` rows of a (n, d) batch into one image grid
+// (`cols` images per row) and writes it. Useful to eyeball a generated
+// batch at a glance.
+void write_image_grid(const std::string& path, const Tensor& batch,
+                      const DatasetMeta& meta, std::size_t count,
+                      std::size_t cols = 8);
+
+}  // namespace mdgan::data

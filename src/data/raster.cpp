@@ -1,0 +1,83 @@
+#include "data/raster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdgan::data {
+namespace {
+float point_segment_distance(float px, float py, float x0, float y0, float x1,
+                             float y1) {
+  const float dx = x1 - x0, dy = y1 - y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = 0.f;
+  if (len2 > 1e-12f) {
+    t = std::clamp(((px - x0) * dx + (py - y0) * dy) / len2, 0.f, 1.f);
+  }
+  const float qx = x0 + t * dx, qy = y0 + t * dy;
+  return std::sqrt((px - qx) * (px - qx) + (py - qy) * (py - qy));
+}
+}  // namespace
+
+void Canvas::draw_segment(float x0, float y0, float x1, float y1,
+                          float thickness, float intensity) {
+  const float pad = thickness + 1.5f;
+  const int ymin = std::max(0, static_cast<int>(std::floor(
+                                   std::min(y0, y1) - pad)));
+  const int ymax = std::min(static_cast<int>(h_) - 1,
+                            static_cast<int>(std::ceil(std::max(y0, y1) +
+                                                       pad)));
+  const int xmin = std::max(0, static_cast<int>(std::floor(
+                                   std::min(x0, x1) - pad)));
+  const int xmax = std::min(static_cast<int>(w_) - 1,
+                            static_cast<int>(std::ceil(std::max(x0, x1) +
+                                                       pad)));
+  for (int y = ymin; y <= ymax; ++y) {
+    for (int x = xmin; x <= xmax; ++x) {
+      const float d = point_segment_distance(
+          static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f, x0, y0,
+          x1, y1);
+      // Inside the stroke: full intensity; 1px anti-aliased falloff.
+      const float v =
+          intensity * std::clamp(thickness - d + 1.f, 0.f, 1.f);
+      if (v > 0.f) {
+        float& p = at(static_cast<std::size_t>(y),
+                      static_cast<std::size_t>(x));
+        p = std::max(p, v);
+      }
+    }
+  }
+}
+
+void Canvas::draw_ellipse(float cx, float cy, float rx, float ry, float angle,
+                          float intensity) {
+  const float pad = std::max(rx, ry) + 1.5f;
+  const int ymin =
+      std::max(0, static_cast<int>(std::floor(cy - pad)));
+  const int ymax = std::min(static_cast<int>(h_) - 1,
+                            static_cast<int>(std::ceil(cy + pad)));
+  const int xmin =
+      std::max(0, static_cast<int>(std::floor(cx - pad)));
+  const int xmax = std::min(static_cast<int>(w_) - 1,
+                            static_cast<int>(std::ceil(cx + pad)));
+  const float ca = std::cos(angle), sa = std::sin(angle);
+  for (int y = ymin; y <= ymax; ++y) {
+    for (int x = xmin; x <= xmax; ++x) {
+      const float dx = static_cast<float>(x) + 0.5f - cx;
+      const float dy = static_cast<float>(y) + 0.5f - cy;
+      const float u = (ca * dx + sa * dy) / std::max(rx, 1e-3f);
+      const float v = (-sa * dx + ca * dy) / std::max(ry, 1e-3f);
+      const float r = std::sqrt(u * u + v * v);
+      // Smooth edge over ~1 pixel in normalized units.
+      const float edge = 1.f / std::max(std::min(rx, ry), 1.f);
+      const float val =
+          intensity * std::clamp((1.f - r) / edge + 1.f, 0.f, 1.f);
+      if (val > 0.f) {
+        float& p = at(static_cast<std::size_t>(y),
+                      static_cast<std::size_t>(x));
+        p = std::max(p, val);
+      }
+    }
+  }
+}
+
+}  // namespace mdgan::data

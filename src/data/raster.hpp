@@ -1,0 +1,39 @@
+// Tiny software rasterizer shared by the synthetic dataset generators:
+// anti-aliased thick segments, filled ellipses and axis rectangles on a
+// single-channel float canvas in [0,1].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mdgan::data {
+
+class Canvas {
+ public:
+  Canvas(std::size_t height, std::size_t width)
+      : h_(height), w_(width), pix_(height * width, 0.f) {}
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  float& at(std::size_t y, std::size_t x) { return pix_[y * w_ + x]; }
+  float at(std::size_t y, std::size_t x) const { return pix_[y * w_ + x]; }
+  const std::vector<float>& pixels() const { return pix_; }
+
+  // Max-blends an anti-aliased segment from (x0,y0) to (x1,y1) with the
+  // given stroke thickness (distance-field falloff of ~1px).
+  void draw_segment(float x0, float y0, float x1, float y1, float thickness,
+                    float intensity = 1.f);
+
+  // Max-blends a filled ellipse centered at (cx,cy) with radii (rx,ry),
+  // rotated by `angle` radians.
+  void draw_ellipse(float cx, float cy, float rx, float ry, float angle,
+                    float intensity = 1.f);
+
+  void clear() { pix_.assign(pix_.size(), 0.f); }
+
+ private:
+  std::size_t h_, w_;
+  std::vector<float> pix_;
+};
+
+}  // namespace mdgan::data

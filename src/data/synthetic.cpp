@@ -1,0 +1,314 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "data/raster.hpp"
+
+namespace mdgan::data {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+// --- digits -----------------------------------------------------------
+
+// Seven-segment layout in a unit glyph box (x right, y down):
+//   0: top        1: top-left    2: top-right
+//   3: middle     4: bottom-left 5: bottom-right
+//   6: bottom
+struct Seg {
+  float x0, y0, x1, y1;
+};
+constexpr Seg kSegments[7] = {
+    {0.15f, 0.08f, 0.85f, 0.08f},  // top
+    {0.12f, 0.12f, 0.12f, 0.48f},  // top-left
+    {0.88f, 0.12f, 0.88f, 0.48f},  // top-right
+    {0.15f, 0.50f, 0.85f, 0.50f},  // middle
+    {0.12f, 0.52f, 0.12f, 0.88f},  // bottom-left
+    {0.88f, 0.52f, 0.88f, 0.88f},  // bottom-right
+    {0.15f, 0.92f, 0.85f, 0.92f},  // bottom
+};
+// Segment masks for digits 0..9 (bit i = segment i lit).
+constexpr unsigned kDigitMask[10] = {
+    0b1110111,  // 0: top tl tr bl br bottom
+    0b0100100,  // 1: tr br
+    0b1011101,  // 2
+    0b1101101,  // 3
+    0b0101110,  // 4
+    0b1101011,  // 5
+    0b1111011,  // 6
+    0b0100101,  // 7
+    0b1111111,  // 8
+    0b1101111,  // 9
+};
+
+void render_digit(Canvas& canvas, int digit, Rng& rng) {
+  // Per-sample affine jitter applied to segment endpoints.
+  const float angle = rng.uniform(-0.18f, 0.18f);
+  const float scale = rng.uniform(0.85f, 1.05f);
+  const float tx = rng.uniform(-1.8f, 1.8f);
+  const float ty = rng.uniform(-1.8f, 1.8f);
+  const float thickness = rng.uniform(1.1f, 2.0f);
+  const float shear = rng.uniform(-0.12f, 0.12f);
+  const float ca = std::cos(angle), sa = std::sin(angle);
+  const float h = static_cast<float>(canvas.height());
+  const float w = static_cast<float>(canvas.width());
+  // Glyph box occupies the central ~70% of the canvas.
+  const float gx0 = 0.22f * w, gy0 = 0.12f * h;
+  const float gw = 0.56f * w, gh = 0.76f * h;
+
+  auto transform = [&](float ux, float uy, float& px, float& py) {
+    // Unit -> glyph box, centered affine.
+    float x = gx0 + ux * gw, y = gy0 + uy * gh;
+    x += shear * (y - h / 2);
+    const float cx = w / 2, cy = h / 2;
+    const float dx = (x - cx) * scale, dy = (y - cy) * scale;
+    px = cx + ca * dx - sa * dy + tx;
+    py = cy + sa * dx + ca * dy + ty;
+  };
+
+  const unsigned mask = kDigitMask[digit];
+  for (int s = 0; s < 7; ++s) {
+    if (!(mask >> s & 1u)) continue;
+    float x0, y0, x1, y1;
+    transform(kSegments[s].x0, kSegments[s].y0, x0, y0);
+    transform(kSegments[s].x1, kSegments[s].y1, x1, y1);
+    canvas.draw_segment(x0, y0, x1, y1, thickness);
+  }
+}
+
+// --- cifar-like patterns ------------------------------------------------
+
+struct Rgb {
+  float r, g, b;
+};
+
+// Base hue per class; samples jitter around it.
+constexpr Rgb kClassColor[10] = {
+    {0.9f, 0.2f, 0.2f}, {0.2f, 0.8f, 0.3f}, {0.2f, 0.4f, 0.9f},
+    {0.9f, 0.8f, 0.2f}, {0.8f, 0.3f, 0.8f}, {0.2f, 0.8f, 0.8f},
+    {0.95f, 0.55f, 0.2f}, {0.55f, 0.35f, 0.2f}, {0.6f, 0.6f, 0.95f},
+    {0.75f, 0.75f, 0.75f},
+};
+
+Rgb pattern_value(int cls, float x, float y, float phase, float freq,
+                  const Rgb& color) {
+  // x, y in [0,1); returns per-pattern intensity modulated color.
+  float v = 0.f;
+  switch (cls) {
+    case 0:  // horizontal stripes
+      v = 0.5f + 0.5f * std::sin(2 * kPi * freq * y + phase);
+      break;
+    case 1:  // vertical stripes
+      v = 0.5f + 0.5f * std::sin(2 * kPi * freq * x + phase);
+      break;
+    case 2:  // diagonal stripes
+      v = 0.5f + 0.5f * std::sin(2 * kPi * freq * (x + y) + phase);
+      break;
+    case 3: {  // checkerboard
+      const int cxi = static_cast<int>(std::floor(freq * x + phase));
+      const int cyi = static_cast<int>(std::floor(freq * y + phase));
+      v = ((cxi + cyi) & 1) ? 0.85f : 0.15f;
+      break;
+    }
+    case 4: {  // concentric rings
+      const float r = std::hypot(x - 0.5f, y - 0.5f);
+      v = 0.5f + 0.5f * std::sin(2 * kPi * freq * r * 2.f + phase);
+      break;
+    }
+    case 5: {  // radial gradient blob
+      const float r = std::hypot(x - 0.5f, y - 0.5f);
+      v = std::clamp(1.2f - 2.2f * r + 0.15f * std::sin(phase + 8 * x), 0.f,
+                     1.f);
+      break;
+    }
+    case 6: {  // two blobs
+      const float r1 = std::hypot(x - 0.33f, y - 0.4f);
+      const float r2 = std::hypot(x - 0.7f, y - 0.65f);
+      v = std::clamp(0.9f - 3.f * std::min(r1, r2), 0.f, 1.f) + 0.15f;
+      break;
+    }
+    case 7: {  // triangle-ish wedge
+      v = (y > std::abs(x - 0.5f) * 1.6f + 0.15f) ? 0.8f : 0.15f;
+      break;
+    }
+    case 8: {  // plaid
+      const float a = 0.5f + 0.5f * std::sin(2 * kPi * freq * x + phase);
+      const float b = 0.5f + 0.5f * std::sin(2 * kPi * freq * y - phase);
+      v = 0.5f * (a + b);
+      break;
+    }
+    case 9: {  // diamond grid
+      const float a =
+          std::abs(std::sin(2 * kPi * freq * (x - y) * 0.7f + phase));
+      const float b =
+          std::abs(std::sin(2 * kPi * freq * (x + y) * 0.7f - phase));
+      v = a * b;
+      break;
+    }
+    default:
+      v = 0.5f;
+  }
+  return {color.r * v, color.g * v, color.b * v};
+}
+
+}  // namespace
+
+InMemoryDataset make_synthetic_digits(std::size_t n, std::uint64_t seed) {
+  DatasetMeta meta{1, 28, 28, 10, "synthetic-digits"};
+  Tensor images({n, meta.dim()});
+  std::vector<int> labels(n);
+  Rng rng = Rng(seed).split(0xd161);
+  Canvas canvas(meta.height, meta.width);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(i % meta.num_classes);
+    labels[i] = digit;
+    canvas.clear();
+    render_digit(canvas, digit, rng);
+    float* dst = images.data() + i * meta.dim();
+    const float noise = rng.uniform(0.02f, 0.06f);
+    for (std::size_t p = 0; p < meta.dim(); ++p) {
+      float v = canvas.pixels()[p] + rng.normal(0.f, noise);
+      v = std::clamp(v, 0.f, 1.f);
+      dst[p] = 2.f * v - 1.f;
+    }
+  }
+  return InMemoryDataset(std::move(meta), std::move(images),
+                         std::move(labels));
+}
+
+InMemoryDataset make_synthetic_cifar(std::size_t n, std::uint64_t seed) {
+  DatasetMeta meta{3, 32, 32, 10, "synthetic-cifar"};
+  Tensor images({n, meta.dim()});
+  std::vector<int> labels(n);
+  Rng rng = Rng(seed).split(0xc1fa);
+  const std::size_t hw = meta.height * meta.width;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(i % meta.num_classes);
+    labels[i] = cls;
+    const float phase = rng.uniform(0.f, 2 * kPi);
+    const float freq = rng.uniform(2.5f, 4.5f);
+    Rgb color = kClassColor[cls];
+    color.r = std::clamp(color.r + rng.normal(0.f, 0.08f), 0.f, 1.f);
+    color.g = std::clamp(color.g + rng.normal(0.f, 0.08f), 0.f, 1.f);
+    color.b = std::clamp(color.b + rng.normal(0.f, 0.08f), 0.f, 1.f);
+    const float noise = rng.uniform(0.02f, 0.05f);
+    float* dst = images.data() + i * meta.dim();
+    for (std::size_t y = 0; y < meta.height; ++y) {
+      for (std::size_t x = 0; x < meta.width; ++x) {
+        const Rgb v = pattern_value(
+            cls, (static_cast<float>(x) + 0.5f) / meta.width,
+            (static_cast<float>(y) + 0.5f) / meta.height, phase, freq, color);
+        const std::size_t p = y * meta.width + x;
+        // CHW layout, [-1, 1].
+        dst[0 * hw + p] =
+            2.f * std::clamp(v.r + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+        dst[1 * hw + p] =
+            2.f * std::clamp(v.g + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+        dst[2 * hw + p] =
+            2.f * std::clamp(v.b + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+      }
+    }
+  }
+  return InMemoryDataset(std::move(meta), std::move(images),
+                         std::move(labels));
+}
+
+InMemoryDataset make_synthetic_faces(std::size_t n, std::uint64_t seed,
+                                     std::size_t side) {
+  DatasetMeta meta{3, side, side, 10, "synthetic-faces"};
+  Tensor images({n, meta.dim()});
+  std::vector<int> labels(n);
+  Rng rng = Rng(seed).split(0xface);
+  const std::size_t hw = side * side;
+  const float fs = static_cast<float>(side);
+
+  constexpr Rgb kHair[5] = {{0.12f, 0.08f, 0.05f},
+                            {0.45f, 0.28f, 0.12f},
+                            {0.85f, 0.72f, 0.35f},
+                            {0.55f, 0.12f, 0.08f},
+                            {0.65f, 0.65f, 0.68f}};
+  constexpr Rgb kSkin[2] = {{0.95f, 0.78f, 0.64f}, {0.55f, 0.38f, 0.26f}};
+
+  Canvas face(side, side), eyes(side, side), mouth(side, side),
+      hair(side, side);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int hair_c = static_cast<int>(i % 5);
+    const int skin_c = static_cast<int>((i / 5) % 2);
+    labels[i] = hair_c * 2 + skin_c;  // 10 pseudo-classes
+
+    const float cx = fs * 0.5f + rng.normal(0.f, fs * 0.03f);
+    const float cy = fs * 0.55f + rng.normal(0.f, fs * 0.03f);
+    const float rx = fs * rng.uniform(0.26f, 0.33f);
+    const float ry = fs * rng.uniform(0.33f, 0.4f);
+    const float tilt = rng.uniform(-0.12f, 0.12f);
+
+    face.clear();
+    eyes.clear();
+    mouth.clear();
+    hair.clear();
+    face.draw_ellipse(cx, cy, rx, ry, tilt);
+    // Hair: cap above the face.
+    hair.draw_ellipse(cx, cy - ry * 0.75f, rx * 1.15f, ry * 0.55f, tilt);
+    // Eyes.
+    const float eye_dx = rx * rng.uniform(0.38f, 0.5f);
+    const float eye_y = cy - ry * rng.uniform(0.15f, 0.28f);
+    const float eye_r = fs * rng.uniform(0.03f, 0.05f);
+    eyes.draw_ellipse(cx - eye_dx, eye_y, eye_r, eye_r * 0.8f, 0.f);
+    eyes.draw_ellipse(cx + eye_dx, eye_y, eye_r, eye_r * 0.8f, 0.f);
+    // Mouth.
+    const float mouth_y = cy + ry * rng.uniform(0.4f, 0.55f);
+    mouth.draw_segment(cx - rx * 0.45f, mouth_y, cx + rx * 0.45f,
+                       mouth_y + rng.uniform(-1.5f, 1.5f),
+                       fs * rng.uniform(0.02f, 0.04f));
+
+    const Rgb hc = kHair[hair_c];
+    const Rgb sc = kSkin[skin_c];
+    const Rgb bg = {0.25f + 0.5f * rng.uniform(), 0.3f + 0.4f * rng.uniform(),
+                    0.45f + 0.4f * rng.uniform()};
+    const float noise = rng.uniform(0.015f, 0.04f);
+    float* dst = images.data() + i * meta.dim();
+    for (std::size_t p = 0; p < hw; ++p) {
+      const float y_grad =
+          0.85f + 0.3f * (static_cast<float>(p / side) / fs - 0.5f);
+      float r = bg.r * y_grad, g = bg.g * y_grad, b = bg.b * y_grad;
+      const float f = face.pixels()[p];
+      r = r * (1 - f) + sc.r * f;
+      g = g * (1 - f) + sc.g * f;
+      b = b * (1 - f) + sc.b * f;
+      const float ha = hair.pixels()[p];
+      r = r * (1 - ha) + hc.r * ha;
+      g = g * (1 - ha) + hc.g * ha;
+      b = b * (1 - ha) + hc.b * ha;
+      const float e = eyes.pixels()[p];
+      r *= (1 - 0.85f * e);
+      g *= (1 - 0.85f * e);
+      b *= (1 - 0.85f * e);
+      const float m = mouth.pixels()[p];
+      r = r * (1 - m) + 0.7f * m;
+      g *= (1 - 0.6f * m);
+      b *= (1 - 0.6f * m);
+      dst[0 * hw + p] =
+          2.f * std::clamp(r + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+      dst[1 * hw + p] =
+          2.f * std::clamp(g + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+      dst[2 * hw + p] =
+          2.f * std::clamp(b + rng.normal(0.f, noise), 0.f, 1.f) - 1.f;
+    }
+  }
+  return InMemoryDataset(std::move(meta), std::move(images),
+                         std::move(labels));
+}
+
+InMemoryDataset make_dataset_by_name(const std::string& name, std::size_t n,
+                                     std::uint64_t seed) {
+  if (name == "digits") return make_synthetic_digits(n, seed);
+  if (name == "cifar") return make_synthetic_cifar(n, seed);
+  if (name == "faces") return make_synthetic_faces(n, seed);
+  throw std::invalid_argument("make_dataset_by_name: unknown dataset '" +
+                              name + "'");
+}
+
+}  // namespace mdgan::data

@@ -1,0 +1,33 @@
+// Synthetic dataset generators — the stand-ins for MNIST, CIFAR10 and
+// CelebA (see DESIGN.md §2 for the substitution rationale). Each builder
+// is a pure function of (n, seed): regenerating with the same arguments
+// yields bit-identical datasets, which the determinism tests assert.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace mdgan::data {
+
+// MNIST substitute: 28x28x1, 10 classes of seven-segment-style digit
+// glyphs with random affine jitter, stroke-width variation and pixel
+// noise. Values in [-1, 1].
+InMemoryDataset make_synthetic_digits(std::size_t n, std::uint64_t seed);
+
+// CIFAR10 substitute: 32x32x3, 10 class-conditional colored patterns
+// (stripes / checker / rings / blobs / plaid / ...), hue and phase
+// jittered per sample, plus pixel noise. Harder than the digits set by
+// construction (3 channels, textured classes).
+InMemoryDataset make_synthetic_cifar(std::size_t n, std::uint64_t seed);
+
+// CelebA substitute: face-like compositions (background, face oval, eyes,
+// mouth, hair band) with 10 pseudo-classes = 5 hair colors x 2 skin
+// tones, so the same IS/FID machinery applies. Default 32x32x3; `side`
+// can be raised toward the paper's 128 where compute allows.
+InMemoryDataset make_synthetic_faces(std::size_t n, std::uint64_t seed,
+                                     std::size_t side = 32);
+
+// Lookup by name ("digits" | "cifar" | "faces") for CLI-driven benches.
+InMemoryDataset make_dataset_by_name(const std::string& name, std::size_t n,
+                                     std::uint64_t seed);
+
+}  // namespace mdgan::data

@@ -1,0 +1,224 @@
+#include "gan/arch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "nn/minibatch_discrimination.hpp"
+#include "nn/reshape.hpp"
+
+namespace mdgan::gan {
+
+ArchKind arch_from_name(const std::string& name) {
+  if (name == "mlp-mnist") return ArchKind::kMlpMnist;
+  if (name == "cnn-mnist") return ArchKind::kCnnMnist;
+  if (name == "cnn-cifar") return ArchKind::kCnnCifar;
+  if (name == "cnn-celeba") return ArchKind::kCnnCeleba;
+  throw std::invalid_argument("arch_from_name: unknown arch '" + name + "'");
+}
+
+const char* arch_name(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kMlpMnist:
+      return "mlp-mnist";
+    case ArchKind::kCnnMnist:
+      return "cnn-mnist";
+    case ArchKind::kCnnCifar:
+      return "cnn-cifar";
+    case ArchKind::kCnnCeleba:
+      return "cnn-celeba";
+  }
+  return "?";
+}
+
+GanArch make_arch(ArchKind kind) {
+  GanArch a;
+  a.kind = kind;
+  switch (kind) {
+    case ArchKind::kMlpMnist:
+    case ArchKind::kCnnMnist:
+      a.image = {1, 28, 28, 10, "mnist-like"};
+      a.acgan = true;
+      break;
+    case ArchKind::kCnnCifar:
+      a.image = {3, 32, 32, 10, "cifar-like"};
+      a.acgan = true;
+      break;
+    case ArchKind::kCnnCeleba:
+      a.image = {3, 32, 32, 10, "celeba-like"};
+      a.acgan = false;  // plain GAN: D ends in a single neuron (§V-B4)
+      break;
+  }
+  return a;
+}
+
+nn::Sequential build_generator(const GanArch& arch, Rng& rng) {
+  nn::Sequential g;
+  const std::size_t d = arch.image_dim();
+  switch (arch.kind) {
+    case ArchKind::kMlpMnist:
+      // Paper: three dense layers of 512, 512, 784 -> 716,560 params.
+      g.emplace<nn::Dense>(arch.latent_dim, 512);
+      g.emplace<nn::LeakyReLU>(0.2f);
+      g.emplace<nn::Dense>(512, 512);
+      g.emplace<nn::LeakyReLU>(0.2f);
+      g.emplace<nn::Dense>(512, d);
+      g.emplace<nn::Tanh>();
+      break;
+    case ArchKind::kCnnMnist:
+      // Paper: dense 6272 (=32*14*14) + two transposed convs (32, 1).
+      g.emplace<nn::Dense>(arch.latent_dim, 32 * 14 * 14);
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::Reshape>(Shape{32, 14, 14});
+      g.emplace<nn::BatchNorm>(32);
+      g.emplace<nn::ConvTranspose2D>(32, 32, 4, 4, /*stride=*/2,
+                                     /*pad=*/1);  // 14 -> 28
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::BatchNorm>(32);
+      g.emplace<nn::ConvTranspose2D>(32, 1, 3, 3, /*stride=*/1,
+                                     /*pad=*/1);  // 28 -> 28
+      g.emplace<nn::Tanh>();
+      g.emplace<nn::Flatten>();
+      break;
+    case ArchKind::kCnnCifar:
+      // Paper: dense + three transposed convs; channels scaled for CPU.
+      g.emplace<nn::Dense>(arch.latent_dim, 64 * 8 * 8);
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::Reshape>(Shape{64, 8, 8});
+      g.emplace<nn::BatchNorm>(64);
+      g.emplace<nn::ConvTranspose2D>(64, 32, 4, 4, 2, 1);  // 8 -> 16
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::BatchNorm>(32);
+      g.emplace<nn::ConvTranspose2D>(32, 16, 4, 4, 2, 1);  // 16 -> 32
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::ConvTranspose2D>(16, 3, 3, 3, 1, 1);   // 32 -> 32
+      g.emplace<nn::Tanh>();
+      g.emplace<nn::Flatten>();
+      break;
+    case ArchKind::kCnnCeleba:
+      // Paper §V-B4: one dense layer + two transposed convs.
+      g.emplace<nn::Dense>(arch.latent_dim, 64 * 8 * 8);
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::Reshape>(Shape{64, 8, 8});
+      g.emplace<nn::BatchNorm>(64);
+      g.emplace<nn::ConvTranspose2D>(64, 32, 4, 4, 2, 1);  // 8 -> 16
+      g.emplace<nn::ReLU>();
+      g.emplace<nn::BatchNorm>(32);
+      g.emplace<nn::ConvTranspose2D>(32, 3, 4, 4, 2, 1);   // 16 -> 32
+      g.emplace<nn::Tanh>();
+      g.emplace<nn::Flatten>();
+      break;
+  }
+  nn::dcgan_init(g, rng);
+  return g;
+}
+
+nn::Sequential build_discriminator(const GanArch& arch, Rng& rng) {
+  nn::Sequential dnet;
+  const std::size_t d = arch.image_dim();
+  const std::size_t out = arch.disc_out();
+  switch (arch.kind) {
+    case ArchKind::kMlpMnist:
+      // Paper: dense 512, 512, 11 -> 670,219 params.
+      dnet.emplace<nn::Dense>(d, 512);
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Dense>(512, 512);
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Dense>(512, out);
+      break;
+    case ArchKind::kCnnMnist: {
+      // Paper: conv stack + minibatch discrimination + dense 11.
+      dnet.emplace<nn::Reshape>(Shape{1, 28, 28});
+      dnet.emplace<nn::Conv2D>(1, 16, 3, 3, 2, 1);  // 28 -> 14
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(16, 32, 3, 3, 2, 1);  // 14 -> 7
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(32, 64, 3, 3, 2, 1);  // 7 -> 4
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Flatten>();  // 1024
+      auto* mb = dnet.emplace<nn::MinibatchDiscrimination>(1024, 8, 8);
+      dnet.emplace<nn::Dense>(mb->out_features(), out);
+      break;
+    }
+    case ArchKind::kCnnCifar: {
+      dnet.emplace<nn::Reshape>(Shape{3, 32, 32});
+      dnet.emplace<nn::Conv2D>(3, 16, 3, 3, 2, 1);  // 32 -> 16
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(16, 32, 3, 3, 2, 1);  // 16 -> 8
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(32, 64, 3, 3, 2, 1);  // 8 -> 4
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Flatten>();  // 1024
+      auto* mb = dnet.emplace<nn::MinibatchDiscrimination>(1024, 8, 8);
+      dnet.emplace<nn::Dense>(mb->out_features(), out);
+      break;
+    }
+    case ArchKind::kCnnCeleba:
+      // Paper §V-B4: conv stack + one dense neuron, no minibatch disc.
+      dnet.emplace<nn::Reshape>(Shape{3, 32, 32});
+      dnet.emplace<nn::Conv2D>(3, 16, 3, 3, 2, 1);  // 32 -> 16
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(16, 32, 3, 3, 2, 1);  // 16 -> 8
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Conv2D>(32, 64, 3, 3, 2, 1);  // 8 -> 4
+      dnet.emplace<nn::LeakyReLU>(0.2f);
+      dnet.emplace<nn::Flatten>();
+      dnet.emplace<nn::Dense>(1024, out);
+      break;
+  }
+  nn::dcgan_init(dnet, rng);
+  return dnet;
+}
+
+ClassCodes::ClassCodes(std::size_t num_classes, std::size_t latent_dim,
+                       float scale)
+    : codes_({num_classes, latent_dim}), scale_(scale) {
+  // Constant seed: class conditioning is part of the task definition,
+  // not of any competitor's parameters.
+  Rng rng(0xc0de5eed);
+  rng.fill_normal(codes_.data(), codes_.numel(), 0.f, 1.f);
+  // Normalize rows to unit norm so every class shifts the latent by the
+  // same magnitude.
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    float norm = 0.f;
+    float* row = codes_.data() + c * latent_dim;
+    for (std::size_t i = 0; i < latent_dim; ++i) norm += row[i] * row[i];
+    norm = std::sqrt(norm);
+    for (std::size_t i = 0; i < latent_dim; ++i) row[i] /= norm;
+  }
+}
+
+void ClassCodes::apply(Tensor& z, const std::vector<int>& labels) const {
+  if (z.rank() != 2 || z.dim(0) != labels.size() ||
+      z.dim(1) != codes_.dim(1)) {
+    throw std::invalid_argument("ClassCodes::apply: shape mismatch");
+  }
+  const std::size_t latent = z.dim(1);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int c = labels[i];
+    if (c < 0 || static_cast<std::size_t>(c) >= codes_.dim(0)) {
+      throw std::invalid_argument("ClassCodes::apply: label out of range");
+    }
+    const float* code = codes_.data() + static_cast<std::size_t>(c) * latent;
+    float* row = z.data() + i * latent;
+    for (std::size_t j = 0; j < latent; ++j) row[j] += scale_ * code[j];
+  }
+}
+
+Tensor sample_latent(const GanArch& arch, const ClassCodes& codes,
+                     std::size_t batch, Rng& rng, std::vector<int>& labels) {
+  Tensor z = Tensor::randn({batch, arch.latent_dim}, rng);
+  labels.resize(batch);
+  for (auto& y : labels) {
+    y = static_cast<int>(rng.index(arch.image.num_classes));
+  }
+  if (arch.acgan) codes.apply(z, labels);
+  return z;
+}
+
+}  // namespace mdgan::gan

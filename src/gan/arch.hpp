@@ -1,0 +1,85 @@
+// GAN architecture builders matching the paper's §V-b description.
+//
+// Conventions that make the distributed algorithms uniform:
+//  * Generators map (B, latent) -> flat images (B, d) in [-1,1] (CNN
+//    generators end with a Flatten); d = c*h*w is the paper's object
+//    size, and a flat (B, d) tensor is exactly what goes on the wire as
+//    a generated batch or as an error feedback F_n.
+//  * Discriminators map flat images (B, d) -> logits (B, 1+K) for ACGAN
+//    (column 0 = real/fake source logit, columns 1..K = class logits) or
+//    (B, 1) for the plain-GAN CelebA variant (CNN discriminators start
+//    with a Reshape to NCHW).
+//
+// Parameter-count fidelity: the MLP pair reproduces the paper's counts
+// exactly (G = 716,560, D = 670,219 — asserted in tests). The CNN pairs
+// keep the paper's layer structure (one dense + transposed convs for G;
+// conv stack + minibatch discrimination + dense-11 for D) with channel
+// widths scaled to stay tractable on CPU; exact counts are documented in
+// DESIGN.md / EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace mdgan::gan {
+
+enum class ArchKind {
+  kMlpMnist,   // paper §V-b arch 1 (MLP G and D, 28x28x1)
+  kCnnMnist,   // paper §V-b arch 2 (CNN G and D, 28x28x1)
+  kCnnCifar,   // paper §V-b arch 3 (CNN G and D, 32x32x3)
+  kCnnCeleba,  // paper §V-B4 variant (plain GAN, default 32x32x3)
+};
+
+ArchKind arch_from_name(const std::string& name);
+const char* arch_name(ArchKind kind);
+
+struct GanArch {
+  ArchKind kind = ArchKind::kMlpMnist;
+  data::DatasetMeta image;      // target image geometry
+  std::size_t latent_dim = 100;  // paper's ` (noise dimension)
+  bool acgan = true;             // aux classifier head (false for CelebA)
+
+  std::size_t image_dim() const { return image.dim(); }
+  // Discriminator output width: 1 + num_classes or 1.
+  std::size_t disc_out() const {
+    return acgan ? 1 + image.num_classes : 1;
+  }
+};
+
+// Canonical arch descriptor for each kind (28x28x1 / 32x32x3 / ...).
+GanArch make_arch(ArchKind kind);
+
+// Builds and DCGAN-initializes the generator / discriminator.
+nn::Sequential build_generator(const GanArch& arch, Rng& rng);
+nn::Sequential build_discriminator(const GanArch& arch, Rng& rng);
+
+// Fixed (non-trainable) class conditioning: adds a per-class code vector
+// to the latent noise, z' = z + scale * code[label]. Keeping the codes
+// out of the parameter vector preserves the paper's exact MLP parameter
+// counts while still giving the ACGAN pair class information; the codes
+// are derived from a constant seed so every competitor (standalone,
+// FL-GAN, MD-GAN) conditions identically.
+class ClassCodes {
+ public:
+  ClassCodes(std::size_t num_classes, std::size_t latent_dim,
+             float scale = 1.5f);
+
+  // z is (B, latent); labels.size() == B.
+  void apply(Tensor& z, const std::vector<int>& labels) const;
+  const Tensor& codes() const { return codes_; }
+
+ private:
+  Tensor codes_;  // (num_classes, latent)
+  float scale_;
+};
+
+// Samples a latent batch: z ~ N(0,1)^latent plus class codes; labels are
+// drawn uniformly and returned through `labels`.
+Tensor sample_latent(const GanArch& arch, const ClassCodes& codes,
+                     std::size_t batch, Rng& rng, std::vector<int>& labels);
+
+}  // namespace mdgan::gan

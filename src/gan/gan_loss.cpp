@@ -1,0 +1,103 @@
+#include "gan/gan_loss.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace mdgan::gan {
+namespace {
+
+// Splits (B, 1+K) into source logits (B) and class logits (B, K).
+void split_outputs(const Tensor& d_out, Tensor& source, Tensor& classes) {
+  if (d_out.rank() != 2 || d_out.dim(1) < 1) {
+    throw std::invalid_argument("gan loss: disc output must be (B, >=1)");
+  }
+  const std::size_t b = d_out.dim(0), w = d_out.dim(1);
+  source = Tensor({b});
+  for (std::size_t i = 0; i < b; ++i) source[i] = d_out[i * w];
+  if (w > 1) {
+    classes = Tensor({b, w - 1});
+    for (std::size_t i = 0; i < b; ++i) {
+      for (std::size_t j = 1; j < w; ++j) {
+        classes[i * (w - 1) + (j - 1)] = d_out[i * w + j];
+      }
+    }
+  } else {
+    classes = Tensor();
+  }
+}
+
+// Recombines per-head gradients into the (B, 1+K) layout.
+Tensor merge_grads(const Shape& out_shape, const Tensor& g_source,
+                   const Tensor& g_classes) {
+  Tensor g(out_shape);
+  const std::size_t b = out_shape[0], w = out_shape[1];
+  for (std::size_t i = 0; i < b; ++i) {
+    g[i * w] = g_source[i];
+    for (std::size_t j = 1; j < w; ++j) {
+      g[i * w + j] = g_classes.empty()
+                         ? 0.f
+                         : g_classes[i * (w - 1) + (j - 1)];
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+SideLoss disc_side_loss(const Tensor& d_out, bool target_real,
+                        const std::vector<int>* labels) {
+  Tensor source, classes;
+  split_outputs(d_out, source, classes);
+  const std::size_t b = d_out.dim(0);
+
+  Tensor targets({b}, target_real ? 1.f : 0.f);
+  auto src = nn::bce_with_logits(source, targets);
+
+  SideLoss out;
+  out.source_loss = src.value;
+  Tensor g_classes;
+  if (labels != nullptr && !classes.empty()) {
+    auto aux = nn::softmax_cross_entropy(classes, *labels);
+    out.aux_loss = aux.value;
+    g_classes = std::move(aux.grad);
+  } else if (!classes.empty()) {
+    g_classes = Tensor(classes.shape());  // zero: head unused this side
+  }
+  out.grad = merge_grads(d_out.shape(), src.grad, g_classes);
+  return out;
+}
+
+SideLoss generator_loss(const Tensor& d_out_fake,
+                        const std::vector<int>* labels, bool saturating) {
+  Tensor source, classes;
+  split_outputs(d_out_fake, source, classes);
+  const std::size_t b = d_out_fake.dim(0);
+
+  nn::LossResult src;
+  if (saturating) {
+    // J_gen = mean log(1 - sigma(s)), the paper's exact objective.
+    src = nn::saturating_generator_loss(source);
+  } else {
+    // Non-saturating trick: -mean log sigma(s) == BCE against 1.
+    Tensor ones({b}, 1.f);
+    src = nn::bce_with_logits(source, ones);
+  }
+
+  SideLoss out;
+  out.source_loss = src.value;
+  Tensor g_classes;
+  if (labels != nullptr && !classes.empty()) {
+    // ACGAN generator also wants its fakes classified as the intended
+    // class.
+    auto aux = nn::softmax_cross_entropy(classes, *labels);
+    out.aux_loss = aux.value;
+    g_classes = std::move(aux.grad);
+  } else if (!classes.empty()) {
+    g_classes = Tensor(classes.shape());
+  }
+  out.grad = merge_grads(d_out_fake.shape(), src.grad, g_classes);
+  return out;
+}
+
+}  // namespace mdgan::gan

@@ -1,0 +1,39 @@
+// ACGAN loss assembly on top of nn/loss primitives.
+//
+// Discriminator outputs are (B, 1+K) for ACGAN (source logit + K class
+// logits) or (B, 1) for a plain GAN. The helpers below split those
+// columns, apply BCE / softmax-CE, and reassemble the gradient in the
+// discriminator-output layout so one backward() call finishes the job.
+//
+// Generator objective: the paper writes the original *saturating*
+// J_gen = mean log(1 - D(G(z))) (minimized); practical stacks (including
+// the Keras ACGAN the paper builds on) train the non-saturating variant
+// -mean log D(G(z)). Both are implemented; GanHyperParams::saturating
+// selects (default: non-saturating, matching the experimental stack).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mdgan::gan {
+
+struct SideLoss {
+  float source_loss = 0.f;  // BCE on the real/fake head
+  float aux_loss = 0.f;     // softmax-CE on the class head (ACGAN only)
+  Tensor grad;              // dLoss/d(disc output), same shape as input
+};
+
+// Loss for one side (real or fake batch) of the discriminator update.
+// `target_real` is 1 for the real batch, 0 for the generated batch.
+// If `labels` is non-null the ACGAN auxiliary term is added.
+SideLoss disc_side_loss(const Tensor& d_out, bool target_real,
+                        const std::vector<int>* labels);
+
+// Generator loss evaluated through the discriminator output on a fake
+// batch. The gradient returned is dJ/d(d_out); backward through D then
+// yields dJ/dx — the paper's error feedback F_n.
+SideLoss generator_loss(const Tensor& d_out_fake,
+                        const std::vector<int>* labels, bool saturating);
+
+}  // namespace mdgan::gan

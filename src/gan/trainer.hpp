@@ -1,0 +1,85 @@
+// Shared training primitives and the standalone baseline.
+//
+// The same two building blocks power all three competitors:
+//  * disc_learning_step — Algorithm 1 line 7 (and the local updates of
+//    FL-GAN and the standalone GAN),
+//  * generator_feedback — Algorithm 1 line 9: F_n = dJ_gen/dx computed
+//    through the discriminator *without* applying its parameter grads.
+// Keeping them in one place is what makes the N=1 equivalence property
+// (MD-GAN == standalone, bit-for-bit) testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "gan/arch.hpp"
+#include "gan/gan_loss.hpp"
+#include "nn/sequential.hpp"
+#include "opt/adam.hpp"
+
+namespace mdgan::gan {
+
+struct GanHyperParams {
+  std::size_t batch = 100;     // b
+  std::size_t disc_steps = 1;  // L: discriminator steps per iteration
+  opt::AdamConfig g_adam{2e-4f, 0.5f, 0.999f, 1e-8f};
+  opt::AdamConfig d_adam{2e-4f, 0.5f, 0.999f, 1e-8f};
+  bool saturating = false;  // generator objective variant (see gan_loss)
+};
+
+struct DiscStepStats {
+  float loss_real = 0.f;
+  float loss_fake = 0.f;
+  float aux_loss = 0.f;
+};
+
+// One discriminator learning step on (X_r, y_r) vs (X_f, y_f): both
+// sides forward+backward, then one optimizer step. Gradients are zeroed
+// at entry, so callers never leak gradient state across steps.
+DiscStepStats disc_learning_step(nn::Sequential& disc,
+                                 opt::Optimizer& d_opt, const Tensor& x_real,
+                                 const std::vector<int>& y_real,
+                                 const Tensor& x_fake,
+                                 const std::vector<int>& y_fake, bool acgan);
+
+// Computes F = dJ_gen/dx on a generated batch through `disc`. The
+// discriminator's own parameter gradients produced by this pass are
+// discarded (zeroed) — the worker only ships the input gradient. Returns
+// the (B, d) feedback tensor; `loss_out` (optional) receives J_gen.
+Tensor generator_feedback(nn::Sequential& disc, const Tensor& x_fake,
+                          const std::vector<int>* y_fake, bool saturating,
+                          float* loss_out = nullptr);
+
+// Called every eval_every iterations with the current server-side
+// generator. Hooks typically run the metrics::Evaluator.
+using EvalHook =
+    std::function<void(std::int64_t iter, nn::Sequential& generator)>;
+
+// Single-node baseline: the paper's "standalone GAN" with access to the
+// whole dataset B.
+class StandaloneGan {
+ public:
+  StandaloneGan(GanArch arch, GanHyperParams hp, std::uint64_t seed);
+
+  // Runs `iters` generator updates; fires `hook` every `eval_every`
+  // iterations (and once at the end) when non-null.
+  void train(const data::InMemoryDataset& dataset, std::int64_t iters,
+             std::int64_t eval_every = 0, const EvalHook& hook = nullptr);
+
+  nn::Sequential& generator() { return g_; }
+  nn::Sequential& discriminator() { return d_; }
+  const GanArch& arch() const { return arch_; }
+  const ClassCodes& codes() const { return codes_; }
+
+ private:
+  GanArch arch_;
+  GanHyperParams hp_;
+  ClassCodes codes_;
+  Rng rng_;
+  nn::Sequential g_, d_;
+  std::unique_ptr<opt::Adam> g_opt_, d_opt_;
+};
+
+}  // namespace mdgan::gan

@@ -1,0 +1,207 @@
+#include "linalg/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mdgan::linalg {
+
+DMatrix DMatrix::identity(std::size_t n) {
+  DMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DMatrix matmul(const DMatrix& a, const DMatrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("linalg::matmul: dim mismatch");
+  }
+  DMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+DMatrix transpose(const DMatrix& a) {
+  DMatrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+double trace(const DMatrix& a) {
+  const std::size_t n = std::min(a.rows(), a.cols());
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) t += a(i, i);
+  return t;
+}
+
+double asymmetry(const DMatrix& a) {
+  if (a.rows() != a.cols()) return std::numeric_limits<double>::infinity();
+  double mx = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      mx = std::max(mx, std::abs(a(i, j) - a(j, i)));
+    }
+  }
+  return mx;
+}
+
+void jacobi_eigen_symmetric(const DMatrix& a, std::vector<double>& eigenvalues,
+                            DMatrix& eigenvectors, double tol,
+                            int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("jacobi: square matrix required");
+  }
+  const std::size_t n = a.rows();
+  DMatrix m = a;  // working copy, driven to diagonal
+  eigenvectors = DMatrix::identity(n);
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p), aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply rotation J(p,q,theta): m = J^T m J.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = eigenvectors(i, p), viq = eigenvectors(i, q);
+          eigenvectors(i, p) = c * vip - s * viq;
+          eigenvectors(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  eigenvalues.resize(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = m(i, i);
+
+  // Sort ascending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return eigenvalues[x] < eigenvalues[y];
+  });
+  std::vector<double> sorted_vals(n);
+  DMatrix sorted_vecs(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_vals[j] = eigenvalues[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vecs(i, j) = eigenvectors(i, order[j]);
+    }
+  }
+  eigenvalues = std::move(sorted_vals);
+  eigenvectors = std::move(sorted_vecs);
+}
+
+DMatrix sqrt_psd(const DMatrix& a) {
+  std::vector<double> vals;
+  DMatrix vecs;
+  jacobi_eigen_symmetric(a, vals, vecs);
+  const std::size_t n = a.rows();
+  DMatrix s(n, n);
+  // s = V * diag(sqrt(max(vals, 0))) * V^T
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double lam = std::max(vals[k], 0.0);
+        acc += vecs(i, k) * std::sqrt(lam) * vecs(j, k);
+      }
+      s(i, j) = acc;
+    }
+  }
+  return s;
+}
+
+void mean_and_covariance(const float* samples, std::size_t n, std::size_t d,
+                         std::vector<double>& mean, DMatrix& cov) {
+  if (n == 0) throw std::invalid_argument("mean_and_covariance: n == 0");
+  mean.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) mean[j] += samples[i * d + j];
+  }
+  for (auto& v : mean) v /= static_cast<double>(n);
+
+  cov = DMatrix(d, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double xj = samples[i * d + j] - mean[j];
+      for (std::size_t k = j; k < d; ++k) {
+        const double xk = samples[i * d + k] - mean[k];
+        cov(j, k) += xj * xk;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t k = j; k < d; ++k) {
+      cov(j, k) /= static_cast<double>(n);
+      cov(k, j) = cov(j, k);
+    }
+  }
+}
+
+double frechet_distance(const std::vector<double>& m1, const DMatrix& c1,
+                        const std::vector<double>& m2, const DMatrix& c2) {
+  if (m1.size() != m2.size() || c1.rows() != m1.size() ||
+      c2.rows() != m2.size()) {
+    throw std::invalid_argument("frechet_distance: dim mismatch");
+  }
+  double mean_term = 0.0;
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    const double d = m1[i] - m2[i];
+    mean_term += d * d;
+  }
+  // Tr(sqrt(c1 c2)) = Tr(sqrt(S c2 S)) with S = sqrt(c1): the inner
+  // matrix is symmetric PSD, so one more Jacobi sqrt finishes the job.
+  const DMatrix s = sqrt_psd(c1);
+  const DMatrix inner = matmul(matmul(s, c2), s);
+  // Symmetrize against round-off before taking the root.
+  DMatrix sym(inner.rows(), inner.cols());
+  for (std::size_t i = 0; i < inner.rows(); ++i) {
+    for (std::size_t j = 0; j < inner.cols(); ++j) {
+      sym(i, j) = 0.5 * (inner(i, j) + inner(j, i));
+    }
+  }
+  const double tr_sqrt = trace(sqrt_psd(sym));
+  const double fid =
+      mean_term + trace(c1) + trace(c2) - 2.0 * tr_sqrt;
+  // Round-off can push an exact-zero distance slightly negative.
+  return std::max(fid, 0.0);
+}
+
+}  // namespace mdgan::linalg

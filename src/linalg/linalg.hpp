@@ -1,0 +1,69 @@
+// Small dense double-precision linear algebra for the FID metric.
+//
+// FID needs Tr(sqrt(C1*C2)) for covariance matrices C1, C2 of the scoring
+// network's penultimate features. We compute it stably as
+// Tr(sqrt(S C2 S)) with S = sqrt(C1), where both square roots are taken
+// through a cyclic Jacobi eigensolver — feature dimensions here are tens,
+// so Jacobi's O(d^3) per sweep is cheap and its accuracy is excellent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mdgan::linalg {
+
+// Row-major square/rectangular double matrix.
+class DMatrix {
+ public:
+  DMatrix() = default;
+  DMatrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  static DMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+DMatrix matmul(const DMatrix& a, const DMatrix& b);
+DMatrix transpose(const DMatrix& a);
+double trace(const DMatrix& a);
+// Max |a - a^T| entry; symmetry diagnostic.
+double asymmetry(const DMatrix& a);
+
+// Cyclic Jacobi eigendecomposition of a symmetric matrix:
+// a = V * diag(eigenvalues) * V^T. Eigenvalues ascending. Throws if `a`
+// is not square. Tolerance on off-diagonal Frobenius norm.
+void jacobi_eigen_symmetric(const DMatrix& a, std::vector<double>& eigenvalues,
+                            DMatrix& eigenvectors, double tol = 1e-12,
+                            int max_sweeps = 100);
+
+// Principal square root of a symmetric PSD matrix (small negative
+// eigenvalues from sampling noise are clamped to zero).
+DMatrix sqrt_psd(const DMatrix& a);
+
+// Sample statistics of rows: `samples` is (n x d) flattened row-major.
+// Returns mean (d) and the *population* covariance (d x d) — the FID
+// definition uses the empirical Gaussian fit, and population vs sample
+// normalization cancels in the comparisons we report.
+void mean_and_covariance(const float* samples, std::size_t n, std::size_t d,
+                         std::vector<double>& mean, DMatrix& cov);
+
+// Fréchet distance^2 between Gaussians (m1, c1) and (m2, c2):
+// |m1-m2|^2 + Tr(c1 + c2 - 2 sqrt(c1 c2)).
+double frechet_distance(const std::vector<double>& m1, const DMatrix& c1,
+                        const std::vector<double>& m2, const DMatrix& c2);
+
+}  // namespace mdgan::linalg

@@ -1,0 +1,51 @@
+// Periodic evaluation harness: owns the scoring classifier and the
+// reference (test-set) feature statistics, and scores any generator on
+// demand — the machinery behind every curve in Figures 3-6.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gan/arch.hpp"
+#include "metrics/classifier.hpp"
+#include "metrics/scores.hpp"
+
+namespace mdgan::metrics {
+
+struct EvalRecord {
+  std::int64_t iter = 0;
+  GanScores scores;
+};
+
+class Evaluator {
+ public:
+  // `train_set` trains the scoring classifier; `test_set` provides the
+  // real-side sample for FID (the paper computes FID against a test
+  // batch of the same size as the generated sample, §V-d).
+  Evaluator(const data::InMemoryDataset& train_set,
+            const data::InMemoryDataset& test_set, ClassifierConfig cfg,
+            std::size_t eval_samples, std::uint64_t seed);
+
+  // Generates eval_samples images from G (uniform class labels through
+  // `codes`) and scores them. Deterministic given the evaluator's state
+  // sequence: each call advances the internal RNG.
+  GanScores evaluate(nn::Sequential& generator, const gan::GanArch& arch,
+                     const gan::ClassCodes& codes);
+
+  ScoringClassifier& classifier() { return classifier_; }
+  float classifier_accuracy() const { return classifier_accuracy_; }
+  std::size_t eval_samples() const { return eval_samples_; }
+
+ private:
+  ScoringClassifier classifier_;
+  std::size_t eval_samples_;
+  Rng rng_;
+  Tensor real_features_;  // features of a fixed test sample
+  float classifier_accuracy_ = 0.f;
+};
+
+// Convenience: formats a score series as "iter,is,fid" CSV lines.
+std::string to_csv(const std::vector<EvalRecord>& series,
+                   const std::string& label);
+
+}  // namespace mdgan::metrics

@@ -1,0 +1,55 @@
+#include "metrics/scores.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/linalg.hpp"
+
+namespace mdgan::metrics {
+
+double inception_score(const Tensor& probabilities) {
+  if (probabilities.rank() != 2) {
+    throw std::invalid_argument("inception_score: (B, K) required");
+  }
+  const std::size_t b = probabilities.dim(0), k = probabilities.dim(1);
+  if (b == 0) throw std::invalid_argument("inception_score: empty batch");
+
+  // Marginal p(y).
+  std::vector<double> marginal(k, 0.0);
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      marginal[j] += probabilities[i * k + j];
+    }
+  }
+  for (auto& m : marginal) m /= static_cast<double>(b);
+
+  // E_x KL(p(y|x) || p(y)).
+  double kl_sum = 0.0;
+  for (std::size_t i = 0; i < b; ++i) {
+    double kl = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double p = probabilities[i * k + j];
+      if (p > 1e-12) {
+        kl += p * std::log(p / std::max(marginal[j], 1e-12));
+      }
+    }
+    kl_sum += kl;
+  }
+  return std::exp(kl_sum / static_cast<double>(b));
+}
+
+double frechet_distance(const Tensor& features_a, const Tensor& features_b) {
+  if (features_a.rank() != 2 || features_b.rank() != 2 ||
+      features_a.dim(1) != features_b.dim(1)) {
+    throw std::invalid_argument("frechet_distance: (n, f) pairs required");
+  }
+  std::vector<double> mu_a, mu_b;
+  linalg::DMatrix cov_a, cov_b;
+  linalg::mean_and_covariance(features_a.data(), features_a.dim(0),
+                              features_a.dim(1), mu_a, cov_a);
+  linalg::mean_and_covariance(features_b.data(), features_b.dim(0),
+                              features_b.dim(1), mu_b, cov_b);
+  return linalg::frechet_distance(mu_a, cov_a, mu_b, cov_b);
+}
+
+}  // namespace mdgan::metrics

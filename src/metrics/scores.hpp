@@ -1,0 +1,25 @@
+// GAN quality metrics (§V-c):
+//  * Inception-style score (the "MNIST score" MS when the classifier is
+//    the dataset-adapted one): IS = exp( E_x KL(p(y|x) || p(y)) ),
+//    higher is better, bounded by [1, num_classes].
+//  * Fréchet Inception Distance on classifier features: Gaussian fit to
+//    feature distributions of real vs generated samples, lower is
+//    better, 0 iff the fitted Gaussians coincide.
+#pragma once
+
+#include "metrics/classifier.hpp"
+
+namespace mdgan::metrics {
+
+// Inception score from class probabilities (B, K).
+double inception_score(const Tensor& probabilities);
+
+// FID between two feature batches (n1, f) and (n2, f).
+double frechet_distance(const Tensor& features_a, const Tensor& features_b);
+
+struct GanScores {
+  double inception_score = 0.0;  // MS / IS in the paper's figures
+  double fid = 0.0;
+};
+
+}  // namespace mdgan::metrics

@@ -1,0 +1,89 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mdgan::nn {
+namespace {
+void check_backward_shape(const Tensor& cached, const Tensor& grad,
+                          const char* who) {
+  if (cached.shape() != grad.shape()) {
+    throw std::invalid_argument(std::string(who) +
+                                "::backward: grad shape mismatch");
+  }
+}
+}  // namespace
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.f ? x[i] : 0.f;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  check_backward_shape(cached_input_, grad_out, "ReLU");
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] = cached_input_[i] > 0.f ? grad_out[i] : 0.f;
+  }
+  return g;
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = x[i] > 0.f ? x[i] : alpha_ * x[i];
+  }
+  return y;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_out) {
+  check_backward_shape(cached_input_, grad_out, "LeakyReLU");
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    g[i] = cached_input_[i] > 0.f ? grad_out[i] : alpha_ * grad_out[i];
+  }
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  check_backward_shape(cached_output_, grad_out, "Tanh");
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    const float t = cached_output_[i];
+    g[i] = grad_out[i] * (1.f - t * t);
+  }
+  return g;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool /*train*/) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    y[i] = 1.f / (1.f + std::exp(-x[i]));
+  }
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_out) {
+  check_backward_shape(cached_output_, grad_out, "Sigmoid");
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    const float s = cached_output_[i];
+    g[i] = grad_out[i] * s * (1.f - s);
+  }
+  return g;
+}
+
+}  // namespace mdgan::nn

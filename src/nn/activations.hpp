@@ -1,0 +1,52 @@
+// Elementwise activations. Each caches what its backward needs (input for
+// ReLU-family, output for tanh/sigmoid).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mdgan::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.2f) : alpha_(alpha) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "LeakyReLU"; }
+  float alpha() const { return alpha_; }
+
+ private:
+  float alpha_;
+  Tensor cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace mdgan::nn

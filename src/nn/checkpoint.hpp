@@ -1,0 +1,23 @@
+// Model checkpointing: save/restore a Sequential's parameters to a
+// binary file. The format carries a magic tag, a format version and the
+// parameter-tensor shape fingerprint, so loading into a mismatched
+// architecture fails loudly instead of silently scrambling weights —
+// the failure mode that matters when shipping swapped discriminators or
+// a trained generator between runs.
+#pragma once
+
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace mdgan::nn {
+
+// Writes all parameters of `model` to `path`. Throws on I/O error.
+void save_checkpoint(const std::string& path, Sequential& model);
+
+// Restores parameters saved by save_checkpoint into `model`. Throws if
+// the file is unreadable, corrupt, or was written by a model whose
+// parameter tensor shapes differ from `model`'s.
+void load_checkpoint(const std::string& path, Sequential& model);
+
+}  // namespace mdgan::nn

@@ -1,0 +1,85 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kh, std::size_t kw, std::size_t stride,
+               std::size_t pad)
+    : ic_(in_channels),
+      oc_(out_channels),
+      kh_(kh),
+      kw_(kw),
+      stride_(stride),
+      pad_(pad),
+      w_({out_channels, in_channels * kh * kw}),
+      b_({out_channels}),
+      dw_({out_channels, in_channels * kh * kw}),
+      db_({out_channels}) {}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4 || x.dim(1) != ic_) {
+    throw std::invalid_argument("Conv2D::forward: expected (B," +
+                                std::to_string(ic_) + ",H,W), got " +
+                                shape_to_string(x.shape()));
+  }
+  cached_input_shape_ = x.shape();
+  cached_cols_ = im2col(x, kh_, kw_, stride_, pad_, oh_, ow_);
+
+  const std::size_t batch = x.dim(0);
+  // (B*P, patch) x (patch, OC) via trans_b on (OC, patch) weights.
+  Tensor y_mat = matmul(cached_cols_, w_, /*trans_a=*/false,
+                        /*trans_b=*/true);  // (B*P, OC)
+  // Reorder (b, p, oc) -> (b, oc, p) into NCHW.
+  const std::size_t p = oh_ * ow_;
+  Tensor y({batch, oc_, oh_, ow_});
+  const float* src = y_mat.data();
+  float* dst = y.data();
+  const float* bias = b_.data();
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t pi = 0; pi < p; ++pi) {
+      const float* row = src + (bi * p + pi) * oc_;
+      for (std::size_t oc = 0; oc < oc_; ++oc) {
+        dst[(bi * oc_ + oc) * p + pi] = row[oc] + bias[oc];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_shape_.at(0);
+  const std::size_t p = oh_ * ow_;
+  if (grad_out.rank() != 4 || grad_out.dim(0) != batch ||
+      grad_out.dim(1) != oc_ || grad_out.dim(2) != oh_ ||
+      grad_out.dim(3) != ow_) {
+    throw std::invalid_argument("Conv2D::backward: bad grad shape " +
+                                shape_to_string(grad_out.shape()));
+  }
+  // Reorder grad NCHW -> (B*P, OC) to mirror the forward matmul layout.
+  Tensor g_mat({batch * p, oc_});
+  const float* src = grad_out.data();
+  float* dst = g_mat.data();
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t oc = 0; oc < oc_; ++oc) {
+      const float* plane = src + (bi * oc_ + oc) * p;
+      for (std::size_t pi = 0; pi < p; ++pi) {
+        dst[(bi * p + pi) * oc_ + oc] = plane[pi];
+      }
+    }
+  }
+
+  // dW (OC, patch) += G^T (OC, B*P) x cols (B*P, patch).
+  matmul_acc(dw_, g_mat, cached_cols_, /*trans_a=*/true);
+  db_ += sum_rows(g_mat);
+
+  // dcols = G (B*P, OC) x W (OC, patch).
+  Tensor dcols = matmul(g_mat, w_);
+  return col2im(dcols, batch, ic_, cached_input_shape_.at(2),
+                cached_input_shape_.at(3), kh_, kw_, stride_, pad_, oh_, ow_);
+}
+
+}  // namespace mdgan::nn

@@ -1,0 +1,34 @@
+// 2-D convolution over NCHW tensors, implemented as im2col + matmul.
+// Weights are stored as (out_channels, in_channels*kh*kw) so forward and
+// all three backward products are plain rank-2 matmuls.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mdgan::nn {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kh,
+         std::size_t kw, std::size_t stride = 1, std::size_t pad = 0);
+
+  // x must be (B, in_channels, H, W); returns (B, out_channels, oh, ow).
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
+  std::string name() const override { return "Conv2D"; }
+
+  Tensor& weight() { return w_; }
+  std::size_t out_channels() const { return oc_; }
+
+ private:
+  std::size_t ic_, oc_, kh_, kw_, stride_, pad_;
+  Tensor w_, b_, dw_, db_;
+  // Forward caches for backward.
+  Tensor cached_cols_;  // (B*oh*ow, ic*kh*kw)
+  Shape cached_input_shape_;
+  std::size_t oh_ = 0, ow_ = 0;
+};
+
+}  // namespace mdgan::nn

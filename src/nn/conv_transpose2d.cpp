@@ -1,0 +1,122 @@
+#include "nn/conv_transpose2d.hpp"
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+
+ConvTranspose2D::ConvTranspose2D(std::size_t in_channels,
+                                 std::size_t out_channels, std::size_t kh,
+                                 std::size_t kw, std::size_t stride,
+                                 std::size_t pad)
+    : ic_(in_channels),
+      oc_(out_channels),
+      kh_(kh),
+      kw_(kw),
+      stride_(stride),
+      pad_(pad),
+      w_({in_channels, out_channels * kh * kw}),
+      b_({out_channels}),
+      dw_({in_channels, out_channels * kh * kw}),
+      db_({out_channels}) {}
+
+Tensor ConvTranspose2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4 || x.dim(1) != ic_) {
+    throw std::invalid_argument("ConvTranspose2D::forward: expected (B," +
+                                std::to_string(ic_) + ",H,W), got " +
+                                shape_to_string(x.shape()));
+  }
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  if ((h - 1) * stride_ + kh_ < 2 * pad_ ||
+      (w - 1) * stride_ + kw_ < 2 * pad_) {
+    throw std::invalid_argument("ConvTranspose2D: padding too large");
+  }
+  out_h_ = (h - 1) * stride_ - 2 * pad_ + kh_;
+  out_w_ = (w - 1) * stride_ - 2 * pad_ + kw_;
+  cached_input_shape_ = x.shape();
+
+  // Reorder x NCHW -> (B*H*W, IC): one row per input pixel.
+  const std::size_t p = h * w;
+  cached_x_mat_ = Tensor({batch * p, ic_});
+  const float* src = x.data();
+  float* dst = cached_x_mat_.data();
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t c = 0; c < ic_; ++c) {
+      const float* plane = src + (bi * ic_ + c) * p;
+      for (std::size_t pi = 0; pi < p; ++pi) {
+        dst[(bi * p + pi) * ic_ + c] = plane[pi];
+      }
+    }
+  }
+
+  // Patches this layer scatters: (B*H*W, OC*kh*kw).
+  Tensor patches = matmul(cached_x_mat_, w_);
+  // col2im with the geometry of the *underlying* conv (output -> input):
+  // image is our output (Ho, Wo), "cols grid" is our input (h, w).
+  Tensor y = col2im(patches, batch, oc_, out_h_, out_w_, kh_, kw_, stride_,
+                    pad_, h, w);
+  // Per-channel bias.
+  float* py = y.data();
+  const float* pb = b_.data();
+  const std::size_t op = out_h_ * out_w_;
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t c = 0; c < oc_; ++c) {
+      float* plane = py + (bi * oc_ + c) * op;
+      for (std::size_t pi = 0; pi < op; ++pi) plane[pi] += pb[c];
+    }
+  }
+  return y;
+}
+
+Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
+  const std::size_t batch = cached_input_shape_.at(0);
+  const std::size_t h = cached_input_shape_.at(2);
+  const std::size_t w = cached_input_shape_.at(3);
+  if (grad_out.rank() != 4 || grad_out.dim(0) != batch ||
+      grad_out.dim(1) != oc_ || grad_out.dim(2) != out_h_ ||
+      grad_out.dim(3) != out_w_) {
+    throw std::invalid_argument("ConvTranspose2D::backward: bad grad shape " +
+                                shape_to_string(grad_out.shape()));
+  }
+  // Adjoint of col2im is im2col with the same geometry.
+  std::size_t gh = 0, gw = 0;
+  Tensor dpatches =
+      im2col(grad_out, kh_, kw_, stride_, pad_, gh, gw);  // (B*h*w, OC*k*k)
+  if (gh != h || gw != w) {
+    throw std::logic_error("ConvTranspose2D::backward: geometry mismatch");
+  }
+
+  // dW (IC, OC*k*k) += x_mat^T (IC, B*p) x dpatches (B*p, OC*k*k).
+  matmul_acc(dw_, cached_x_mat_, dpatches, /*trans_a=*/true);
+
+  // db: sum of grad_out over batch and spatial dims.
+  const std::size_t op = out_h_ * out_w_;
+  const float* pg = grad_out.data();
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t c = 0; c < oc_; ++c) {
+      const float* plane = pg + (bi * oc_ + c) * op;
+      double acc = 0.0;
+      for (std::size_t pi = 0; pi < op; ++pi) acc += plane[pi];
+      db_[c] += static_cast<float>(acc);
+    }
+  }
+
+  // dx_mat = dpatches x W^T -> (B*p, IC), then reorder to NCHW.
+  Tensor dx_mat = matmul(dpatches, w_, /*trans_a=*/false, /*trans_b=*/true);
+  const std::size_t p = h * w;
+  Tensor dx({batch, ic_, h, w});
+  float* pd = dx.data();
+  const float* ps = dx_mat.data();
+  for (std::size_t bi = 0; bi < batch; ++bi) {
+    for (std::size_t c = 0; c < ic_; ++c) {
+      float* plane = pd + (bi * ic_ + c) * p;
+      for (std::size_t pi = 0; pi < p; ++pi) {
+        plane[pi] = ps[(bi * p + pi) * ic_ + c];
+      }
+    }
+  }
+  return dx;
+}
+
+}  // namespace mdgan::nn

@@ -1,0 +1,40 @@
+#include "nn/dense.hpp"
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      w_({in_features, out_features}),
+      b_({out_features}),
+      dw_({in_features, out_features}),
+      db_({out_features}) {}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: expected (B," +
+                                std::to_string(in_) + "), got " +
+                                shape_to_string(x.shape()));
+  }
+  cached_input_ = x;
+  Tensor y = matmul(x, w_);
+  add_row_broadcast(y, b_);
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  if (grad_out.rank() != 2 || grad_out.dim(1) != out_ ||
+      grad_out.dim(0) != cached_input_.dim(0)) {
+    throw std::invalid_argument("Dense::backward: bad grad shape " +
+                                shape_to_string(grad_out.shape()));
+  }
+  matmul_acc(dw_, cached_input_, grad_out, /*trans_a=*/true);
+  db_ += sum_rows(grad_out);
+  return matmul(grad_out, w_, /*trans_a=*/false, /*trans_b=*/true);
+}
+
+}  // namespace mdgan::nn

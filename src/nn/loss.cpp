@@ -1,0 +1,109 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+
+float stable_sigmoid(float x) {
+  if (x >= 0.f) {
+    return 1.f / (1.f + std::exp(-x));
+  }
+  const float e = std::exp(x);
+  return e / (1.f + e);
+}
+
+namespace {
+// log(sigmoid(x)) computed without overflow: = -softplus(-x).
+float log_sigmoid(float x) {
+  if (x >= 0.f) return -std::log1p(std::exp(-x));
+  return x - std::log1p(std::exp(x));
+}
+}  // namespace
+
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets) {
+  if (logits.numel() != targets.numel()) {
+    throw std::invalid_argument("bce_with_logits: size mismatch");
+  }
+  const std::size_t b = logits.numel();
+  if (b == 0) throw std::invalid_argument("bce_with_logits: empty batch");
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double acc = 0.0;
+  const float inv_b = 1.f / static_cast<float>(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const float s = logits[i];
+    const float t = targets[i];
+    // -[t log σ(s) + (1-t) log(1-σ(s))]; log(1-σ(s)) = log_sigmoid(-s).
+    acc -= t * log_sigmoid(s) + (1.f - t) * log_sigmoid(-s);
+    r.grad[i] = (stable_sigmoid(s) - t) * inv_b;
+  }
+  r.value = static_cast<float>(acc / b);
+  return r;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t b = logits.dim(0), k = logits.dim(1);
+  if (b == 0) throw std::invalid_argument("softmax_cross_entropy: empty");
+  LossResult r;
+  r.grad = softmax_rows(logits);
+  double acc = 0.0;
+  const float inv_b = 1.f / static_cast<float>(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= k) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    const float p = r.grad[i * k + y];
+    acc -= std::log(std::max(p, 1e-12f));
+    r.grad[i * k + y] -= 1.f;
+  }
+  r.grad *= inv_b;
+  r.value = static_cast<float>(acc / b);
+  return r;
+}
+
+LossResult saturating_generator_loss(const Tensor& logits) {
+  const std::size_t b = logits.numel();
+  if (b == 0) {
+    throw std::invalid_argument("saturating_generator_loss: empty batch");
+  }
+  LossResult r;
+  r.grad = Tensor(logits.shape());
+  double acc = 0.0;
+  const float inv_b = 1.f / static_cast<float>(b);
+  for (std::size_t i = 0; i < b; ++i) {
+    const float s = logits[i];
+    // J = mean log(1-σ(s)) = mean log_sigmoid(-s);  dJ/ds = -σ(s).
+    acc += (s >= 0.f ? -s - std::log1p(std::exp(-s))
+                     : -std::log1p(std::exp(s)));
+    r.grad[i] = -stable_sigmoid(s) * inv_b;
+  }
+  r.value = static_cast<float>(acc / b);
+  return r;
+}
+
+float accuracy(const Tensor& logits, const std::vector<int>& labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("accuracy: shape mismatch");
+  }
+  const std::size_t b = logits.dim(0), k = logits.dim(1);
+  if (b == 0) return 0.f;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < k; ++j) {
+      if (logits[i * k + j] > logits[i * k + best]) best = j;
+    }
+    if (static_cast<int>(best) == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(b);
+}
+
+}  // namespace mdgan::nn

@@ -1,0 +1,42 @@
+// Scalar losses with analytic input gradients.
+//
+// Conventions: all losses are means over the batch, and the returned
+// gradient is dLoss/dLogits with the 1/B already applied — so a worker's
+// discriminator backward pass on these gradients directly produces the
+// paper's B̃-normalized feedback (§II, §IV-B2).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mdgan::nn {
+
+struct LossResult {
+  float value = 0.f;
+  Tensor grad;  // same shape as the logits input
+};
+
+// Binary cross-entropy on logits: targets in [0,1], logits any real.
+// loss = -mean(t*log σ(s) + (1-t)*log(1-σ(s)));  dloss/ds = (σ(s)-t)/B.
+// Shapes: logits and targets both (B) or (B,1).
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+// Softmax cross-entropy: logits (B,K), integer labels in [0,K).
+// dloss/dlogits = (softmax - onehot)/B.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+// log(1 - σ(s)) mean — the *saturating* generator objective the paper
+// writes (J_gen = mean log(1-D(G(z))), minimized). Returned gradient is
+// d/ds of that mean: σ(s)/B... with sign such that gradient *descent*
+// minimizes it.
+LossResult saturating_generator_loss(const Tensor& logits);
+
+// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+// Numerically safe sigmoid.
+float stable_sigmoid(float x);
+
+}  // namespace mdgan::nn

@@ -1,0 +1,29 @@
+#include "nn/reshape.hpp"
+
+#include <stdexcept>
+
+namespace mdgan::nn {
+
+Tensor Reshape::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() < 1) throw std::invalid_argument("Reshape: rank >= 1 needed");
+  cached_input_shape_ = x.shape();
+  Shape target{x.dim(0)};
+  target.insert(target.end(), inner_.begin(), inner_.end());
+  return x.reshaped(std::move(target));
+}
+
+Tensor Reshape::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() < 2) throw std::invalid_argument("Flatten: rank >= 2 needed");
+  cached_input_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+}  // namespace mdgan::nn

@@ -1,0 +1,35 @@
+// Parameter-free layers that adapt tensor shapes inside a Sequential:
+// Reshape keeps the batch dimension and reinterprets the rest (e.g.
+// Dense output (B, 6272) -> feature maps (B, 32, 14, 14) in the CNN
+// generator), Flatten is the inverse.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mdgan::nn {
+
+class Reshape : public Layer {
+ public:
+  // `inner` is the per-sample shape; batch dim is preserved.
+  explicit Reshape(Shape inner) : inner_(std::move(inner)) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Reshape"; }
+
+ private:
+  Shape inner_;
+  Shape cached_input_shape_;
+};
+
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+}  // namespace mdgan::nn

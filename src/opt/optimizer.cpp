@@ -1,0 +1,24 @@
+#include "opt/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace mdgan::opt {
+
+Optimizer::Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads)
+    : params_(std::move(params)), grads_(std::move(grads)) {
+  if (params_.size() != grads_.size()) {
+    throw std::invalid_argument("Optimizer: params/grads count mismatch");
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i]->shape() != grads_[i]->shape()) {
+      throw std::invalid_argument("Optimizer: tensor " + std::to_string(i) +
+                                  " param/grad shape mismatch");
+    }
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (Tensor* g : grads_) g->zero();
+}
+
+}  // namespace mdgan::opt

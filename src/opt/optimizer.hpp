@@ -1,0 +1,38 @@
+// Optimizer interface. An optimizer binds to a fixed list of (param,
+// grad) tensor pairs — exactly what Sequential::params()/grads() return —
+// and step() applies one update from the currently accumulated gradients.
+//
+// Per-parameter state (Adam moments) is keyed by position, so a swapped
+// discriminator keeps the optimizer state of its *new host* — matching
+// the paper's worker-local optimizer placement.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mdgan::opt {
+
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor*> params, std::vector<Tensor*> grads);
+  virtual ~Optimizer() = default;
+
+  // Applies one update in-place on all bound parameters.
+  virtual void step() = 0;
+  virtual std::string name() const = 0;
+  // Resets internal state (moments, step counter) without touching
+  // parameters.
+  virtual void reset() {}
+
+  void zero_grad();
+  std::size_t num_tensors() const { return params_.size(); }
+
+ protected:
+  std::vector<Tensor*> params_;
+  std::vector<Tensor*> grads_;
+};
+
+}  // namespace mdgan::opt

@@ -1,0 +1,35 @@
+#include "opt/sgd.hpp"
+
+namespace mdgan::opt {
+
+Sgd::Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+         float momentum)
+    : Optimizer(std::move(params), std::move(grads)),
+      lr_(lr),
+      momentum_(momentum) {
+  if (momentum_ != 0.f) {
+    velocity_.reserve(params_.size());
+    for (Tensor* p : params_) velocity_.emplace_back(p->shape());
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    const Tensor& g = *grads_[i];
+    if (momentum_ == 0.f) {
+      p.axpy(-lr_, g);
+    } else {
+      Tensor& v = velocity_[i];
+      v *= momentum_;
+      v.axpy(1.f, g);
+      p.axpy(-lr_, v);
+    }
+  }
+}
+
+void Sgd::reset() {
+  for (Tensor& v : velocity_) v.zero();
+}
+
+}  // namespace mdgan::opt

@@ -1,0 +1,22 @@
+// Plain SGD with optional classical momentum.
+#pragma once
+
+#include "opt/optimizer.hpp"
+
+namespace mdgan::opt {
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor*> params, std::vector<Tensor*> grads, float lr,
+      float momentum = 0.f);
+
+  void step() override;
+  void reset() override;
+  std::string name() const override { return "SGD"; }
+
+ private:
+  float lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace mdgan::opt

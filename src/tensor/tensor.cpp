@@ -1,0 +1,236 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mdgan {
+
+std::string shape_to_string(const Shape& s) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::size_t shape_numel(const Shape& s) {
+  std::size_t n = 1;
+  for (auto d : s) n *= d;
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " +
+                                shape_to_string(shape_));
+  }
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  rng.fill_normal(t.data(), t.numel(), mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  rng.fill_uniform(t.data(), t.numel(), lo, hi);
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+namespace {
+[[noreturn]] void bad_index(const char* what) {
+  throw std::out_of_range(std::string("Tensor index error: ") + what);
+}
+}  // namespace
+
+float& Tensor::at(std::size_t i) {
+  if (rank() != 1 || i >= shape_[0]) bad_index("at(i)");
+  return data_[i];
+}
+float Tensor::at(std::size_t i) const {
+  return const_cast<Tensor*>(this)->at(i);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) bad_index("at(i,j)");
+  return data_[i * shape_[1] + j];
+}
+float Tensor::at(std::size_t i, std::size_t j) const {
+  return const_cast<Tensor*>(this)->at(i, j);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  if (rank() != 3 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2]) {
+    bad_index("at(i,j,k)");
+  }
+  return data_[(i * shape_[1] + j) * shape_[2] + k];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k) const {
+  return const_cast<Tensor*>(this)->at(i, j, k);
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                  std::size_t l) {
+  if (rank() != 4 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2] ||
+      l >= shape_[3]) {
+    bad_index("at(i,j,k,l)");
+  }
+  return data_[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+float Tensor::at(std::size_t i, std::size_t j, std::size_t k,
+                 std::size_t l) const {
+  return const_cast<Tensor*>(this)->at(i, j, k, l);
+}
+
+Tensor& Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                shape_to_string(shape_) + " -> " +
+                                shape_to_string(new_shape));
+  }
+  shape_ = std::move(new_shape);
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+Tensor Tensor::row(std::size_t i) const {
+  if (rank() != 2 || i >= shape_[0]) bad_index("row(i)");
+  const std::size_t cols = shape_[1];
+  Tensor r({cols});
+  std::copy_n(data_.data() + i * cols, cols, r.data());
+  return r;
+}
+
+void Tensor::set_row(std::size_t i, const Tensor& r) {
+  if (rank() != 2 || i >= shape_[0] || r.numel() != shape_[1]) {
+    bad_index("set_row(i)");
+  }
+  std::copy_n(r.data(), shape_[1], data_.data() + i * shape_[1]);
+}
+
+void Tensor::check_same_shape(const Tensor& o, const char* op) const {
+  if (shape_ != o.shape_) {
+    throw std::invalid_argument(std::string("Tensor ") + op +
+                                ": shape mismatch " +
+                                shape_to_string(shape_) + " vs " +
+                                shape_to_string(o.shape_));
+  }
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  check_same_shape(o, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  check_same_shape(o, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& o) {
+  check_same_shape(o, "*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float alpha, const Tensor& o) {
+  check_same_shape(o, "axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * o.data_[i];
+  }
+  return *this;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+float Tensor::sum() const {
+  // Pairwise-ish accumulation in double for reproducible reductions.
+  double acc = 0.0;
+  for (auto v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  if (data_.empty()) throw std::logic_error("Tensor::min on empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  if (data_.empty()) throw std::logic_error("Tensor::max on empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::norm() const {
+  double acc = 0.0;
+  for (auto v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+std::size_t Tensor::argmax() const {
+  if (data_.empty()) throw std::logic_error("Tensor::argmax on empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+std::string Tensor::to_string(std::size_t max_elems) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_to_string(shape_) << " {";
+  const std::size_t n = std::min(max_elems, data_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[i];
+  }
+  if (n < data_.size()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+Tensor operator*(Tensor a, float s) { return a *= s; }
+Tensor operator*(float s, Tensor a) { return a *= s; }
+
+}  // namespace mdgan

@@ -1,0 +1,116 @@
+// Dense row-major float32 tensor with owning storage.
+//
+// This is the numeric substrate for the whole reproduction: the GAN
+// layers, the optimizers, the feedback messages (F_n is literally a
+// Tensor shipped over the simulated wire) and the metric pipelines all
+// operate on it. Shapes are dynamic (rank 1..4 in practice); storage is
+// always contiguous so serialization and parameter flattening are
+// memcpy-shaped.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mdgan {
+
+using Shape = std::vector<std::size_t>;
+
+std::string shape_to_string(const Shape& s);
+std::size_t shape_numel(const Shape& s);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape), 0.f); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.f); }
+  static Tensor full(Shape shape, float v) {
+    return Tensor(std::move(shape), v);
+  }
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+  // 1-D tensor from values.
+  static Tensor from(std::initializer_list<float> values);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Checked multi-dimensional accessors (row-major).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float at(std::size_t i, std::size_t j, std::size_t k) const;
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const;
+
+  // In-place reshape; numel must be preserved.
+  Tensor& reshape(Shape new_shape);
+  // Copying reshape.
+  Tensor reshaped(Shape new_shape) const;
+
+  // Row view helpers for rank-2 tensors: copies row i into/out of a
+  // contiguous rank-1 tensor.
+  Tensor row(std::size_t i) const;
+  void set_row(std::size_t i, const Tensor& r);
+
+  // Elementwise in-place arithmetic. Shapes must match exactly.
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(const Tensor& o);
+  Tensor& operator+=(float s);
+  Tensor& operator*=(float s);
+
+  // this += alpha * o  (the BLAS axpy shape; used everywhere in backprop
+  // and in the server's feedback averaging).
+  Tensor& axpy(float alpha, const Tensor& o);
+
+  void fill(float v);
+  void zero() { fill(0.f); }
+
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  // L2 norm of the flattened tensor.
+  float norm() const;
+  // Index of the maximum element (first on ties).
+  std::size_t argmax() const;
+
+  std::string to_string(std::size_t max_elems = 16) const;
+
+ private:
+  void check_same_shape(const Tensor& o, const char* op) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Out-of-place elementwise arithmetic.
+Tensor operator+(Tensor a, const Tensor& b);
+Tensor operator-(Tensor a, const Tensor& b);
+Tensor operator*(Tensor a, const Tensor& b);
+Tensor operator*(Tensor a, float s);
+Tensor operator*(float s, Tensor a);
+
+}  // namespace mdgan

@@ -1,0 +1,305 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+
+namespace mdgan {
+namespace {
+
+void matmul_dims(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                 std::size_t& m, std::size_t& k, std::size_t& n) {
+  if (a.rank() != 2 || b.rank() != 2) {
+    throw std::invalid_argument("matmul: tensors must be rank-2, got " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+  m = trans_a ? a.dim(1) : a.dim(0);
+  k = trans_a ? a.dim(0) : a.dim(1);
+  const std::size_t kb = trans_b ? b.dim(1) : b.dim(0);
+  n = trans_b ? b.dim(0) : b.dim(1);
+  if (k != kb) {
+    throw std::invalid_argument("matmul: inner dims mismatch " +
+                                shape_to_string(a.shape()) + " x " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+// Core kernel: writes into pre-sized C (must be zeroed or carry the
+// accumulate base). Row-parallel; each task owns disjoint C rows.
+void matmul_impl(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                 bool trans_b, std::size_t m, std::size_t k, std::size_t n) {
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const std::size_t lda = a.dim(1);
+  const std::size_t ldb = b.dim(1);
+
+  auto body = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      float* crow = pc + i * n;
+      if (!trans_a && !trans_b) {
+        // C[i,:] += sum_k A[i,k] * B[k,:]  (streaming over B rows).
+        const float* arow = pa + i * lda;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.f) continue;
+          const float* brow = pb + kk * ldb;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      } else if (trans_a && !trans_b) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aik = pa[kk * lda + i];
+          if (aik == 0.f) continue;
+          const float* brow = pb + kk * ldb;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+        }
+      } else if (!trans_a && trans_b) {
+        const float* arow = pa + i * lda;
+        for (std::size_t j = 0; j < n; ++j) {
+          const float* bcol = pb + j * ldb;  // row j of B == col j of op(B)
+          float acc = 0.f;
+          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * bcol[kk];
+          crow[j] += acc;
+        }
+      } else {  // trans_a && trans_b
+        for (std::size_t j = 0; j < n; ++j) {
+          const float* bcol = pb + j * ldb;
+          float acc = 0.f;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            acc += pa[kk * lda + i] * bcol[kk];
+          }
+          crow[j] += acc;
+        }
+      }
+    }
+  };
+  // Only parallelize work big enough to amortize task dispatch.
+  if (m * n * k >= (1u << 16)) {
+    parallel_for(m, body);
+  } else {
+    body(0, m);
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  std::size_t m, k, n;
+  matmul_dims(a, b, trans_a, trans_b, m, k, n);
+  Tensor c({m, n});
+  matmul_impl(c, a, b, trans_a, trans_b, m, k, n);
+  return c;
+}
+
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                bool trans_b) {
+  std::size_t m, k, n;
+  matmul_dims(a, b, trans_a, trans_b, m, k, n);
+  if (c.rank() != 2 || c.dim(0) != m || c.dim(1) != n) {
+    throw std::invalid_argument("matmul_acc: C has wrong shape " +
+                                shape_to_string(c.shape()));
+  }
+  matmul_impl(c, a, b, trans_a, trans_b, m, k, n);
+}
+
+void add_row_broadcast(Tensor& rows, const Tensor& bias) {
+  if (rows.rank() != 2 || bias.numel() != rows.dim(1)) {
+    throw std::invalid_argument("add_row_broadcast: shape mismatch");
+  }
+  const std::size_t b = rows.dim(0), n = rows.dim(1);
+  float* p = rows.data();
+  const float* pb = bias.data();
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] += pb[j];
+  }
+}
+
+Tensor sum_rows(const Tensor& m) {
+  if (m.rank() != 2) throw std::invalid_argument("sum_rows: rank-2 required");
+  const std::size_t b = m.dim(0), n = m.dim(1);
+  Tensor out({n});
+  const float* p = m.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < n; ++j) po[j] += p[i * n + j];
+  }
+  return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("softmax_rows: rank-2 required");
+  }
+  const std::size_t b = logits.dim(0), n = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* p = logits.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < b; ++i) {
+    const float* row = p + i * n;
+    float mx = row[0];
+    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.f;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float e = std::exp(row[j] - mx);
+      po[i * n + j] = e;
+      denom += e;
+    }
+    const float inv = 1.f / denom;
+    for (std::size_t j = 0; j < n; ++j) po[i * n + j] *= inv;
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& m) {
+  if (m.rank() != 2) throw std::invalid_argument("transpose: rank-2 required");
+  const std::size_t r = m.dim(0), c = m.dim(1);
+  Tensor out({c, r});
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) out[j * r + i] = m[i * c + j];
+  }
+  return out;
+}
+
+Tensor im2col(const Tensor& input, std::size_t kh, std::size_t kw,
+              std::size_t stride, std::size_t pad, std::size_t& out_h,
+              std::size_t& out_w) {
+  if (input.rank() != 4) throw std::invalid_argument("im2col: NCHW required");
+  const std::size_t batch = input.dim(0), ch = input.dim(1),
+                    h = input.dim(2), w = input.dim(3);
+  if (h + 2 * pad < kh || w + 2 * pad < kw) {
+    throw std::invalid_argument("im2col: kernel larger than padded input");
+  }
+  out_h = (h + 2 * pad - kh) / stride + 1;
+  out_w = (w + 2 * pad - kw) / stride + 1;
+  const std::size_t patch = ch * kh * kw;
+  Tensor cols({batch * out_h * out_w, patch});
+  const float* in = input.data();
+  float* pc = cols.data();
+
+  auto body = [&](std::size_t b_begin, std::size_t b_end) {
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          float* row =
+              pc + ((b * out_h + oy) * out_w + ox) * patch;
+          for (std::size_t c = 0; c < ch; ++c) {
+            for (std::size_t ky = 0; ky < kh; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              for (std::size_t kx = 0; kx < kw; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                float v = 0.f;
+                if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) &&
+                    ix >= 0 && ix < static_cast<std::ptrdiff_t>(w)) {
+                  v = in[((b * ch + c) * h + iy) * w + ix];
+                }
+                row[(c * kh + ky) * kw + kx] = v;
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  if (batch > 1) {
+    parallel_for(batch, body);
+  } else {
+    body(0, batch);
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::size_t batch, std::size_t channels,
+              std::size_t height, std::size_t width, std::size_t kh,
+              std::size_t kw, std::size_t stride, std::size_t pad,
+              std::size_t out_h, std::size_t out_w) {
+  const std::size_t patch = channels * kh * kw;
+  if (cols.rank() != 2 || cols.dim(0) != batch * out_h * out_w ||
+      cols.dim(1) != patch) {
+    throw std::invalid_argument("col2im: cols shape mismatch, got " +
+                                shape_to_string(cols.shape()));
+  }
+  Tensor img({batch, channels, height, width});
+  const float* pc = cols.data();
+  float* out = img.data();
+  // Batches are independent -> safe to parallelize across them (each
+  // output element belongs to exactly one batch index).
+  auto body = [&](std::size_t b_begin, std::size_t b_end) {
+    for (std::size_t b = b_begin; b < b_end; ++b) {
+      for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+          const float* row = pc + ((b * out_h + oy) * out_w + ox) * patch;
+          for (std::size_t c = 0; c < channels; ++c) {
+            for (std::size_t ky = 0; ky < kh; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                  static_cast<std::ptrdiff_t>(pad);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+                continue;
+              }
+              for (std::size_t kx = 0; kx < kw; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                    static_cast<std::ptrdiff_t>(pad);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width)) {
+                  continue;
+                }
+                out[((b * channels + c) * height + iy) * width + ix] +=
+                    row[(c * kh + ky) * kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+  if (batch > 1) {
+    parallel_for(batch, body);
+  } else {
+    body(0, batch);
+  }
+  return img;
+}
+
+Tensor map(const Tensor& t, float (*fn)(float)) {
+  Tensor out(t.shape());
+  const float* p = t.data();
+  float* po = out.data();
+  for (std::size_t i = 0; i < t.numel(); ++i) po[i] = fn(p[i]);
+  return out;
+}
+
+void clamp_(Tensor& t, float lo, float hi) {
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = std::clamp(t[i], lo, hi);
+  }
+}
+
+float mse(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) throw std::invalid_argument("mse: shape");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return a.numel() ? static_cast<float>(acc / a.numel()) : 0.f;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape");
+  }
+  float mx = 0.f;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+}  // namespace mdgan

@@ -1,0 +1,149 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace mdgan {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndReproducible) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  Rng c1_again = parent.split(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c1.next_u64() == c2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    EXPECT_GE(u, 0.f);
+    EXPECT_LT(u, 1.f);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(-2.5f, 7.f);
+    EXPECT_GE(u, -2.5f);
+    EXPECT_LT(u, 7.f);
+  }
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(5);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, IndexIsUniformish) {
+  Rng rng(6);
+  std::vector<int> counts(10, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.index(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.15);
+  }
+}
+
+TEST(Rng, IndexThrowsOnZero) {
+  Rng rng(6);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit in 1000 draws
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(9);
+  auto p = rng.permutation(100);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, DerangementHasNoFixedPoint) {
+  Rng rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto p = rng.derangement(8);
+    for (std::size_t i = 0; i < p.size(); ++i) EXPECT_NE(p[i], i);
+    std::vector<std::size_t> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Rng, DerangementOfTwoSwaps) {
+  Rng rng(11);
+  auto p = rng.derangement(2);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 0u);
+}
+
+TEST(Rng, DerangementRejectsTrivialSizes) {
+  Rng rng(12);
+  EXPECT_THROW(rng.derangement(1), std::invalid_argument);
+}
+
+TEST(Rng, FillNormalMatchesScalarDraws) {
+  Rng a(13), b(13);
+  float buf[16];
+  a.fill_normal(buf, 16, 1.f, 2.f);
+  for (float v : buf) {
+    EXPECT_FLOAT_EQ(v, b.normal(1.f, 2.f));
+  }
+}
+
+TEST(Rng, CoinRespectsProbability) {
+  Rng rng(14);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin(0.25f) ? 1 : 0;
+  EXPECT_NEAR(heads, 2500, 250);
+}
+
+}  // namespace
+}  // namespace mdgan

@@ -1,0 +1,79 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace mdgan {
+namespace {
+
+TEST(ByteBuffer, PodRoundTrip) {
+  ByteBuffer buf;
+  buf.write_pod<std::int32_t>(-7);
+  buf.write_pod<std::uint64_t>(1ull << 40);
+  buf.write_pod<double>(3.25);
+  EXPECT_EQ(buf.read_pod<std::int32_t>(), -7);
+  EXPECT_EQ(buf.read_pod<std::uint64_t>(), 1ull << 40);
+  EXPECT_DOUBLE_EQ(buf.read_pod<double>(), 3.25);
+  EXPECT_EQ(buf.remaining(), 0u);
+}
+
+TEST(ByteBuffer, FloatVectorRoundTrip) {
+  ByteBuffer buf;
+  std::vector<float> v{1.f, -2.5f, 3.75f};
+  buf.write_floats(v.data(), v.size());
+  auto out = buf.read_floats();
+  EXPECT_EQ(out, v);
+}
+
+TEST(ByteBuffer, StringRoundTrip) {
+  ByteBuffer buf;
+  buf.write_string("feedback");
+  buf.write_string("");
+  EXPECT_EQ(buf.read_string(), "feedback");
+  EXPECT_EQ(buf.read_string(), "");
+}
+
+TEST(ByteBuffer, SizeMatchesPayload) {
+  ByteBuffer buf;
+  std::vector<float> v(100, 1.f);
+  buf.write_floats(v.data(), v.size());
+  // 8-byte length header + 100 floats.
+  EXPECT_EQ(buf.size(), 8u + 100u * sizeof(float));
+}
+
+TEST(ByteBuffer, ReadPastEndThrows) {
+  ByteBuffer buf;
+  buf.write_pod<std::int32_t>(1);
+  buf.read_pod<std::int32_t>();
+  EXPECT_THROW(buf.read_pod<std::int32_t>(), std::out_of_range);
+}
+
+TEST(ByteBuffer, TruncatedFloatArrayThrows) {
+  ByteBuffer buf;
+  buf.write_pod<std::uint64_t>(1000);  // claims 1000 floats, has none
+  EXPECT_THROW(buf.read_floats(), std::out_of_range);
+}
+
+TEST(ByteBuffer, MixedFramingPreservesOrder) {
+  ByteBuffer buf;
+  buf.write_pod<std::uint32_t>(3);
+  std::vector<float> v{9.f};
+  buf.write_floats(v.data(), v.size());
+  buf.write_pod<std::int32_t>(-1);
+  EXPECT_EQ(buf.read_pod<std::uint32_t>(), 3u);
+  EXPECT_EQ(buf.read_floats(), v);
+  EXPECT_EQ(buf.read_pod<std::int32_t>(), -1);
+}
+
+TEST(ByteBuffer, ClearResets) {
+  ByteBuffer buf;
+  buf.write_pod<int>(5);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_THROW(buf.read_pod<int>(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mdgan

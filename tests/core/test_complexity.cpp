@@ -1,0 +1,131 @@
+#include "core/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mdgan::core {
+namespace {
+
+TEST(Complexity, PaperDimsMatchPublishedCounts) {
+  EXPECT_EQ(paper_mnist_mlp_dims().gen_params, 716560u);
+  EXPECT_EQ(paper_mnist_mlp_dims().disc_params, 670219u);
+  EXPECT_EQ(paper_mnist_cnn_dims().gen_params, 628058u);
+  EXPECT_EQ(paper_cifar_cnn_dims().disc_params, 100203u);
+  EXPECT_EQ(paper_cifar_cnn_dims().data_dim, 3072u);
+}
+
+TEST(Complexity, FlGanRoundsMatchTableIV) {
+  // Paper Table IV: Total # C<->W = 100 for b=10 and 1000 for b=100
+  // (I=50000, m=5000, E=1).
+  GanDims d = paper_cifar_cnn_dims();
+  d.batch = 10;
+  EXPECT_EQ(fl_gan_comm(d).num_cw_events, 100u);
+  d.batch = 100;
+  EXPECT_EQ(fl_gan_comm(d).num_cw_events, 1000u);
+}
+
+TEST(Complexity, MdGanEventCountsMatchTableIV) {
+  // MD-GAN: C<->W every iteration (50,000); W<->W swaps = Ib/(mE).
+  GanDims d = paper_cifar_cnn_dims();
+  d.batch = 10;
+  auto t = md_gan_comm(d);
+  EXPECT_EQ(t.num_cw_events, 50000u);
+  EXPECT_EQ(t.num_ww_events, 100u);
+  d.batch = 100;
+  EXPECT_EQ(md_gan_comm(d).num_ww_events, 1000u);
+}
+
+TEST(Complexity, MdGanCifarBytesMatchPaperScale) {
+  // Table IV, MD-GAN b=10: C->W at server ~2.30 MB (we compute
+  // 2*b*d*N*4 = 2.46 MB; the paper's 2.30 is the same quantity in MiB).
+  GanDims d = paper_cifar_cnn_dims();
+  d.batch = 10;
+  auto t = md_gan_comm(d);
+  EXPECT_EQ(t.c_to_w_at_server, 2ull * 10 * 3072 * 10 * 4);
+  EXPECT_NEAR(static_cast<double>(t.c_to_w_at_server) / (1 << 20), 2.34,
+              0.01);
+  EXPECT_EQ(t.c_to_w_at_worker, 2ull * 10 * 3072 * 4);
+  EXPECT_EQ(t.w_to_c_at_worker, 10ull * 3072 * 4);
+  // b=100 scales everything by 10.
+  GanDims d100 = d;
+  d100.batch = 100;
+  EXPECT_EQ(md_gan_comm(d100).c_to_w_at_server, 10 * t.c_to_w_at_server);
+}
+
+TEST(Complexity, FlGanBytesScaleWithModelNotBatch) {
+  GanDims d = paper_cifar_cnn_dims();
+  d.batch = 10;
+  auto t10 = fl_gan_comm(d);
+  d.batch = 100;
+  auto t100 = fl_gan_comm(d);
+  EXPECT_EQ(t10.c_to_w_at_worker, t100.c_to_w_at_worker);
+  EXPECT_EQ(t10.c_to_w_at_worker, (628110ull + 100203ull) * 4);
+}
+
+TEST(Complexity, WorkerComputeHalvesForMdGan) {
+  // The headline Table II claim: MD-GAN worker compute is |θ| vs
+  // |w|+|θ| for FL-GAN — about half when G and D are similar sizes.
+  GanDims d = paper_mnist_mlp_dims();
+  const auto fl = fl_gan_compute(d);
+  const auto md = md_gan_compute(d);
+  const double ratio = md.comp_worker / fl.comp_worker;
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.6);
+  EXPECT_LT(md.mem_worker, fl.mem_worker);
+}
+
+TEST(Complexity, ServerCostGrowsWithK) {
+  GanDims d = paper_mnist_mlp_dims();
+  d.k = 1;
+  const auto k1 = md_gan_compute(d);
+  d.k = 5;
+  const auto k5 = md_gan_compute(d);
+  EXPECT_GT(k5.comp_server, k1.comp_server);
+  EXPECT_GT(k5.mem_server, k1.mem_server);
+}
+
+TEST(Complexity, Fig2IngressShapes) {
+  // FL-GAN ingress is constant in b; MD-GAN ingress is linear in b.
+  GanDims d = paper_mnist_cnn_dims();
+  d.batch = 10;
+  const auto fl10 = fl_worker_ingress_bytes(d);
+  const auto md10 = md_worker_ingress_bytes(d);
+  d.batch = 100;
+  EXPECT_EQ(fl_worker_ingress_bytes(d), fl10);
+  EXPECT_EQ(md_worker_ingress_bytes(d), 10 * md10);
+}
+
+TEST(Complexity, CrossoverNearPaperValues) {
+  // Paper Fig. 2: MD-GAN overtakes FL-GAN around b≈550 (MNIST) and
+  // b≈400 (CIFAR10). With the paper's CNN parameter counts and float32
+  // accounting we land in the same few-hundred regime.
+  const double mnist = md_fl_worker_crossover_batch(paper_mnist_cnn_dims());
+  EXPECT_GT(mnist, 300.0);
+  EXPECT_LT(mnist, 800.0);
+  const double cifar = md_fl_worker_crossover_batch(paper_cifar_cnn_dims());
+  EXPECT_GT(cifar, 80.0);
+  EXPECT_LT(cifar, 500.0);
+  // At the crossover, the two ingress volumes match by construction.
+  GanDims d = paper_mnist_cnn_dims();
+  d.batch = static_cast<std::uint64_t>(mnist);
+  EXPECT_NEAR(static_cast<double>(md_worker_ingress_bytes(d)),
+              static_cast<double>(fl_worker_ingress_bytes(d)),
+              static_cast<double>(2 * d.data_dim * 4));
+}
+
+TEST(Complexity, ServerIngressScalesWithN) {
+  GanDims d = paper_cifar_cnn_dims();
+  d.n_workers = 10;
+  const auto n10 = md_server_ingress_bytes(d);
+  d.n_workers = 50;
+  EXPECT_EQ(md_server_ingress_bytes(d), 5 * n10);
+}
+
+TEST(Complexity, HumanBytesFormats) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.048 kB");
+  EXPECT_NE(human_bytes(2500000).find("MB"), std::string::npos);
+  EXPECT_NE(human_bytes(3000000000ull).find("GB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdgan::core

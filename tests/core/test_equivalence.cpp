@@ -1,0 +1,174 @@
+// The load-bearing property of MD-GAN (§IV-B2): updating the generator
+// from worker error feedbacks is mathematically the same as
+// backpropagating J_gen through D∘G directly. These tests pin that
+// equivalence bit-for-bit, for one worker and for several workers
+// sharing a batch.
+#include <gtest/gtest.h>
+
+#include "gan/arch.hpp"
+#include "gan/gan_loss.hpp"
+#include "gan/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::core {
+namespace {
+
+using gan::ArchKind;
+using gan::make_arch;
+
+TEST(FeedbackEquivalence, SingleWorkerGradEqualsDirectBackprop) {
+  Rng rng(101);
+  auto arch = make_arch(ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  auto d = gan::build_discriminator(arch, rng);
+  gan::ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+
+  std::vector<int> labels;
+  Tensor z = gan::sample_latent(arch, codes, 8, rng, labels);
+
+  // Path A — MD-GAN: worker computes F on the generated images, server
+  // re-forwards G and backpropagates F.
+  Tensor x = g.forward(z, true);
+  Tensor feedback =
+      gan::generator_feedback(d, x, &labels, /*saturating=*/false);
+  g.zero_grad();
+  g.forward(z, true);
+  g.backward(feedback);
+  const auto grads_mdgan = g.flatten_gradients();
+
+  // Path B — standalone: backprop J_gen through D∘G in one graph.
+  g.zero_grad();
+  Tensor x2 = g.forward(z, true);
+  Tensor d_out = d.forward(x2, true);
+  auto gl = gan::generator_loss(d_out, &labels, false);
+  Tensor dx = d.backward(gl.grad);
+  d.zero_grad();
+  g.backward(dx);
+  const auto grads_direct = g.flatten_gradients();
+
+  ASSERT_EQ(grads_mdgan.size(), grads_direct.size());
+  for (std::size_t i = 0; i < grads_mdgan.size(); ++i) {
+    ASSERT_FLOAT_EQ(grads_mdgan[i], grads_direct[i]) << "index " << i;
+  }
+}
+
+TEST(FeedbackEquivalence, HoldsForSaturatingObjective) {
+  Rng rng(102);
+  auto arch = make_arch(ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  auto d = gan::build_discriminator(arch, rng);
+  gan::ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+  std::vector<int> labels;
+  Tensor z = gan::sample_latent(arch, codes, 4, rng, labels);
+
+  Tensor x = g.forward(z, true);
+  Tensor feedback = gan::generator_feedback(d, x, &labels, true);
+  g.zero_grad();
+  g.forward(z, true);
+  g.backward(feedback);
+  const auto a = g.flatten_gradients();
+
+  g.zero_grad();
+  Tensor d_out = d.forward(g.forward(z, true), true);
+  auto gl = gan::generator_loss(d_out, &labels, true);
+  Tensor dx = d.backward(gl.grad);
+  d.zero_grad();
+  g.backward(dx);
+  const auto b = g.flatten_gradients();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_FLOAT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(FeedbackEquivalence, TwoWorkersSharingBatchAverageTheirFeedback) {
+  // k=1, N=2: both workers see the same X_g, the server averages their
+  // feedbacks. That must equal averaging the two direct gradients.
+  Rng rng(103);
+  auto arch = make_arch(ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  auto d1 = gan::build_discriminator(arch, rng);
+  auto d2 = gan::build_discriminator(arch, rng);  // distinct weights
+  gan::ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+  std::vector<int> labels;
+  Tensor z = gan::sample_latent(arch, codes, 6, rng, labels);
+
+  // MD-GAN path: sum feedbacks, scale by 1/N, one backward.
+  Tensor x = g.forward(z, true);
+  Tensor f1 = gan::generator_feedback(d1, x, &labels, false);
+  Tensor f2 = gan::generator_feedback(d2, x, &labels, false);
+  Tensor sum = f1 + f2;
+  sum *= 0.5f;
+  g.zero_grad();
+  g.forward(z, true);
+  g.backward(sum);
+  const auto grads_mdgan = g.flatten_gradients();
+
+  // Direct path: average of per-discriminator generator gradients.
+  auto direct = [&](nn::Sequential& d) {
+    g.zero_grad();
+    Tensor d_out = d.forward(g.forward(z, true), true);
+    auto gl = gan::generator_loss(d_out, &labels, false);
+    Tensor dx = d.backward(gl.grad);
+    d.zero_grad();
+    g.backward(dx);
+    return g.flatten_gradients();
+  };
+  const auto ga = direct(d1);
+  const auto gb = direct(d2);
+
+  for (std::size_t i = 0; i < grads_mdgan.size(); ++i) {
+    const float avg = 0.5f * (ga[i] + gb[i]);
+    ASSERT_NEAR(grads_mdgan[i], avg, 1e-6f) << "index " << i;
+  }
+}
+
+TEST(FeedbackEquivalence, FeedbackSizeIsBatchTimesDataDim) {
+  // The paper's key communication claim: |F_n| = b*d values, independent
+  // of |θ| and |w|.
+  Rng rng(104);
+  auto arch = make_arch(ArchKind::kCnnMnist);
+  auto d = gan::build_discriminator(arch, rng);
+  Tensor x = Tensor::randn({5, arch.image_dim()}, rng);
+  std::vector<int> labels{0, 1, 2, 3, 4};
+  Tensor f = gan::generator_feedback(d, x, &labels, false);
+  EXPECT_EQ(f.numel(), 5u * arch.image_dim());
+}
+
+TEST(FeedbackEquivalence, HoldsForCnnArchitecture) {
+  // Same equivalence through conv/convT/batchnorm/minibatch-disc layers.
+  Rng rng(105);
+  auto arch = make_arch(ArchKind::kCnnMnist);
+  auto g = gan::build_generator(arch, rng);
+  auto d = gan::build_discriminator(arch, rng);
+  gan::ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+  std::vector<int> labels;
+  Tensor z = gan::sample_latent(arch, codes, 4, rng, labels);
+
+  Tensor x = g.forward(z, true);
+  Tensor feedback = gan::generator_feedback(d, x, &labels, false);
+  g.zero_grad();
+  g.forward(z, true);
+  g.backward(feedback);
+  const auto a = g.flatten_gradients();
+
+  g.zero_grad();
+  Tensor d_out = d.forward(g.forward(z, true), true);
+  auto gl = gan::generator_loss(d_out, &labels, false);
+  Tensor dx = d.backward(gl.grad);
+  d.zero_grad();
+  g.backward(dx);
+  const auto b = g.flatten_gradients();
+
+  double max_err = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_err = std::max(max_err,
+                       static_cast<double>(std::abs(a[i] - b[i])));
+  }
+  // BatchNorm running-stat updates differ in count between the two
+  // paths but do not enter the gradients; tolerance covers float
+  // reassociation only.
+  EXPECT_LT(max_err, 1e-5);
+}
+
+}  // namespace
+}  // namespace mdgan::core

@@ -1,0 +1,141 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/synthetic.hpp"
+
+namespace mdgan::data {
+namespace {
+
+InMemoryDataset tiny_dataset(std::size_t n = 20) {
+  DatasetMeta meta{1, 2, 2, 4, "tiny"};
+  Tensor images({n, meta.dim()});
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(i % 4);
+    for (std::size_t j = 0; j < meta.dim(); ++j) {
+      images[i * meta.dim() + j] = static_cast<float>(i);
+    }
+  }
+  return InMemoryDataset(meta, std::move(images), std::move(labels));
+}
+
+TEST(Dataset, BasicAccessors) {
+  auto ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 20u);
+  EXPECT_EQ(ds.dim(), 4u);
+  EXPECT_EQ(ds.label(5), 1);
+  Tensor s = ds.sample(7);
+  EXPECT_EQ(s.shape(), Shape({4}));
+  EXPECT_FLOAT_EQ(s[0], 7.f);
+}
+
+TEST(Dataset, ConstructorValidatesShapes) {
+  DatasetMeta meta{1, 2, 2, 4, "bad"};
+  Tensor images({3, 4});
+  std::vector<int> labels(2);  // mismatch
+  EXPECT_THROW(InMemoryDataset(meta, images, labels),
+               std::invalid_argument);
+}
+
+TEST(Dataset, SampleBatchShapesAndLabels) {
+  auto ds = tiny_dataset();
+  Rng rng(1);
+  std::vector<int> labels;
+  Tensor batch = ds.sample_batch(rng, 8, &labels);
+  EXPECT_EQ(batch.shape(), Shape({8, 4}));
+  EXPECT_EQ(labels.size(), 8u);
+  // Every row is a copy of some dataset sample: row value == row index
+  // pattern.
+  for (std::size_t r = 0; r < 8; ++r) {
+    const float v = batch.at(r, 0);
+    EXPECT_EQ(ds.label(static_cast<std::size_t>(v)), labels[r]);
+  }
+}
+
+TEST(Dataset, GatherOutOfRangeThrows) {
+  auto ds = tiny_dataset();
+  EXPECT_THROW(ds.gather({0, 99}), std::out_of_range);
+}
+
+TEST(Dataset, SubsetCopiesRows) {
+  auto ds = tiny_dataset();
+  auto sub = ds.subset({1, 3, 5});
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_FLOAT_EQ(sub.sample(2)[0], 5.f);
+  EXPECT_EQ(sub.label(1), 3);
+}
+
+TEST(Dataset, ClassHistogram) {
+  auto ds = tiny_dataset(20);
+  auto h = ds.class_histogram();
+  ASSERT_EQ(h.size(), 4u);
+  for (auto c : h) EXPECT_EQ(c, 5u);
+}
+
+TEST(SplitIid, ShardsAreDisjointAndCoverAlmostAll) {
+  auto ds = tiny_dataset(20);
+  Rng rng(2);
+  auto shards = split_iid(ds, 3, rng);
+  ASSERT_EQ(shards.size(), 3u);
+  // 20/3 = 6 per shard, 2 dropped.
+  std::multiset<float> seen;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.size(), 6u);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      seen.insert(s.sample(i)[0]);
+    }
+  }
+  EXPECT_EQ(seen.size(), 18u);
+  // Disjoint: no sample id appears twice.
+  for (auto v : seen) EXPECT_EQ(seen.count(v), 1u);
+}
+
+TEST(SplitIid, IsDeterministicInSeed) {
+  auto ds = tiny_dataset(20);
+  Rng r1(3), r2(3);
+  auto a = split_iid(ds, 4, r1);
+  auto b = split_iid(ds, 4, r2);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(a[s].images().vec(), b[s].images().vec());
+  }
+}
+
+TEST(SplitIid, RejectsDegenerateRequests) {
+  auto ds = tiny_dataset(4);
+  Rng rng(4);
+  EXPECT_THROW(split_iid(ds, 0, rng), std::invalid_argument);
+  EXPECT_THROW(split_iid(ds, 5, rng), std::invalid_argument);
+}
+
+TEST(EpochSampler, VisitsEveryIndexOncePerEpoch) {
+  EpochSampler sampler(12, 4, Rng(5));
+  std::set<std::size_t> seen;
+  for (int batch = 0; batch < 3; ++batch) {
+    for (auto i : sampler.next()) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(sampler.batches_per_epoch(), 3u);
+}
+
+TEST(EpochSampler, ReshufflesBetweenEpochs) {
+  EpochSampler sampler(8, 8, Rng(6));
+  auto first = sampler.next();
+  auto second = sampler.next();
+  EXPECT_EQ(sampler.epoch(), 1u);
+  // Same index set, (almost surely) different order.
+  std::multiset<std::size_t> a(first.begin(), first.end());
+  std::multiset<std::size_t> b(second.begin(), second.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(EpochSampler, RejectsBatchLargerThanData) {
+  EXPECT_THROW(EpochSampler(4, 5, Rng(7)), std::invalid_argument);
+  EXPECT_THROW(EpochSampler(4, 0, Rng(7)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::data

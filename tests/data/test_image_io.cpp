@@ -1,0 +1,85 @@
+#include "data/image_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "data/synthetic.hpp"
+
+namespace mdgan::data {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(ImageIo, WritesPgmHeaderAndPixels) {
+  TempFile f("gray.pgm");
+  DatasetMeta meta{1, 2, 3, 10, "t"};
+  // Values -1 (black), 0 (mid), 1 (white).
+  Tensor img({6}, std::vector<float>{-1, 0, 1, -1, 0, 1});
+  write_image(f.path, img, meta);
+  const auto content = read_file(f.path);
+  EXPECT_EQ(content.rfind("P5\n3 2\n255\n", 0), 0u);
+  const auto* pix = reinterpret_cast<const unsigned char*>(
+      content.data() + content.size() - 6);
+  EXPECT_EQ(pix[0], 0);
+  EXPECT_EQ(pix[1], 127);
+  EXPECT_EQ(pix[2], 255);
+}
+
+TEST(ImageIo, WritesPpmForThreeChannels) {
+  TempFile f("color.ppm");
+  DatasetMeta meta{3, 2, 2, 10, "t"};
+  Tensor img({12}, 1.f);  // all white
+  write_image(f.path, img, meta);
+  const auto content = read_file(f.path);
+  EXPECT_EQ(content.rfind("P6\n2 2\n255\n", 0), 0u);
+  EXPECT_EQ(content.size(), 11u + 12u);
+}
+
+TEST(ImageIo, RejectsSizeMismatch) {
+  DatasetMeta meta{1, 4, 4, 10, "t"};
+  Tensor img({3});
+  EXPECT_THROW(write_image("/tmp/x.pgm", img, meta),
+               std::invalid_argument);
+}
+
+TEST(ImageIo, GridTilesBatch) {
+  TempFile f("grid.pgm");
+  DatasetMeta meta{1, 2, 2, 10, "t"};
+  Tensor batch({5, 4}, 0.f);
+  write_image_grid(f.path, batch, meta, 5, 2);
+  // 5 images, 2 per row -> 3 rows of 2x2 tiles: 4 wide, 6 tall.
+  const auto content = read_file(f.path);
+  EXPECT_EQ(content.rfind("P5\n4 6\n255\n", 0), 0u);
+}
+
+TEST(ImageIo, GridClampsCountToBatch) {
+  TempFile f("grid2.pgm");
+  DatasetMeta meta{1, 2, 2, 10, "t"};
+  Tensor batch({2, 4}, 0.f);
+  EXPECT_NO_THROW(write_image_grid(f.path, batch, meta, 100, 8));
+}
+
+TEST(ImageIo, RoundTripsSyntheticSample) {
+  TempFile f("digit.pgm");
+  auto ds = make_synthetic_digits(4, 1);
+  EXPECT_NO_THROW(write_image(f.path, ds.sample(0), ds.meta()));
+  EXPECT_GT(read_file(f.path).size(), 784u);
+}
+
+}  // namespace
+}  // namespace mdgan::data

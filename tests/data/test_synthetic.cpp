@@ -1,0 +1,124 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdgan::data {
+namespace {
+
+class SyntheticDatasetTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SyntheticDatasetTest, MetaAndRanges) {
+  auto ds = make_dataset_by_name(GetParam(), 50, 123);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.meta().num_classes, 10u);
+  EXPECT_GE(ds.images().min(), -1.f);
+  EXPECT_LE(ds.images().max(), 1.f);
+  // Not a constant image.
+  EXPECT_GT(ds.images().max() - ds.images().min(), 0.5f);
+}
+
+TEST_P(SyntheticDatasetTest, DeterministicInSeed) {
+  auto a = make_dataset_by_name(GetParam(), 30, 7);
+  auto b = make_dataset_by_name(GetParam(), 30, 7);
+  EXPECT_EQ(a.images().vec(), b.images().vec());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST_P(SyntheticDatasetTest, DifferentSeedsDiffer) {
+  auto a = make_dataset_by_name(GetParam(), 30, 7);
+  auto b = make_dataset_by_name(GetParam(), 30, 8);
+  EXPECT_NE(a.images().vec(), b.images().vec());
+}
+
+TEST_P(SyntheticDatasetTest, ClassesAreBalanced) {
+  auto ds = make_dataset_by_name(GetParam(), 100, 9);
+  auto h = ds.class_histogram();
+  for (auto c : h) EXPECT_EQ(c, 10u);
+}
+
+TEST_P(SyntheticDatasetTest, ClassesAreSeparable) {
+  // Nearest-centroid accuracy should beat chance by a wide margin —
+  // this is what makes IS/FID on the scoring classifier meaningful.
+  auto train = make_dataset_by_name(GetParam(), 200, 10);
+  auto test = make_dataset_by_name(GetParam(), 100, 11);
+  const std::size_t d = train.dim(), k = train.meta().num_classes;
+  std::vector<std::vector<double>> centroid(k, std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const int y = train.label(i);
+    counts[y]++;
+    for (std::size_t j = 0; j < d; ++j) {
+      centroid[y][j] += train.images()[i * d + j];
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    for (auto& v : centroid[c]) v /= static_cast<double>(counts[c]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double best = 1e300;
+    int best_c = -1;
+    for (std::size_t c = 0; c < k; ++c) {
+      double dist = 0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double diff = test.images()[i * d + j] - centroid[c][j];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<int>(c);
+      }
+    }
+    if (best_c == test.label(i)) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / test.size();
+  EXPECT_GT(acc, 0.5) << GetParam() << " accuracy " << acc;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, SyntheticDatasetTest,
+                         ::testing::Values("digits", "cifar", "faces"));
+
+TEST(Synthetic, DigitsShape) {
+  auto ds = make_synthetic_digits(10, 1);
+  EXPECT_EQ(ds.meta().channels, 1u);
+  EXPECT_EQ(ds.meta().height, 28u);
+  EXPECT_EQ(ds.meta().width, 28u);
+  EXPECT_EQ(ds.dim(), 784u);
+}
+
+TEST(Synthetic, CifarShape) {
+  auto ds = make_synthetic_cifar(10, 1);
+  EXPECT_EQ(ds.meta().channels, 3u);
+  EXPECT_EQ(ds.dim(), 3072u);
+}
+
+TEST(Synthetic, FacesConfigurableSide) {
+  auto ds = make_synthetic_faces(10, 1, 16);
+  EXPECT_EQ(ds.meta().height, 16u);
+  EXPECT_EQ(ds.dim(), 3u * 16u * 16u);
+}
+
+TEST(Synthetic, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset_by_name("imagenet", 10, 1),
+               std::invalid_argument);
+}
+
+TEST(Synthetic, SamplesWithinClassVary) {
+  // Jitter/noise must make samples of the same class distinct, or the
+  // GAN could memorize a single image per class.
+  auto ds = make_synthetic_digits(20, 3);
+  // Samples 0 and 10 are both class 0.
+  EXPECT_EQ(ds.label(0), ds.label(10));
+  float diff = 0.f;
+  for (std::size_t j = 0; j < ds.dim(); ++j) {
+    diff = std::max(diff,
+                    std::abs(ds.images()[j] - ds.images()[10 * ds.dim() + j]));
+  }
+  EXPECT_GT(diff, 0.1f);
+}
+
+}  // namespace
+}  // namespace mdgan::data

@@ -1,0 +1,136 @@
+#include "gan/arch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::gan {
+namespace {
+
+TEST(Arch, PaperMlpParameterCountsExact) {
+  // §V-b: "The total number of parameters is 716,560 for G and 670,219
+  // for D" — the MLP pair reproduces these exactly.
+  Rng rng(1);
+  GanArch arch = make_arch(ArchKind::kMlpMnist);
+  auto g = build_generator(arch, rng);
+  auto d = build_discriminator(arch, rng);
+  EXPECT_EQ(g.num_parameters(), 716560u);
+  EXPECT_EQ(d.num_parameters(), 670219u);
+}
+
+TEST(Arch, GeneratorOutputIsFlatTanhImage) {
+  Rng rng(2);
+  for (auto kind : {ArchKind::kMlpMnist, ArchKind::kCnnMnist,
+                    ArchKind::kCnnCifar, ArchKind::kCnnCeleba}) {
+    GanArch arch = make_arch(kind);
+    auto g = build_generator(arch, rng);
+    std::vector<int> labels;
+    ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+    Tensor z = sample_latent(arch, codes, 4, rng, labels);
+    Tensor x = g.forward(z, true);
+    EXPECT_EQ(x.shape(), Shape({4, arch.image_dim()})) << arch_name(kind);
+    EXPECT_GE(x.min(), -1.f) << arch_name(kind);
+    EXPECT_LE(x.max(), 1.f) << arch_name(kind);
+  }
+}
+
+TEST(Arch, DiscriminatorOutputWidth) {
+  Rng rng(3);
+  for (auto kind : {ArchKind::kMlpMnist, ArchKind::kCnnMnist,
+                    ArchKind::kCnnCifar, ArchKind::kCnnCeleba}) {
+    GanArch arch = make_arch(kind);
+    auto d = build_discriminator(arch, rng);
+    Tensor x = Tensor::randn({3, arch.image_dim()}, rng);
+    Tensor out = d.forward(x, true);
+    const std::size_t want = arch.acgan ? 11u : 1u;
+    EXPECT_EQ(out.shape(), Shape({3, want})) << arch_name(kind);
+  }
+}
+
+TEST(Arch, CelebaIsPlainGan) {
+  GanArch arch = make_arch(ArchKind::kCnnCeleba);
+  EXPECT_FALSE(arch.acgan);
+  EXPECT_EQ(arch.disc_out(), 1u);
+}
+
+TEST(Arch, NamesRoundTrip) {
+  for (auto kind : {ArchKind::kMlpMnist, ArchKind::kCnnMnist,
+                    ArchKind::kCnnCifar, ArchKind::kCnnCeleba}) {
+    EXPECT_EQ(arch_from_name(arch_name(kind)), kind);
+  }
+  EXPECT_THROW(arch_from_name("resnet"), std::invalid_argument);
+}
+
+TEST(Arch, BuildersAreDeterministicInRngState) {
+  Rng r1(5), r2(5);
+  GanArch arch = make_arch(ArchKind::kMlpMnist);
+  auto g1 = build_generator(arch, r1);
+  auto g2 = build_generator(arch, r2);
+  EXPECT_EQ(g1.flatten_parameters(), g2.flatten_parameters());
+}
+
+TEST(ClassCodes, FixedAcrossInstances) {
+  ClassCodes a(10, 100), b(10, 100);
+  EXPECT_EQ(a.codes().vec(), b.codes().vec());
+}
+
+TEST(ClassCodes, RowsAreUnitNorm) {
+  ClassCodes c(10, 64);
+  for (std::size_t k = 0; k < 10; ++k) {
+    float norm = 0.f;
+    for (std::size_t j = 0; j < 64; ++j) {
+      norm += c.codes().at(k, j) * c.codes().at(k, j);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.f, 1e-5f);
+  }
+}
+
+TEST(ClassCodes, ApplyShiftsPerLabel) {
+  ClassCodes c(3, 4, /*scale=*/2.f);
+  Tensor z({2, 4});
+  c.apply(z, {1, 2});
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(z.at(0, j), 2.f * c.codes().at(1, j));
+    EXPECT_FLOAT_EQ(z.at(1, j), 2.f * c.codes().at(2, j));
+  }
+}
+
+TEST(ClassCodes, ApplyValidates) {
+  ClassCodes c(3, 4);
+  Tensor z({1, 4});
+  std::vector<int> bad_label{7};
+  EXPECT_THROW(c.apply(z, bad_label), std::invalid_argument);
+  std::vector<int> wrong_count{0, 1};
+  EXPECT_THROW(c.apply(z, wrong_count), std::invalid_argument);
+}
+
+TEST(SampleLatent, LabelsInRangeAndConditioned) {
+  Rng rng(6);
+  GanArch arch = make_arch(ArchKind::kMlpMnist);
+  ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+  std::vector<int> labels;
+  Tensor z = sample_latent(arch, codes, 32, rng, labels);
+  EXPECT_EQ(z.shape(), Shape({32, arch.latent_dim}));
+  ASSERT_EQ(labels.size(), 32u);
+  for (int y : labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(SampleLatent, PlainGanSkipsConditioning) {
+  // For the CelebA arch (acgan=false), latent stays zero-mean: the mean
+  // over many draws is near 0 rather than near a class code.
+  Rng rng(7);
+  GanArch arch = make_arch(ArchKind::kCnnCeleba);
+  ClassCodes codes(arch.image.num_classes, arch.latent_dim);
+  std::vector<int> labels;
+  Tensor z = sample_latent(arch, codes, 512, rng, labels);
+  float mean = z.mean();
+  EXPECT_NEAR(mean, 0.f, 0.05f);
+}
+
+}  // namespace
+}  // namespace mdgan::gan

@@ -1,0 +1,100 @@
+#include "gan/gan_loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdgan::gan {
+namespace {
+
+Tensor disc_out_2x11() {
+  // Batch of 2, 11 columns: col 0 source, cols 1..10 classes.
+  Tensor t({2, 11});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = 0.01f * static_cast<float>(i) - 0.1f;
+  }
+  return t;
+}
+
+TEST(GanLoss, DiscSideLossShapes) {
+  Tensor d = disc_out_2x11();
+  std::vector<int> labels{3, 7};
+  auto r = disc_side_loss(d, true, &labels);
+  EXPECT_EQ(r.grad.shape(), d.shape());
+  EXPECT_GT(r.source_loss, 0.f);
+  EXPECT_GT(r.aux_loss, 0.f);
+}
+
+TEST(GanLoss, PlainGanIgnoresAux) {
+  Tensor d({3, 1}, std::vector<float>{0.5f, -0.5f, 0.f});
+  auto r = disc_side_loss(d, false, nullptr);
+  EXPECT_EQ(r.grad.shape(), d.shape());
+  EXPECT_FLOAT_EQ(r.aux_loss, 0.f);
+}
+
+TEST(GanLoss, AcganWithoutLabelsZeroesClassGrad) {
+  Tensor d = disc_out_2x11();
+  auto r = disc_side_loss(d, true, nullptr);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 1; j < 11; ++j) {
+      EXPECT_FLOAT_EQ(r.grad.at(i, j), 0.f);
+    }
+  }
+}
+
+TEST(GanLoss, SourceGradientSignFollowsTarget) {
+  // s = 0 -> sigma = 0.5. Real target: grad = (0.5-1)/B < 0 (push s up);
+  // fake target: grad > 0 (push s down).
+  Tensor d({1, 1}, std::vector<float>{0.f});
+  auto real = disc_side_loss(d, true, nullptr);
+  auto fake = disc_side_loss(d, false, nullptr);
+  EXPECT_LT(real.grad[0], 0.f);
+  EXPECT_GT(fake.grad[0], 0.f);
+}
+
+TEST(GanLoss, GeneratorNonSaturatingPushesLogitsUp) {
+  Tensor d({2, 1}, std::vector<float>{-1.f, 1.f});
+  auto r = generator_loss(d, nullptr, /*saturating=*/false);
+  // dJ/ds = (sigma - 1)/B < 0 always: gradient descent raises s.
+  EXPECT_LT(r.grad[0], 0.f);
+  EXPECT_LT(r.grad[1], 0.f);
+}
+
+TEST(GanLoss, GeneratorSaturatingMatchesPaperFormula) {
+  // J = mean log(1-sigma(s)); at s=0 grad = -sigma(0)/B = -0.25.
+  Tensor d({2, 1}, std::vector<float>{0.f, 0.f});
+  auto r = generator_loss(d, nullptr, /*saturating=*/true);
+  EXPECT_NEAR(r.source_loss, std::log(0.5f), 1e-6f);
+  EXPECT_NEAR(r.grad[0], -0.25f, 1e-6f);
+}
+
+TEST(GanLoss, SaturatingAndNonSaturatingAgreeInSign) {
+  Tensor d({3, 1}, std::vector<float>{-2.f, 0.f, 2.f});
+  auto sat = generator_loss(d, nullptr, true);
+  auto nonsat = generator_loss(d, nullptr, false);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LT(sat.grad[i], 0.f);
+    EXPECT_LT(nonsat.grad[i], 0.f);
+  }
+  // Saturating variant vanishes for very negative logits (the classic
+  // early-training problem), non-saturating does not.
+  EXPECT_LT(std::abs(sat.grad[0]), std::abs(nonsat.grad[0]));
+}
+
+TEST(GanLoss, GeneratorAuxTermTargetsIntendedClass) {
+  Tensor d = disc_out_2x11();
+  std::vector<int> labels{2, 9};
+  auto r = generator_loss(d, &labels, false);
+  EXPECT_GT(r.aux_loss, 0.f);
+  // Gradient on the intended class column is negative (raise it).
+  EXPECT_LT(r.grad.at(0, 1 + 2), 0.f);
+  EXPECT_LT(r.grad.at(1, 1 + 9), 0.f);
+}
+
+TEST(GanLoss, RejectsEmptyOutput) {
+  Tensor d({2, 0});
+  EXPECT_THROW(disc_side_loss(d, true, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::gan

@@ -1,0 +1,81 @@
+#include "helpers/gradient_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mdgan::testing {
+namespace {
+
+double rel_err(double a, double n) {
+  return std::abs(a - n) / std::max({1.0, std::abs(a), std::abs(n)});
+}
+
+// Scalar probe L(x) = sum(upstream * layer(x)).
+double probe(nn::Layer& layer, const Tensor& x, const Tensor& upstream) {
+  Tensor y = layer.forward(x, /*train=*/true);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    acc += static_cast<double>(upstream[i]) * y[i];
+  }
+  return acc;
+}
+
+}  // namespace
+
+GradCheckResult check_gradients(nn::Layer& layer, const Tensor& x, Rng& rng,
+                                float eps) {
+  GradCheckResult result;
+
+  // Forward once to learn the output shape, then fix the upstream.
+  Tensor y0 = layer.forward(x, /*train=*/true);
+  Tensor upstream = Tensor::randn(y0.shape(), rng);
+
+  // Analytic gradients.
+  layer.zero_grad();
+  layer.forward(x, /*train=*/true);
+  Tensor dx = layer.backward(upstream);
+
+  std::vector<Tensor> param_grads;
+  for (Tensor* g : layer.grads()) param_grads.push_back(*g);
+
+  // Numeric input gradients.
+  Tensor xp = x;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float orig = xp[i];
+    xp[i] = orig + eps;
+    const double lp = probe(layer, xp, upstream);
+    xp[i] = orig - eps;
+    const double lm = probe(layer, xp, upstream);
+    xp[i] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double err = rel_err(dx[i], numeric);
+    if (err > result.max_input_error) {
+      result.max_input_error = err;
+      result.worst_location = "input[" + std::to_string(i) + "]";
+    }
+  }
+
+  // Numeric parameter gradients.
+  auto params = layer.params();
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& p = *params[t];
+    for (std::size_t i = 0; i < p.numel(); ++i) {
+      const float orig = p[i];
+      p[i] = orig + eps;
+      const double lp = probe(layer, x, upstream);
+      p[i] = orig - eps;
+      const double lm = probe(layer, x, upstream);
+      p[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double err = rel_err(param_grads[t][i], numeric);
+      if (err > result.max_param_error) {
+        result.max_param_error = err;
+        result.worst_location =
+            "param" + std::to_string(t) + "[" + std::to_string(i) + "]";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mdgan::testing

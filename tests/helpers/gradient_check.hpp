@@ -1,0 +1,31 @@
+// Central-difference gradient checking for Layer implementations.
+//
+// The scalar probe is L = sum(upstream ⊙ layer(x)) with a fixed random
+// upstream, so backward(upstream) should reproduce dL/dx and dL/dparams.
+// Works on any layer whose forward is deterministic given (x, params) —
+// BatchNorm in train mode qualifies because batch statistics depend only
+// on the batch.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace mdgan::testing {
+
+struct GradCheckResult {
+  double max_input_error = 0.0;  // max |analytic - numeric| (abs or rel)
+  double max_param_error = 0.0;
+  std::string worst_location;
+};
+
+// Checks input gradients and all parameter gradients of `layer` at input
+// `x`. `eps` is the finite-difference step. Errors are measured as
+// |a - n| / max(1, |a|, |n|). Layers mutating running state (BatchNorm)
+// are fine: the probe only compares outputs within one (x, params)
+// configuration.
+GradCheckResult check_gradients(nn::Layer& layer, const Tensor& x, Rng& rng,
+                                float eps = 1e-3f);
+
+}  // namespace mdgan::testing

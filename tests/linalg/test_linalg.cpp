@@ -1,0 +1,185 @@
+#include "linalg/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mdgan::linalg {
+namespace {
+
+TEST(Linalg, MatmulIdentity) {
+  DMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DMatrix i = DMatrix::identity(2);
+  DMatrix c = matmul(a, i);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 3.0);
+}
+
+TEST(Linalg, TraceAndTranspose) {
+  DMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(trace(a), 5.0);
+  DMatrix t = transpose(a);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+}
+
+TEST(Linalg, JacobiDiagonalMatrix) {
+  DMatrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = 1;
+  a(2, 2) = 2;
+  std::vector<double> vals;
+  DMatrix vecs;
+  jacobi_eigen_symmetric(a, vals, vecs);
+  EXPECT_NEAR(vals[0], 1.0, 1e-10);
+  EXPECT_NEAR(vals[1], 2.0, 1e-10);
+  EXPECT_NEAR(vals[2], 3.0, 1e-10);
+}
+
+TEST(Linalg, JacobiKnown2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  std::vector<double> vals;
+  DMatrix vecs;
+  jacobi_eigen_symmetric(a, vals, vecs);
+  EXPECT_NEAR(vals[0], 1.0, 1e-10);
+  EXPECT_NEAR(vals[1], 3.0, 1e-10);
+}
+
+TEST(Linalg, JacobiReconstructsMatrix) {
+  Rng rng(7);
+  const std::size_t n = 8;
+  DMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      a(i, j) = a(j, i) = rng.normal();
+    }
+  }
+  std::vector<double> vals;
+  DMatrix v;
+  jacobi_eigen_symmetric(a, vals, v);
+  // A == V diag(vals) V^T.
+  DMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = vals[i];
+  DMatrix rec = matmul(matmul(v, d), transpose(v));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(rec(i, j), a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(Linalg, JacobiEigenvectorsOrthonormal) {
+  Rng rng(8);
+  const std::size_t n = 6;
+  DMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) a(i, j) = a(j, i) = rng.normal();
+  }
+  std::vector<double> vals;
+  DMatrix v;
+  jacobi_eigen_symmetric(a, vals, v);
+  DMatrix vtv = matmul(transpose(v), v);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Linalg, SqrtPsdSquaresBack) {
+  // Random PSD: A = B B^T.
+  Rng rng(9);
+  const std::size_t n = 5;
+  DMatrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  DMatrix a = matmul(b, transpose(b));
+  DMatrix s = sqrt_psd(a);
+  DMatrix s2 = matmul(s, s);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(s2(i, j), a(i, j), 1e-8);
+    }
+  }
+  EXPECT_LT(asymmetry(s), 1e-9);
+}
+
+TEST(Linalg, MeanAndCovarianceKnown) {
+  // Two points (0,0) and (2,2): mean (1,1), population cov [[1,1],[1,1]].
+  std::vector<float> samples{0, 0, 2, 2};
+  std::vector<double> mean;
+  DMatrix cov;
+  mean_and_covariance(samples.data(), 2, 2, mean, cov);
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(mean[1], 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 1.0);
+}
+
+TEST(Linalg, FrechetDistanceZeroForIdenticalGaussians) {
+  Rng rng(10);
+  const std::size_t n = 500, d = 4;
+  std::vector<float> samples(n * d);
+  for (auto& v : samples) v = rng.normal();
+  std::vector<double> mu;
+  DMatrix cov;
+  mean_and_covariance(samples.data(), n, d, mu, cov);
+  EXPECT_NEAR(frechet_distance(mu, cov, mu, cov), 0.0, 1e-8);
+}
+
+TEST(Linalg, FrechetDistanceMeanShift) {
+  // Identical unit covariance, mean shift delta: FID = |delta|^2.
+  DMatrix c = DMatrix::identity(3);
+  std::vector<double> m1{0, 0, 0}, m2{1, 2, 2};
+  EXPECT_NEAR(frechet_distance(m1, c, m2, c), 9.0, 1e-9);
+}
+
+TEST(Linalg, FrechetDistanceScaledCovariance) {
+  // N(0, I) vs N(0, 4I) in d dims: FID = d*(1 + 4 - 2*2) = d.
+  const std::size_t d = 3;
+  DMatrix c1 = DMatrix::identity(d);
+  DMatrix c2 = DMatrix::identity(d);
+  for (std::size_t i = 0; i < d; ++i) c2(i, i) = 4.0;
+  std::vector<double> m(d, 0.0);
+  EXPECT_NEAR(frechet_distance(m, c1, m, c2), 3.0, 1e-9);
+}
+
+TEST(Linalg, FrechetDistanceGrowsWithNoise) {
+  Rng rng(11);
+  const std::size_t n = 400, d = 6;
+  std::vector<float> base(n * d), noisy(n * d);
+  for (std::size_t i = 0; i < n * d; ++i) {
+    base[i] = rng.normal();
+    noisy[i] = base[i] + 0.8f * rng.normal() + 0.5f;
+  }
+  std::vector<double> m1, m2;
+  DMatrix c1, c2;
+  mean_and_covariance(base.data(), n, d, m1, c1);
+  mean_and_covariance(noisy.data(), n, d, m2, c2);
+  EXPECT_GT(frechet_distance(m1, c1, m2, c2), 0.5);
+}
+
+TEST(Linalg, NonSquareJacobiThrows) {
+  DMatrix a(2, 3);
+  std::vector<double> vals;
+  DMatrix v;
+  EXPECT_THROW(jacobi_eigen_symmetric(a, vals, v), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::linalg

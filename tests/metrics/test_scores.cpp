@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "metrics/evaluator.hpp"
+#include "metrics/scores.hpp"
+
+namespace mdgan::metrics {
+namespace {
+
+TEST(InceptionScore, OneForUninformativePredictions) {
+  // All samples predicted with the same distribution -> KL = 0 -> IS=1.
+  Tensor p({4, 3}, std::vector<float>{
+                       0.2f, 0.5f, 0.3f, 0.2f, 0.5f, 0.3f,
+                       0.2f, 0.5f, 0.3f, 0.2f, 0.5f, 0.3f});
+  EXPECT_NEAR(inception_score(p), 1.0, 1e-6);
+}
+
+TEST(InceptionScore, MaximalForConfidentDiversePredictions) {
+  // Each sample confidently a different class, uniform marginal -> IS=K.
+  Tensor p({3, 3}, std::vector<float>{1, 0, 0, 0, 1, 0, 0, 0, 1});
+  EXPECT_NEAR(inception_score(p), 3.0, 1e-5);
+}
+
+TEST(InceptionScore, LowForModeCollapse) {
+  // Confident but all the same class: marginal == conditional -> IS=1.
+  Tensor p({4, 3}, std::vector<float>{1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0});
+  EXPECT_NEAR(inception_score(p), 1.0, 1e-5);
+}
+
+TEST(InceptionScore, BetweenBoundsForMixedCase) {
+  Tensor p({2, 4}, std::vector<float>{0.7f, 0.1f, 0.1f, 0.1f,  //
+                                      0.1f, 0.7f, 0.1f, 0.1f});
+  const double is = inception_score(p);
+  EXPECT_GT(is, 1.0);
+  EXPECT_LT(is, 4.0);
+}
+
+TEST(FrechetDistance, ZeroForIdenticalFeatures) {
+  Rng rng(201);
+  Tensor f = Tensor::randn({200, 8}, rng);
+  EXPECT_NEAR(frechet_distance(f, f), 0.0, 1e-6);
+}
+
+TEST(FrechetDistance, GrowsWithPerturbation) {
+  Rng rng(202);
+  Tensor a = Tensor::randn({300, 6}, rng);
+  Tensor small = a;
+  Tensor big = a;
+  Rng noise(203);
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const float n = noise.normal();
+    small[i] += 0.1f * n;
+    big[i] += 1.5f * n + 1.f;
+  }
+  const double d_small = frechet_distance(a, small);
+  const double d_big = frechet_distance(a, big);
+  EXPECT_LT(d_small, d_big);
+  EXPECT_GT(d_big, 1.0);
+}
+
+TEST(ScoringClassifier, LearnsSyntheticDigits) {
+  auto train = data::make_synthetic_digits(600, 301);
+  auto test = data::make_synthetic_digits(200, 302);
+  ScoringClassifier cls(train, {64, 3, 64, 1e-3f}, 99);
+  const float acc = cls.evaluate_accuracy(test);
+  EXPECT_GT(acc, 0.8f) << "accuracy " << acc;
+}
+
+TEST(ScoringClassifier, FeatureAndProbabilityShapes) {
+  auto train = data::make_synthetic_digits(100, 303);
+  ScoringClassifier cls(train, {32, 1, 32, 1e-3f}, 100);
+  Rng rng(1);
+  Tensor x = Tensor::randn({5, 784}, rng);
+  Tensor p = cls.probabilities(x);
+  Tensor f = cls.features(x);
+  EXPECT_EQ(p.shape(), Shape({5, 10}));
+  EXPECT_EQ(f.shape(), Shape({5, 32}));
+  for (std::size_t i = 0; i < 5; ++i) {
+    float sum = 0.f;
+    for (std::size_t j = 0; j < 10; ++j) sum += p.at(i, j);
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+}
+
+TEST(Evaluator, RealDataScoresBeatNoise) {
+  // The fundamental sanity check for our Inception-substitute: real
+  // held-out data must score far better than random noise.
+  auto train = data::make_synthetic_digits(600, 304);
+  auto test = data::make_synthetic_digits(300, 305);
+  Evaluator ev(train, test, {64, 3, 64, 1e-3f}, 200, 42);
+  EXPECT_GT(ev.classifier_accuracy(), 0.8f);
+
+  // Score a "generator" that replays real samples: IS high, FID low.
+  auto real_sample = data::make_synthetic_digits(200, 306);
+  Tensor real_probs = ev.classifier().probabilities(real_sample.images());
+  const double is_real = inception_score(real_probs);
+
+  Rng rng(307);
+  Tensor noise = Tensor::rand({200, 784}, rng, -1.f, 1.f);
+  Tensor noise_probs = ev.classifier().probabilities(noise);
+  const double is_noise = inception_score(noise_probs);
+
+  EXPECT_GT(is_real, 3.0);
+  EXPECT_GT(is_real, is_noise * 1.5);
+
+  const double fid_real = frechet_distance(
+      ev.classifier().features(test.images()),
+      ev.classifier().features(real_sample.images()));
+  const double fid_noise = frechet_distance(
+      ev.classifier().features(test.images()),
+      ev.classifier().features(noise));
+  EXPECT_LT(fid_real, fid_noise * 0.5);
+}
+
+TEST(Evaluator, CsvSerialization) {
+  std::vector<EvalRecord> series{{100, {2.5, 30.0}}, {200, {3.0, 20.0}}};
+  const auto csv = to_csv(series, "md-gan");
+  EXPECT_NE(csv.find("md-gan,100,2.5,30"), std::string::npos);
+  EXPECT_NE(csv.find("md-gan,200,3,20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdgan::metrics

@@ -1,0 +1,84 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers/gradient_check.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+TEST(Activations, ReLUForward) {
+  ReLU relu;
+  Tensor x({4}, std::vector<float>{-1, 0, 0.5f, 2});
+  Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[1], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 0.5f);
+  EXPECT_FLOAT_EQ(y[3], 2.f);
+}
+
+TEST(Activations, LeakyReLUForward) {
+  LeakyReLU lrelu(0.1f);
+  Tensor x({3}, std::vector<float>{-2, 0, 3});
+  Tensor y = lrelu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], -0.2f);
+  EXPECT_FLOAT_EQ(y[2], 3.f);
+}
+
+TEST(Activations, TanhForward) {
+  Tanh t;
+  Tensor x({2}, std::vector<float>{0.f, 100.f});
+  Tensor y = t.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_NEAR(y[1], 1.f, 1e-6f);
+}
+
+TEST(Activations, SigmoidForward) {
+  Sigmoid s;
+  Tensor x({3}, std::vector<float>{0.f, -100.f, 100.f});
+  Tensor y = s.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_NEAR(y[1], 0.f, 1e-6f);
+  EXPECT_NEAR(y[2], 1.f, 1e-6f);
+}
+
+template <typename L>
+void check_activation_gradient(L layer, std::uint64_t seed) {
+  Rng rng(seed);
+  // Offset away from the ReLU kink so finite differences are valid.
+  Tensor x = Tensor::randn({4, 6}, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (std::abs(x[i]) < 5e-3f) x[i] = 0.1f;
+  }
+  auto res = testing::check_gradients(layer, x, rng);
+  EXPECT_LT(res.max_input_error, 2e-2) << res.worst_location;
+}
+
+TEST(Activations, ReLUGradient) { check_activation_gradient(ReLU{}, 31); }
+TEST(Activations, LeakyReLUGradient) {
+  check_activation_gradient(LeakyReLU{0.2f}, 32);
+}
+TEST(Activations, TanhGradient) { check_activation_gradient(Tanh{}, 33); }
+TEST(Activations, SigmoidGradient) {
+  check_activation_gradient(Sigmoid{}, 34);
+}
+
+TEST(Activations, BackwardShapeMismatchThrows) {
+  ReLU relu;
+  Tensor x({2, 2});
+  relu.forward(x, true);
+  Tensor bad({4});
+  EXPECT_THROW(relu.backward(bad), std::invalid_argument);
+}
+
+TEST(Activations, NoParams) {
+  ReLU relu;
+  EXPECT_TRUE(relu.params().empty());
+  EXPECT_TRUE(relu.grads().empty());
+  EXPECT_EQ(relu.param_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

@@ -1,0 +1,92 @@
+#include "nn/batchnorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers/gradient_check.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+TEST(BatchNorm, NormalizesTrainBatchRank2) {
+  BatchNorm bn(3);
+  Rng rng(51);
+  Tensor x = Tensor::randn({16, 3}, rng, 5.f, 2.f);
+  Tensor y = bn.forward(x, /*train=*/true);
+  // Per-feature mean ~0 and var ~1 after normalization (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0, var = 0;
+    for (std::size_t i = 0; i < 16; ++i) mean += y.at(i, c);
+    mean /= 16;
+    for (std::size_t i = 0; i < 16; ++i) {
+      var += (y.at(i, c) - mean) * (y.at(i, c) - mean);
+    }
+    var /= 16;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, NormalizesPerChannelRank4) {
+  BatchNorm bn(2);
+  Rng rng(52);
+  Tensor x = Tensor::randn({4, 2, 3, 3}, rng, -2.f, 3.f);
+  Tensor y = bn.forward(x, true);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0;
+    for (std::size_t b = 0; b < 4; ++b) {
+      for (std::size_t i = 0; i < 9; ++i) {
+        mean += y[((b * 2 + c) * 9) + i];
+      }
+    }
+    mean /= 36;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToBatchStats) {
+  BatchNorm bn(1, /*momentum=*/0.0f);  // momentum 0: adopt batch stats
+  Tensor x({4, 1}, std::vector<float>{1, 2, 3, 4});
+  bn.forward(x, true);
+  EXPECT_NEAR(bn.running_mean()[0], 2.5f, 1e-5f);
+  EXPECT_NEAR(bn.running_var()[0], 1.25f, 1e-5f);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm bn(1, 0.0f);
+  Tensor x({4, 1}, std::vector<float>{1, 2, 3, 4});
+  bn.forward(x, true);  // running mean 2.5, var 1.25
+  Tensor probe({1, 1}, std::vector<float>{2.5f});
+  Tensor y = bn.forward(probe, /*train=*/false);
+  EXPECT_NEAR(y[0], 0.f, 1e-4f);
+}
+
+TEST(BatchNorm, GradientCheckRank2) {
+  Rng rng(53);
+  BatchNorm bn(4);
+  Tensor x = Tensor::randn({6, 4}, rng, 1.f, 2.f);
+  auto res = testing::check_gradients(bn, x, rng);
+  EXPECT_LT(res.max_input_error, 3e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 3e-2) << res.worst_location;
+}
+
+TEST(BatchNorm, GradientCheckRank4) {
+  Rng rng(54);
+  BatchNorm bn(2);
+  Tensor x = Tensor::randn({3, 2, 2, 2}, rng, 0.5f, 1.5f);
+  auto res = testing::check_gradients(bn, x, rng);
+  EXPECT_LT(res.max_input_error, 3e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 3e-2) << res.worst_location;
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  BatchNorm bn(3);
+  Tensor x({2, 4});
+  EXPECT_THROW(bn.forward(x, true), std::invalid_argument);
+  Tensor x3({2, 4, 4});  // rank-3 unsupported
+  EXPECT_THROW(bn.forward(x3, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

@@ -1,0 +1,89 @@
+#include "nn/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gan/arch.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string(::testing::TempDir()) + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+Sequential small_mlp(std::uint64_t seed) {
+  Sequential s;
+  s.emplace<Dense>(6, 4);
+  s.emplace<LeakyReLU>(0.2f);
+  s.emplace<Dense>(4, 2);
+  Rng rng(seed);
+  he_init(s, rng);
+  return s;
+}
+
+TEST(Checkpoint, RoundTripRestoresExactParameters) {
+  TempFile f("ckpt.bin");
+  Sequential a = small_mlp(1);
+  save_checkpoint(f.path, a);
+  Sequential b = small_mlp(2);  // different weights
+  ASSERT_NE(a.flatten_parameters(), b.flatten_parameters());
+  load_checkpoint(f.path, b);
+  EXPECT_EQ(a.flatten_parameters(), b.flatten_parameters());
+}
+
+TEST(Checkpoint, RoundTripsFullGenerator) {
+  TempFile f("gen.bin");
+  Rng rng(3);
+  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  auto g = gan::build_generator(arch, rng);
+  save_checkpoint(f.path, g);
+  auto g2 = gan::build_generator(arch, rng);
+  load_checkpoint(f.path, g2);
+  EXPECT_EQ(g.flatten_parameters(), g2.flatten_parameters());
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  TempFile f("mismatch.bin");
+  Sequential a = small_mlp(4);
+  save_checkpoint(f.path, a);
+  Sequential wrong;
+  wrong.emplace<Dense>(6, 5);  // different shape
+  wrong.emplace<Dense>(5, 2);
+  EXPECT_THROW(load_checkpoint(f.path, wrong), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsWrongTensorCount) {
+  TempFile f("count.bin");
+  Sequential a = small_mlp(5);
+  save_checkpoint(f.path, a);
+  Sequential fewer;
+  fewer.emplace<Dense>(6, 4);
+  EXPECT_THROW(load_checkpoint(f.path, fewer), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  TempFile f("garbage.bin");
+  std::FILE* out = std::fopen(f.path.c_str(), "wb");
+  std::fputs("not a checkpoint", out);
+  std::fclose(out);
+  Sequential a = small_mlp(6);
+  EXPECT_THROW(load_checkpoint(f.path, a), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  Sequential a = small_mlp(7);
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.bin", a),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

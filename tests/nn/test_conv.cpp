@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "helpers/gradient_check.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/conv_transpose2d.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+TEST(Conv2D, OutputGeometry) {
+  Conv2D c(3, 8, 3, 3, /*stride=*/2, /*pad=*/1);
+  Tensor x({2, 3, 32, 32});
+  Tensor y = c.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 8, 16, 16}));
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  // 1x1 kernel with weight 1 on a single channel copies the input.
+  Conv2D c(1, 1, 1, 1, 1, 0);
+  c.weight() = Tensor({1, 1}, std::vector<float>{1.f});
+  Rng rng(41);
+  Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+  Tensor y = c.forward(x, true);
+  EXPECT_LT(max_abs_diff(x, y), 1e-6f);
+}
+
+TEST(Conv2D, KnownConvolution) {
+  // 2x2 all-ones kernel on a 2x2 image of [[1,2],[3,4]]: single output
+  // = 10 (+ bias 0.5).
+  Conv2D c(1, 1, 2, 2, 1, 0);
+  c.weight() = Tensor({1, 4}, std::vector<float>{1, 1, 1, 1});
+  c.params()[1]->fill(0.5f);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor y = c.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+}
+
+TEST(Conv2D, GradientCheckStridePad) {
+  Rng rng(42);
+  Conv2D c(2, 3, 3, 3, 2, 1);
+  he_normal(c.weight(), 2 * 9, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  auto res = testing::check_gradients(c, x, rng);
+  EXPECT_LT(res.max_input_error, 2e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 2e-2) << res.worst_location;
+}
+
+TEST(Conv2D, RejectsWrongChannelCount) {
+  Conv2D c(3, 4, 3, 3);
+  Tensor x({1, 2, 8, 8});
+  EXPECT_THROW(c.forward(x, true), std::invalid_argument);
+}
+
+TEST(ConvTranspose2D, OutputGeometryDoubles) {
+  ConvTranspose2D ct(8, 4, 4, 4, /*stride=*/2, /*pad=*/1);
+  Tensor x({2, 8, 14, 14});
+  Tensor y = ct.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({2, 4, 28, 28}));
+}
+
+TEST(ConvTranspose2D, Stride1SamePadKeepsSize) {
+  ConvTranspose2D ct(2, 3, 3, 3, 1, 1);
+  Tensor x({1, 2, 7, 7});
+  Tensor y = ct.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 3, 7, 7}));
+}
+
+TEST(ConvTranspose2D, KnownScatter) {
+  // One input pixel of value v scatters v * kernel into the output.
+  ConvTranspose2D ct(1, 1, 2, 2, 1, 0);
+  ct.weight() = Tensor({1, 4}, std::vector<float>{1, 2, 3, 4});
+  Tensor x({1, 1, 1, 1}, std::vector<float>{2.f});
+  Tensor y = ct.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.f);
+  EXPECT_FLOAT_EQ(y[1], 4.f);
+  EXPECT_FLOAT_EQ(y[2], 6.f);
+  EXPECT_FLOAT_EQ(y[3], 8.f);
+}
+
+TEST(ConvTranspose2D, GradientCheck) {
+  Rng rng(43);
+  ConvTranspose2D ct(3, 2, 4, 4, 2, 1);
+  he_normal(ct.weight(), 3, rng);
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  auto res = testing::check_gradients(ct, x, rng);
+  EXPECT_LT(res.max_input_error, 2e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 2e-2) << res.worst_location;
+}
+
+TEST(ConvTransposeIsAdjointOfConv, ForwardMatchesConvBackward) {
+  // With shared weights, convT.forward(x) == the data-gradient a Conv2D
+  // with the same geometry would produce for upstream x. Verified via
+  // the inner-product adjoint identity:
+  //   <conv(a), x> == <a, convT(x)> (zero biases).
+  Rng rng(44);
+  const std::size_t ic = 2, oc = 3, k = 3, s = 2, p = 1;
+  Conv2D conv(ic, oc, k, k, s, p);
+  ConvTranspose2D convt(oc, ic, k, k, s, p);
+  he_normal(conv.weight(), ic * k * k, rng);
+  // convT weights (IC_t=oc rows) must equal conv weights (oc rows) for
+  // the adjoint pairing; both store (rows, cols) = (oc, ic*k*k).
+  convt.weight() = conv.weight();
+
+  Tensor a = Tensor::randn({1, ic, 9, 9}, rng);
+  Tensor y = conv.forward(a, true);           // (1, oc, 5, 5)
+  Tensor x = Tensor::randn(y.shape(), rng);   // upstream for conv side
+  Tensor xt = convt.forward(x, true);         // (1, ic, 9, 9)
+
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) lhs += y[i] * x[i];
+  for (std::size_t i = 0; i < a.numel(); ++i) rhs += a[i] * xt[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

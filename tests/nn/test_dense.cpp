@@ -1,0 +1,73 @@
+#include "nn/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers/gradient_check.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+TEST(Dense, ForwardKnownValues) {
+  Dense d(2, 2);
+  // W = [[1, 2], [3, 4]], b = [10, 20]; y = x W + b.
+  d.weight() = Tensor({2, 2}, std::vector<float>{1, 2, 3, 4});
+  d.bias() = Tensor({2}, std::vector<float>{10, 20});
+  Tensor x({1, 2}, std::vector<float>{1, 1});
+  Tensor y = d.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 14.f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 26.f);
+}
+
+TEST(Dense, ForwardRejectsWrongWidth) {
+  Dense d(3, 2);
+  Tensor x({1, 4});
+  EXPECT_THROW(d.forward(x, true), std::invalid_argument);
+}
+
+TEST(Dense, GradientCheck) {
+  Rng rng(21);
+  Dense d(5, 4);
+  he_normal(d.weight(), 5, rng);
+  rng.fill_normal(d.bias().data(), 4, 0.f, 0.1f);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  auto res = testing::check_gradients(d, x, rng);
+  EXPECT_LT(res.max_input_error, 2e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 2e-2) << res.worst_location;
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwards) {
+  Rng rng(22);
+  Dense d(3, 2);
+  he_normal(d.weight(), 3, rng);
+  Tensor x = Tensor::randn({2, 3}, rng);
+  Tensor g = Tensor::randn({2, 2}, rng);
+
+  d.forward(x, true);
+  d.backward(g);
+  const Tensor once = *d.grads()[0];
+  d.forward(x, true);
+  d.backward(g);
+  const Tensor twice = *d.grads()[0];
+  EXPECT_LT(max_abs_diff(twice, once * 2.f), 1e-5f);
+
+  d.zero_grad();
+  EXPECT_FLOAT_EQ(d.grads()[0]->norm(), 0.f);
+}
+
+TEST(Dense, ParamCount) {
+  Dense d(784, 512);
+  EXPECT_EQ(d.param_count(), 784u * 512u + 512u);
+}
+
+TEST(Dense, BackwardShapeValidation) {
+  Dense d(3, 2);
+  Tensor x({2, 3});
+  d.forward(x, true);
+  Tensor bad({2, 3});
+  EXPECT_THROW(d.backward(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

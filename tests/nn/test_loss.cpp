@@ -1,0 +1,122 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdgan::nn {
+namespace {
+
+TEST(Loss, BceKnownValue) {
+  // logits 0 -> sigma = 0.5 -> loss = -log 0.5 = log 2 for either target.
+  Tensor logits({2}, std::vector<float>{0.f, 0.f});
+  Tensor targets({2}, std::vector<float>{1.f, 0.f});
+  auto r = bce_with_logits(logits, targets);
+  EXPECT_NEAR(r.value, std::log(2.f), 1e-6f);
+  // grad = (sigma - t)/B = (0.5-1)/2, (0.5-0)/2.
+  EXPECT_NEAR(r.grad[0], -0.25f, 1e-6f);
+  EXPECT_NEAR(r.grad[1], 0.25f, 1e-6f);
+}
+
+TEST(Loss, BceExtremeLogitsStayFinite) {
+  Tensor logits({2}, std::vector<float>{80.f, -80.f});
+  Tensor targets({2}, std::vector<float>{0.f, 1.f});
+  auto r = bce_with_logits(logits, targets);
+  EXPECT_TRUE(std::isfinite(r.value));
+  EXPECT_GT(r.value, 10.f);  // confidently wrong => large loss
+}
+
+TEST(Loss, BceGradientMatchesFiniteDifference) {
+  Tensor logits({3}, std::vector<float>{0.3f, -1.2f, 2.f});
+  Tensor targets({3}, std::vector<float>{1.f, 0.f, 1.f});
+  auto r = bce_with_logits(logits, targets);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (bce_with_logits(lp, targets).value -
+                       bce_with_logits(lm, targets).value) /
+                      (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 2e-3f);
+  }
+}
+
+TEST(Loss, SoftmaxXentKnownValue) {
+  // Uniform logits, K=4: loss = log 4.
+  Tensor logits({1, 4});
+  auto r = softmax_cross_entropy(logits, {2});
+  EXPECT_NEAR(r.value, std::log(4.f), 1e-6f);
+  // grad = (softmax - onehot)/B.
+  EXPECT_NEAR(r.grad[2], 0.25f - 1.f, 1e-6f);
+  EXPECT_NEAR(r.grad[0], 0.25f, 1e-6f);
+}
+
+TEST(Loss, SoftmaxXentGradientMatchesFiniteDifference) {
+  Tensor logits({2, 3},
+                std::vector<float>{0.5f, -0.2f, 1.f, 2.f, 0.f, -1.f});
+  std::vector<int> labels{0, 2};
+  auto r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (softmax_cross_entropy(lp, labels).value -
+                       softmax_cross_entropy(lm, labels).value) /
+                      (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 2e-3f);
+  }
+}
+
+TEST(Loss, SoftmaxXentRejectsBadLabel) {
+  Tensor logits({1, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {3}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {-1}), std::invalid_argument);
+}
+
+TEST(Loss, SaturatingGeneratorLossValueAndGrad) {
+  // J = mean log(1 - sigma(s)); at s=0: log 0.5; dJ/ds = -sigma(0)/B.
+  Tensor logits({2}, std::vector<float>{0.f, 0.f});
+  auto r = saturating_generator_loss(logits);
+  EXPECT_NEAR(r.value, std::log(0.5f), 1e-6f);
+  EXPECT_NEAR(r.grad[0], -0.25f, 1e-6f);
+}
+
+TEST(Loss, SaturatingGeneratorGradMatchesFiniteDifference) {
+  Tensor logits({3}, std::vector<float>{-1.f, 0.4f, 1.7f});
+  auto r = saturating_generator_loss(logits);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    const float num = (saturating_generator_loss(lp).value -
+                       saturating_generator_loss(lm).value) /
+                      (2 * eps);
+    EXPECT_NEAR(r.grad[i], num, 2e-3f);
+  }
+}
+
+TEST(Loss, AccuracyCountsArgmaxMatches) {
+  Tensor logits({3, 2},
+                std::vector<float>{1.f, 0.f, 0.f, 1.f, 0.9f, 0.1f});
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.f);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 0}), 2.f / 3.f, 1e-6f);
+}
+
+TEST(Loss, StableSigmoidMatchesNaive) {
+  for (float x : {-30.f, -1.f, 0.f, 2.f, 30.f}) {
+    EXPECT_NEAR(stable_sigmoid(x), 1.f / (1.f + std::exp(-x)), 1e-6f);
+  }
+}
+
+TEST(Loss, EmptyBatchThrows) {
+  Tensor empty({0});
+  Tensor t({0});
+  EXPECT_THROW(bce_with_logits(empty, t), std::invalid_argument);
+  EXPECT_THROW(saturating_generator_loss(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

@@ -1,0 +1,87 @@
+#include "nn/minibatch_discrimination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers/gradient_check.hpp"
+#include "nn/init.hpp"
+
+namespace mdgan::nn {
+namespace {
+
+TEST(MinibatchDiscrimination, OutputShapeConcatenates) {
+  MinibatchDiscrimination mb(10, 4, 3);
+  Rng rng(61);
+  normal_init(mb.kernel(), 0.1f, rng);
+  Tensor x = Tensor::randn({5, 10}, rng);
+  Tensor y = mb.forward(x, true);
+  EXPECT_EQ(y.shape(), Shape({5, 14}));
+  EXPECT_EQ(mb.out_features(), 14u);
+}
+
+TEST(MinibatchDiscrimination, PassesInputFeaturesThrough) {
+  MinibatchDiscrimination mb(6, 2, 2);
+  Rng rng(62);
+  normal_init(mb.kernel(), 0.1f, rng);
+  Tensor x = Tensor::randn({4, 6}, rng);
+  Tensor y = mb.forward(x, true);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t f = 0; f < 6; ++f) {
+      EXPECT_FLOAT_EQ(y.at(i, f), x.at(i, f));
+    }
+  }
+}
+
+TEST(MinibatchDiscrimination, IdenticalSamplesMaximizeSimilarity) {
+  // Two identical rows: ||M_i - M_j||_1 = 0, so o = exp(0) = 1 per
+  // other sample.
+  MinibatchDiscrimination mb(3, 2, 2);
+  Rng rng(63);
+  normal_init(mb.kernel(), 0.5f, rng);
+  Tensor x({2, 3}, std::vector<float>{1, 2, 3, 1, 2, 3});
+  Tensor y = mb.forward(x, true);
+  EXPECT_NEAR(y.at(0, 3), 1.f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 4), 1.f, 1e-6f);
+}
+
+TEST(MinibatchDiscrimination, DissimilarSamplesScoreLower) {
+  MinibatchDiscrimination mb(3, 2, 2);
+  Rng rng(64);
+  normal_init(mb.kernel(), 0.5f, rng);
+  Tensor close({2, 3}, std::vector<float>{1, 2, 3, 1.01f, 2.01f, 3.01f});
+  Tensor far({2, 3}, std::vector<float>{1, 2, 3, -4, 5, -6});
+  Tensor yc = mb.forward(close, true);
+  Tensor yf = mb.forward(far, true);
+  EXPECT_GT(yc.at(0, 3), yf.at(0, 3));
+}
+
+TEST(MinibatchDiscrimination, GradientCheck) {
+  Rng rng(65);
+  MinibatchDiscrimination mb(4, 3, 2);
+  normal_init(mb.kernel(), 0.3f, rng);
+  Tensor x = Tensor::randn({4, 4}, rng);
+  auto res = testing::check_gradients(mb, x, rng);
+  // |.|_1 kinks make FD a bit rougher; random inputs avoid exact ties.
+  EXPECT_LT(res.max_input_error, 3e-2) << res.worst_location;
+  EXPECT_LT(res.max_param_error, 3e-2) << res.worst_location;
+}
+
+TEST(MinibatchDiscrimination, SingleSampleBatchGivesZeroSimilarity) {
+  MinibatchDiscrimination mb(3, 2, 2);
+  Rng rng(66);
+  normal_init(mb.kernel(), 0.5f, rng);
+  Tensor x = Tensor::randn({1, 3}, rng);
+  Tensor y = mb.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 3), 0.f);
+  EXPECT_FLOAT_EQ(y.at(0, 4), 0.f);
+}
+
+TEST(MinibatchDiscrimination, RejectsWrongWidth) {
+  MinibatchDiscrimination mb(3, 2, 2);
+  Tensor x({2, 5});
+  EXPECT_THROW(mb.forward(x, true), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::nn

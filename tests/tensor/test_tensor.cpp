@@ -1,0 +1,132 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mdgan {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 3u);
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FillConstructors) {
+  EXPECT_FLOAT_EQ(Tensor::ones({4})[3], 1.f);
+  EXPECT_FLOAT_EQ(Tensor::full({2, 2}, -2.f)[0], -2.f);
+  auto t = Tensor::from({1.f, 2.f, 3.f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_FLOAT_EQ(t[1], 2.f);
+}
+
+TEST(Tensor, DataShapeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1.f}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimAccessorsRowMajor) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(t.at(0, 2), 2.f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 3.f);
+  Tensor t4({2, 2, 2, 2});
+  t4.at(1, 0, 1, 0) = 7.f;
+  EXPECT_FLOAT_EQ(t4[1 * 8 + 0 * 4 + 1 * 2 + 0], 7.f);
+}
+
+TEST(Tensor, AccessorBoundsChecked) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 3), std::out_of_range);
+  EXPECT_THROW(t.at(0), std::out_of_range);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  t.reshape({3, 2});
+  EXPECT_FLOAT_EQ(t.at(2, 1), 5.f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapedIsACopy) {
+  Tensor t({4}, std::vector<float>{1, 2, 3, 4});
+  Tensor r = t.reshaped({2, 2});
+  r.at(0, 0) = 99.f;
+  EXPECT_FLOAT_EQ(t[0], 1.f);
+}
+
+TEST(Tensor, RowExtractAndSet) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor r = t.row(1);
+  EXPECT_EQ(r.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(r[0], 3.f);
+  t.set_row(0, Tensor::from({9.f, 8.f, 7.f}));
+  EXPECT_FLOAT_EQ(t.at(0, 1), 8.f);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, std::vector<float>{1, 2, 3});
+  Tensor b({3}, std::vector<float>{10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_FLOAT_EQ(c[2], 33.f);
+  c -= a;
+  EXPECT_FLOAT_EQ(c[2], 30.f);
+  c *= a;
+  EXPECT_FLOAT_EQ(c[2], 90.f);
+  c *= 0.5f;
+  EXPECT_FLOAT_EQ(c[2], 45.f);
+  c += 1.f;
+  EXPECT_FLOAT_EQ(c[0], 6.f);
+}
+
+TEST(Tensor, ShapeMismatchArithmeticThrows) {
+  Tensor a({3}), b({4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({3}, std::vector<float>{1, 1, 1});
+  Tensor b({3}, std::vector<float>{1, 2, 3});
+  a.axpy(2.f, b);
+  EXPECT_FLOAT_EQ(a[0], 3.f);
+  EXPECT_FLOAT_EQ(a[2], 7.f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, std::vector<float>{1, -2, 3, 6});
+  EXPECT_FLOAT_EQ(t.sum(), 8.f);
+  EXPECT_FLOAT_EQ(t.mean(), 2.f);
+  EXPECT_FLOAT_EQ(t.min(), -2.f);
+  EXPECT_FLOAT_EQ(t.max(), 6.f);
+  EXPECT_EQ(t.argmax(), 3u);
+  EXPECT_NEAR(t.norm(), 7.0710678f, 1e-4f);
+}
+
+TEST(Tensor, RandnIsDeterministicPerRng) {
+  Rng r1(5), r2(5);
+  Tensor a = Tensor::randn({8}, r1);
+  Tensor b = Tensor::randn({8}, r2);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Tensor, RandRespectsBounds) {
+  Rng r(6);
+  Tensor a = Tensor::rand({1000}, r, -1.f, 1.f);
+  EXPECT_GE(a.min(), -1.f);
+  EXPECT_LT(a.max(), 1.f);
+}
+
+TEST(Tensor, ToStringTruncates) {
+  Tensor t({100});
+  const auto s = t.to_string(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdgan

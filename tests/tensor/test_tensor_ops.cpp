@@ -1,0 +1,175 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mdgan {
+namespace {
+
+TEST(TensorOps, MatmulSmallKnown) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.f);
+}
+
+TEST(TensorOps, MatmulTransposeFlagsAgree) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({4, 6}, rng);
+  Tensor b = Tensor::randn({6, 5}, rng);
+  Tensor at = transpose(a);
+  Tensor bt = transpose(b);
+  Tensor ref = matmul(a, b);
+
+  EXPECT_LT(max_abs_diff(ref, matmul(at, b, true, false)), 1e-5f);
+  EXPECT_LT(max_abs_diff(ref, matmul(a, bt, false, true)), 1e-5f);
+  EXPECT_LT(max_abs_diff(ref, matmul(at, bt, true, true)), 1e-5f);
+}
+
+TEST(TensorOps, MatmulInnerDimMismatchThrows) {
+  Tensor a({2, 3}), b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(TensorOps, MatmulAccAccumulates) {
+  Tensor a({1, 2}, std::vector<float>{1, 1});
+  Tensor b({2, 1}, std::vector<float>{2, 3});
+  Tensor c({1, 1}, std::vector<float>{10});
+  matmul_acc(c, a, b);
+  EXPECT_FLOAT_EQ(c[0], 15.f);
+}
+
+TEST(TensorOps, MatmulLargeParallelMatchesSerialShape) {
+  // Big enough to cross the parallel threshold; compare against the
+  // transpose-based identity (A*B)^T == B^T * A^T.
+  Rng rng(2);
+  Tensor a = Tensor::randn({64, 48}, rng);
+  Tensor b = Tensor::randn({48, 72}, rng);
+  Tensor c = matmul(a, b);
+  Tensor ct = matmul(b, a, true, true);  // B^T A^T, via flags
+  EXPECT_LT(max_abs_diff(transpose(c), ct), 1e-4f);
+}
+
+TEST(TensorOps, AddRowBroadcast) {
+  Tensor rows({2, 3}, std::vector<float>{0, 0, 0, 1, 1, 1});
+  Tensor bias({3}, std::vector<float>{1, 2, 3});
+  add_row_broadcast(rows, bias);
+  EXPECT_FLOAT_EQ(rows.at(0, 2), 3.f);
+  EXPECT_FLOAT_EQ(rows.at(1, 0), 2.f);
+}
+
+TEST(TensorOps, SumRows) {
+  Tensor m({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor s = sum_rows(m);
+  EXPECT_FLOAT_EQ(s[0], 5.f);
+  EXPECT_FLOAT_EQ(s[1], 7.f);
+  EXPECT_FLOAT_EQ(s[2], 9.f);
+}
+
+TEST(TensorOps, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Tensor logits = Tensor::randn({5, 7}, rng, 0.f, 4.f);
+  Tensor p = softmax_rows(logits);
+  for (std::size_t i = 0; i < 5; ++i) {
+    float s = 0.f;
+    for (std::size_t j = 0; j < 7; ++j) {
+      s += p.at(i, j);
+      EXPECT_GT(p.at(i, j), 0.f);
+    }
+    EXPECT_NEAR(s, 1.f, 1e-5f);
+  }
+}
+
+TEST(TensorOps, SoftmaxNumericallyStableForHugeLogits) {
+  Tensor logits({1, 3}, std::vector<float>{1000.f, 1000.f, 1000.f});
+  Tensor p = softmax_rows(logits);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(p[j], 1.f / 3, 1e-6f);
+}
+
+TEST(TensorOps, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1: patches == pixels.
+  Tensor x({1, 2, 3, 3});
+  for (std::size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<float>(i);
+  std::size_t oh, ow;
+  Tensor cols = im2col(x, 1, 1, 1, 0, oh, ow);
+  EXPECT_EQ(oh, 3u);
+  EXPECT_EQ(ow, 3u);
+  EXPECT_EQ(cols.shape(), Shape({9, 2}));
+  // Patch row p has both channels of pixel p.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(cols.at(0, 1), 9.f);
+  EXPECT_FLOAT_EQ(cols.at(8, 0), 8.f);
+}
+
+TEST(TensorOps, Im2ColKnownPatch) {
+  Tensor x({1, 1, 3, 3},
+           std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::size_t oh, ow;
+  Tensor cols = im2col(x, 2, 2, 1, 0, oh, ow);
+  EXPECT_EQ(oh, 2u);
+  EXPECT_EQ(ow, 2u);
+  // First patch is the top-left 2x2 block.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 1.f);
+  EXPECT_FLOAT_EQ(cols.at(0, 1), 2.f);
+  EXPECT_FLOAT_EQ(cols.at(0, 2), 4.f);
+  EXPECT_FLOAT_EQ(cols.at(0, 3), 5.f);
+}
+
+TEST(TensorOps, Im2ColPaddingIsZero) {
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  std::size_t oh, ow;
+  Tensor cols = im2col(x, 3, 3, 1, 1, oh, ow);
+  EXPECT_EQ(oh, 2u);
+  EXPECT_EQ(ow, 2u);
+  // Patch at (0,0): the 3x3 window centered left-up has 4 padded zeros
+  // in the first row/col.
+  EXPECT_FLOAT_EQ(cols.at(0, 0), 0.f);  // (-1,-1)
+  EXPECT_FLOAT_EQ(cols.at(0, 4), 1.f);  // center == pixel (0,0)
+}
+
+TEST(TensorOps, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the ConvTranspose2D implementation rests on.
+  Rng rng(4);
+  Tensor x = Tensor::randn({2, 3, 6, 5}, rng);
+  std::size_t oh, ow;
+  Tensor cols = im2col(x, 3, 3, 2, 1, oh, ow);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = col2im(y, 2, 3, 6, 5, 3, 3, 2, 1, oh, ow);
+
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < cols.numel(); ++i) lhs += cols[i] * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(TensorOps, TransposeRoundTrip) {
+  Rng rng(5);
+  Tensor a = Tensor::randn({3, 7}, rng);
+  EXPECT_LT(max_abs_diff(a, transpose(transpose(a))), 0.f + 1e-9f);
+}
+
+TEST(TensorOps, MapAndClamp) {
+  Tensor t({3}, std::vector<float>{-2, 0.5f, 3});
+  Tensor sq = map(t, [](float v) { return v * v; });
+  EXPECT_FLOAT_EQ(sq[0], 4.f);
+  clamp_(t, -1.f, 1.f);
+  EXPECT_FLOAT_EQ(t[0], -1.f);
+  EXPECT_FLOAT_EQ(t[1], 0.5f);
+  EXPECT_FLOAT_EQ(t[2], 1.f);
+}
+
+TEST(TensorOps, MseAndMaxAbsDiff) {
+  Tensor a({2}, std::vector<float>{0, 0});
+  Tensor b({2}, std::vector<float>{3, 4});
+  EXPECT_FLOAT_EQ(mse(a, b), 12.5f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 4.f);
+}
+
+}  // namespace
+}  // namespace mdgan
