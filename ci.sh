@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything, run the full test suite.
+# Mirrors the command in ROADMAP.md; run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+cd build && ctest --output-on-failure -j"$(nproc)"

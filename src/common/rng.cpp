@@ -1,7 +1,6 @@
 #include "common/rng.hpp"
 
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
 namespace mdgan {
@@ -66,7 +65,7 @@ float Rng::normal() {
   while (u1 <= 1e-12f) u1 = uniform();
   const float u2 = uniform();
   const float r = std::sqrt(-2.f * std::log(u1));
-  const float theta = 2.f * std::numbers::pi_v<float> * u2;
+  const float theta = 2.f * kPi * u2;
   spare_ = r * std::sin(theta);
   has_spare_ = true;
   return r * std::cos(theta);

@@ -13,6 +13,9 @@
 
 namespace mdgan {
 
+// Shared by every caller needing pi in float (C++17: no std::numbers).
+inline constexpr float kPi = 3.14159265358979323846f;
+
 // xoshiro256++ 1.0 (Blackman & Vigna, public domain reference algorithm),
 // seeded through splitmix64 so that low-entropy seeds still produce
 // well-distributed state.

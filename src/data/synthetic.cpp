@@ -2,15 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numbers>
 #include <stdexcept>
 
+#include "common/rng.hpp"
 #include "data/raster.hpp"
 
 namespace mdgan::data {
 namespace {
-
-constexpr float kPi = std::numbers::pi_v<float>;
 
 // --- digits -----------------------------------------------------------
 

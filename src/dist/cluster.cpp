@@ -1,0 +1,43 @@
+#include "dist/cluster.hpp"
+
+#include <exception>
+#include <future>
+
+#include "common/thread_pool.hpp"
+
+namespace mdgan::dist {
+
+namespace {
+
+// Dedicated pool for worker bodies; see the header for why this is not
+// ThreadPool::global().
+ThreadPool& cluster_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace
+
+void for_each_worker(const std::vector<int>& ids,
+                     const std::function<void(int)>& fn, bool parallel) {
+  if (!parallel || ids.size() < 2) {
+    for (int id : ids) fn(id);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(ids.size());
+  for (int id : ids) {
+    futs.push_back(cluster_pool().submit([&fn, id] { fn(id); }));
+  }
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace mdgan::dist

@@ -1,0 +1,27 @@
+// Umbrella header for the simulated cluster plus the worker fan-out
+// helper the training loops drive their per-iteration worker work
+// through. for_each_worker runs on a dedicated pool, distinct from
+// ThreadPool::global(): worker bodies call tensor kernels that
+// parallel_for over the global pool, and sharing one pool for both
+// levels could deadlock (every pool thread blocked in a worker body,
+// waiting for kernel chunks that have no thread left to run on).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dist/compression.hpp"
+#include "dist/fault.hpp"
+#include "dist/network.hpp"
+
+namespace mdgan::dist {
+
+// Applies fn to every id. parallel=false (or a single id) runs inline
+// in order; parallel=true fans out over the cluster pool and blocks
+// until all ids are done. The first exception thrown by any fn is
+// rethrown after every task has finished, so no worker body is ever
+// abandoned mid-flight.
+void for_each_worker(const std::vector<int>& ids,
+                     const std::function<void(int)>& fn, bool parallel);
+
+}  // namespace mdgan::dist

@@ -1,0 +1,122 @@
+#include "dist/compression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace mdgan::dist {
+
+const char* to_string(CompressionKind kind) {
+  switch (kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kQuantizeInt8:
+      return "int8";
+    case CompressionKind::kTopK:
+      return "top-k";
+  }
+  return "?";
+}
+
+namespace {
+
+void compress_int8(const std::vector<float>& v, ByteBuffer& out) {
+  out.write_pod<std::uint64_t>(v.size());
+  float max_abs = 0.f;
+  for (float x : v) max_abs = std::max(max_abs, std::fabs(x));
+  // All-zero (or empty) input: scale 0 round-trips to exact zeros.
+  out.write_pod<float>(max_abs);
+  for (float x : v) {
+    const float q = max_abs > 0.f ? std::round(x / max_abs * 127.f) : 0.f;
+    out.write_pod<std::int8_t>(static_cast<std::int8_t>(
+        std::clamp(q, -127.f, 127.f)));
+  }
+}
+
+std::vector<float> decompress_int8(ByteBuffer& in) {
+  const auto n = in.read_pod<std::uint64_t>();
+  const float max_abs = in.read_pod<float>();
+  std::vector<float> out(n);
+  for (auto& x : out) {
+    x = static_cast<float>(in.read_pod<std::int8_t>()) / 127.f * max_abs;
+  }
+  return out;
+}
+
+void compress_top_k(const std::vector<float>& v, float fraction,
+                    ByteBuffer& out) {
+  const std::size_t n = v.size();
+  if (n == 0) {
+    out.write_pod<std::uint64_t>(0);
+    out.write_pod<std::uint64_t>(0);
+    return;
+  }
+  fraction = std::clamp(fraction, 0.f, 1.f);
+  const std::size_t k = std::min<std::size_t>(
+      n, std::max<std::size_t>(
+             1, static_cast<std::size_t>(std::lround(fraction * n))));
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  // Largest magnitudes first; ties broken by index so the encoding is a
+  // pure function of the values (determinism across runs and threads).
+  std::nth_element(idx.begin(), idx.begin() + (k - 1), idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const float fa = std::fabs(v[a]), fb = std::fabs(v[b]);
+                     return fa != fb ? fa > fb : a < b;
+                   });
+  std::sort(idx.begin(), idx.begin() + k);  // ascending index on the wire
+  out.write_pod<std::uint64_t>(n);
+  out.write_pod<std::uint64_t>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.write_pod<std::uint32_t>(idx[i]);
+    out.write_pod<float>(v[idx[i]]);
+  }
+}
+
+std::vector<float> decompress_top_k(ByteBuffer& in) {
+  const auto n = in.read_pod<std::uint64_t>();
+  const auto k = in.read_pod<std::uint64_t>();
+  std::vector<float> out(n, 0.f);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    const auto j = in.read_pod<std::uint32_t>();
+    const float x = in.read_pod<float>();
+    if (j >= n) throw std::out_of_range("decompress: top-k index bounds");
+    out[j] = x;
+  }
+  return out;
+}
+
+}  // namespace
+
+void compress(const std::vector<float>& values, const CompressionConfig& cfg,
+              ByteBuffer& out) {
+  out.write_pod<std::uint8_t>(static_cast<std::uint8_t>(cfg.kind));
+  switch (cfg.kind) {
+    case CompressionKind::kNone:
+      out.write_floats(values.data(), values.size());
+      break;
+    case CompressionKind::kQuantizeInt8:
+      compress_int8(values, out);
+      break;
+    case CompressionKind::kTopK:
+      compress_top_k(values, cfg.top_k_fraction, out);
+      break;
+  }
+}
+
+std::vector<float> decompress(ByteBuffer& in) {
+  const auto tag = in.read_pod<std::uint8_t>();
+  switch (static_cast<CompressionKind>(tag)) {
+    case CompressionKind::kNone:
+      return in.read_floats();
+    case CompressionKind::kQuantizeInt8:
+      return decompress_int8(in);
+    case CompressionKind::kTopK:
+      return decompress_top_k(in);
+  }
+  throw std::invalid_argument("decompress: unknown codec tag " +
+                              std::to_string(static_cast<int>(tag)));
+}
+
+}  // namespace mdgan::dist

@@ -1,0 +1,43 @@
+#include "dist/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdgan::dist {
+
+void CrashSchedule::add(std::int64_t iter, int worker) {
+  if (iter < 1) throw std::invalid_argument("CrashSchedule: iter < 1");
+  if (worker < 1) throw std::invalid_argument("CrashSchedule: worker < 1");
+  by_iter_[iter].push_back(worker);
+}
+
+std::vector<int> CrashSchedule::crashes_at(std::int64_t iter) const {
+  auto it = by_iter_.find(iter);
+  return it == by_iter_.end() ? std::vector<int>{} : it->second;
+}
+
+std::size_t CrashSchedule::size() const {
+  std::size_t n = 0;
+  for (const auto& [iter, workers] : by_iter_) n += workers.size();
+  return n;
+}
+
+CrashSchedule CrashSchedule::evenly_spaced(std::int64_t total_iters,
+                                           std::size_t n_workers) {
+  if (total_iters < 1) {
+    throw std::invalid_argument("CrashSchedule: total_iters < 1");
+  }
+  if (n_workers == 0) {
+    throw std::invalid_argument("CrashSchedule: n_workers == 0");
+  }
+  const std::int64_t period =
+      std::max<std::int64_t>(1, total_iters / static_cast<std::int64_t>(
+                                                  n_workers));
+  CrashSchedule s;
+  for (std::size_t w = 1; w <= n_workers; ++w) {
+    s.add(period * static_cast<std::int64_t>(w), static_cast<int>(w));
+  }
+  return s;
+}
+
+}  // namespace mdgan::dist

@@ -1,0 +1,44 @@
+// Fail-stop fault injection (paper §V, Figure 5). A CrashSchedule maps
+// global iteration numbers to the workers that die at that iteration's
+// boundary; the training loop queries it via crashes_at() right after
+// Network::begin_iteration and calls Network::crash on each victim.
+// Crashes are permanent — the paper's model has no recovery — and a
+// crashed worker takes its data shard and any hosted discriminator
+// with it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mdgan::dist {
+
+class CrashSchedule {
+ public:
+  CrashSchedule() = default;
+
+  // Worker `worker` (1-based) dies at the start of iteration `iter`.
+  void add(std::int64_t iter, int worker);
+
+  // Workers scheduled to die at `iter` (empty if none).
+  std::vector<int> crashes_at(std::int64_t iter) const;
+
+  bool empty() const { return by_iter_.empty(); }
+  std::size_t size() const;
+
+  // The Figure 5 schedule: one crash every total_iters / n_workers
+  // iterations (period clamped to >= 1), workers dying in id order at
+  // iterations period, 2*period, ... When n_workers divides
+  // total_iters the last crash lands exactly on the final iteration;
+  // otherwise the tail crashes are scheduled past iteration
+  // total_iters and a run of exactly that length leaves those workers
+  // alive.
+  static CrashSchedule evenly_spaced(std::int64_t total_iters,
+                                     std::size_t n_workers);
+
+ private:
+  std::map<std::int64_t, std::vector<int>> by_iter_;
+};
+
+}  // namespace mdgan::dist

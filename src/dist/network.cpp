@@ -1,0 +1,142 @@
+#include "dist/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdgan::dist {
+
+LinkKind link_kind(int from, int to) {
+  if (from == kServerId && to == kServerId) {
+    throw std::invalid_argument("link_kind: server->server has no link");
+  }
+  if (from == kServerId) return LinkKind::kServerToWorker;
+  if (to == kServerId) return LinkKind::kWorkerToServer;
+  return LinkKind::kWorkerToWorker;
+}
+
+Network::Network(std::size_t n_workers) : n_workers_(n_workers) {
+  if (n_workers_ == 0) {
+    throw std::invalid_argument("Network: need at least one worker");
+  }
+  alive_.assign(n_workers_ + 1, true);
+  mailbox_.resize(n_workers_ + 1);
+  send_seq_.assign(n_workers_ + 1, 0);
+  ingress_window_.assign(n_workers_ + 1, 0);
+  ingress_max_.assign(n_workers_ + 1, 0);
+}
+
+void Network::check_node(int node) const {
+  if (node < 0 || node > static_cast<int>(n_workers_)) {
+    throw std::out_of_range("Network: node id " + std::to_string(node) +
+                            " outside [0, " + std::to_string(n_workers_) +
+                            "]");
+  }
+}
+
+void Network::begin_iteration(std::int64_t /*iter*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t n = 0; n < ingress_window_.size(); ++n) {
+    ingress_max_[n] = std::max(ingress_max_[n], ingress_window_[n]);
+    ingress_window_[n] = 0;
+  }
+}
+
+void Network::send(int from, int to, const std::string& tag,
+                   ByteBuffer&& payload) {
+  check_node(from);
+  check_node(to);
+  const LinkKind kind = link_kind(from, to);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!alive_[static_cast<std::size_t>(from)] ||
+      !alive_[static_cast<std::size_t>(to)]) {
+    return;  // fail-stop: a dead endpoint moves no bytes
+  }
+  auto& t = totals_[link_index(kind)];
+  t.bytes += payload.size();
+  t.messages += 1;
+  ingress_window_[static_cast<std::size_t>(to)] += payload.size();
+
+  Stored s;
+  s.seq = send_seq_[static_cast<std::size_t>(from)]++;
+  s.msg.from = from;
+  s.msg.tag = tag;
+  s.msg.payload = std::move(payload);
+  mailbox_[static_cast<std::size_t>(to)].push_back(std::move(s));
+}
+
+std::optional<Message> Network::receive_tagged(int node,
+                                               const std::string& tag) {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!alive_[static_cast<std::size_t>(node)]) return std::nullopt;
+  auto& box = mailbox_[static_cast<std::size_t>(node)];
+  auto best = box.end();
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->msg.tag != tag) continue;
+    if (best == box.end() || it->msg.from < best->msg.from ||
+        (it->msg.from == best->msg.from && it->seq < best->seq)) {
+      best = it;
+    }
+  }
+  if (best == box.end()) return std::nullopt;
+  Message out = std::move(best->msg);
+  box.erase(best);
+  return out;
+}
+
+std::size_t Network::pending(int node) const {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  return mailbox_[static_cast<std::size_t>(node)].size();
+}
+
+LinkTotals Network::totals(LinkKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[link_index(kind)];
+}
+
+std::uint64_t Network::message_count(LinkKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[link_index(kind)].messages;
+}
+
+std::uint64_t Network::max_ingress_per_iteration(int node) const {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto n = static_cast<std::size_t>(node);
+  return std::max(ingress_max_[n], ingress_window_[n]);
+}
+
+void Network::crash(int worker) {
+  check_node(worker);
+  if (worker == kServerId) {
+    throw std::invalid_argument("Network: the server cannot crash");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_[static_cast<std::size_t>(worker)] = false;
+  mailbox_[static_cast<std::size_t>(worker)].clear();
+}
+
+bool Network::is_alive(int node) const {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Network::alive_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.reserve(n_workers_);
+  for (std::size_t w = 1; w <= n_workers_; ++w) {
+    if (alive_[w]) out.push_back(static_cast<int>(w));
+  }
+  return out;
+}
+
+std::size_t Network::alive_worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      std::count(alive_.begin() + 1, alive_.end(), true));
+}
+
+}  // namespace mdgan::dist

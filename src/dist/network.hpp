@@ -1,0 +1,119 @@
+// In-process simulated cluster transport. One server (dist::kServerId)
+// and N workers (ids 1..N) exchange tagged ByteBuffer messages; every
+// payload is really serialized, so the byte totals the accountant
+// reports (Table III/IV, Figure 2) are measured off the wire, not
+// estimated from formulas.
+//
+// Delivery model: send() enqueues into the destination's mailbox and
+// the traffic counters are charged immediately (the simulation has no
+// latency — messages are always consumed later in the same global
+// iteration). receive_tagged() pops the matching message with the
+// lowest (sender, per-sender sequence) key, NOT arrival order: under
+// parallel worker execution the physical enqueue order is racy, and
+// deterministic pop order is what keeps parallel and sequential runs
+// bit-identical (tests/core/test_md_gan.cpp ParallelAndSequential).
+//
+// Liveness is fail-stop (paper §V, Figure 5): crash(w) drops the
+// worker's queued mail, makes its future sends/receives no-ops, and
+// removes it from alive_workers(). Crashed workers never come back.
+//
+// All public methods are thread-safe; workers running on the cluster
+// thread pool may send/receive concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace mdgan::dist {
+
+// Node id of the central server; workers are 1-based (1..N).
+inline constexpr int kServerId = 0;
+
+// Link direction classes of the paper's Table III.
+enum class LinkKind { kServerToWorker, kWorkerToServer, kWorkerToWorker };
+
+// Classify a (from, to) pair. Throws std::invalid_argument on
+// server->server, which no protocol produces.
+LinkKind link_kind(int from, int to);
+
+struct LinkTotals {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+struct Message {
+  int from = kServerId;
+  std::string tag;
+  ByteBuffer payload;
+};
+
+class Network {
+ public:
+  explicit Network(std::size_t n_workers);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  std::size_t n_workers() const { return n_workers_; }
+
+  // Marks the start of global iteration `iter`: closes the current
+  // per-node ingress window (for max_ingress_per_iteration).
+  void begin_iteration(std::int64_t iter);
+
+  // Serialized hand-off from -> to. Charges the link counters and the
+  // destination's ingress window, then enqueues. Messages to or from a
+  // crashed node are silently dropped (fail-stop: the bytes never make
+  // it onto the wire). Throws on out-of-range ids.
+  void send(int from, int to, const std::string& tag, ByteBuffer&& payload);
+
+  // Pops the queued message for `node` with tag `tag` that has the
+  // smallest (sender id, sender sequence) key. Returns std::nullopt if
+  // no such message is queued or the node has crashed.
+  std::optional<Message> receive_tagged(int node, const std::string& tag);
+
+  // Number of messages currently queued at `node` (any tag).
+  std::size_t pending(int node) const;
+
+  // --- traffic accounting ---------------------------------------------
+  LinkTotals totals(LinkKind kind) const;
+  std::uint64_t message_count(LinkKind kind) const;
+  // Largest number of bytes `node` received within any single iteration
+  // window (the quantity plotted in Figure 2). The currently open
+  // window participates, so the value is usable mid-run.
+  std::uint64_t max_ingress_per_iteration(int node) const;
+
+  // --- liveness --------------------------------------------------------
+  // Fail-stop crash. The server cannot crash. Idempotent.
+  void crash(int worker);
+  bool is_alive(int node) const;
+  std::vector<int> alive_workers() const;
+  std::size_t alive_worker_count() const;
+
+ private:
+  struct Stored {
+    std::uint64_t seq = 0;  // per-sender sequence, assigned at send
+    Message msg;
+  };
+
+  void check_node(int node) const;
+  std::size_t link_index(LinkKind kind) const {
+    return static_cast<std::size_t>(kind);
+  }
+
+  std::size_t n_workers_;
+  mutable std::mutex mu_;
+  std::vector<bool> alive_;                  // index 0 = server
+  std::vector<std::vector<Stored>> mailbox_;  // per destination node
+  std::vector<std::uint64_t> send_seq_;       // per sender node
+  LinkTotals totals_[3];
+  std::vector<std::uint64_t> ingress_window_;  // open window, per node
+  std::vector<std::uint64_t> ingress_max_;     // closed-window max
+};
+
+}  // namespace mdgan::dist

@@ -1,0 +1,166 @@
+#include "dist/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+std::vector<float> gradient_like(std::size_t n, std::uint64_t seed) {
+  // Feedback-shaped data: zero-mean, small magnitude, a few large
+  // entries — the regime both codecs are tuned for.
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.normal(0.f, 0.01f);
+  for (std::size_t i = 0; i < n; i += 97) v[i] = rng.normal(0.f, 0.3f);
+  return v;
+}
+
+std::vector<float> round_trip(const std::vector<float>& v,
+                              const CompressionConfig& cfg,
+                              std::size_t* wire_size = nullptr) {
+  ByteBuffer buf;
+  compress(v, cfg, buf);
+  if (wire_size) *wire_size = buf.size();
+  auto out = decompress(buf);
+  EXPECT_EQ(buf.remaining(), 0u);  // record fully consumed
+  return out;
+}
+
+TEST(Compression, NoneRoundTripsExactly) {
+  const auto v = gradient_like(1000, 1);
+  std::size_t size = 0;
+  const auto out = round_trip(v, {CompressionKind::kNone, 0.1f}, &size);
+  EXPECT_EQ(out, v);
+  EXPECT_EQ(size, 1u + 8u + 4u * v.size());
+}
+
+TEST(Compression, Int8ErrorBoundedByHalfStep) {
+  const auto v = gradient_like(4096, 2);
+  float max_abs = 0.f;
+  for (float x : v) max_abs = std::max(max_abs, std::fabs(x));
+  const auto out = round_trip(v, {CompressionKind::kQuantizeInt8, 0.f});
+  ASSERT_EQ(out.size(), v.size());
+  // Symmetric 127-level quantization: error <= scale/(2*127) per entry.
+  const float bound = max_abs / 127.f * 0.5f + 1e-7f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(out[i], v[i], bound) << "entry " << i;
+  }
+}
+
+TEST(Compression, Int8ShrinksWire) {
+  const auto v = gradient_like(4096, 3);
+  std::size_t dense = 0, quant = 0;
+  round_trip(v, {CompressionKind::kNone, 0.f}, &dense);
+  round_trip(v, {CompressionKind::kQuantizeInt8, 0.f}, &quant);
+  EXPECT_LT(quant, dense);
+  EXPECT_LT(quant * 3, dense);  // ~4x smaller at this size
+}
+
+TEST(Compression, Int8AllZerosRoundTripsToZeros) {
+  const std::vector<float> v(128, 0.f);
+  const auto out = round_trip(v, {CompressionKind::kQuantizeInt8, 0.f});
+  EXPECT_EQ(out, v);
+}
+
+TEST(Compression, TopKKeepsLargestMagnitudesZeroesTheRest) {
+  std::vector<float> v(100, 0.01f);
+  v[7] = -5.f;
+  v[42] = 3.f;
+  v[99] = 2.f;
+  const auto out = round_trip(v, {CompressionKind::kTopK, 0.03f});
+  ASSERT_EQ(out.size(), v.size());
+  EXPECT_EQ(out[7], -5.f);   // survivors are exact, sign preserved
+  EXPECT_EQ(out[42], 3.f);
+  EXPECT_EQ(out[99], 2.f);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i != 7 && i != 42 && i != 99) {
+      EXPECT_EQ(out[i], 0.f) << "entry " << i;
+    }
+  }
+}
+
+TEST(Compression, TopKWireSizeMatchesFraction) {
+  const auto v = gradient_like(6272, 4);  // a b=8, d=784 feedback
+  std::size_t size = 0;
+  round_trip(v, {CompressionKind::kTopK, 0.05f}, &size);
+  const std::size_t k = static_cast<std::size_t>(std::lround(0.05 * 6272));
+  EXPECT_EQ(size, 1u + 8u + 8u + 8u * k);
+  std::size_t dense = 0;
+  round_trip(v, {CompressionKind::kNone, 0.f}, &dense);
+  EXPECT_LT(size * 5, dense);  // ~10x smaller than raw floats
+}
+
+TEST(Compression, TopKErrorBoundedByDroppedMagnitude) {
+  // Every reconstruction error is a dropped entry, and no dropped entry
+  // can exceed the smallest kept magnitude.
+  const auto v = gradient_like(2048, 5);
+  const auto out = round_trip(v, {CompressionKind::kTopK, 0.1f});
+  float min_kept = 1e30f;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (out[i] != 0.f) min_kept = std::min(min_kept, std::fabs(out[i]));
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float err = std::fabs(out[i] - v[i]);
+    if (out[i] == 0.f) {
+      EXPECT_LE(err, min_kept + 1e-7f) << "entry " << i;
+    } else {
+      EXPECT_EQ(err, 0.f) << "entry " << i;
+    }
+  }
+}
+
+TEST(Compression, TopKFractionClampAndTinyInputs) {
+  // Fractions outside (0,1] clamp; at least one entry always survives.
+  const std::vector<float> v{0.5f, -2.f, 1.f};
+  auto out = round_trip(v, {CompressionKind::kTopK, 0.f});
+  EXPECT_EQ(out, (std::vector<float>{0.f, -2.f, 0.f}));
+  out = round_trip(v, {CompressionKind::kTopK, 9.f});
+  EXPECT_EQ(out, v);  // kept everything
+}
+
+TEST(Compression, EmptyInputRoundTripsUnderEveryCodec) {
+  const std::vector<float> empty;
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kQuantizeInt8,
+        CompressionKind::kTopK}) {
+    const auto out = round_trip(empty, {kind, 0.1f});
+    EXPECT_TRUE(out.empty()) << to_string(kind);
+  }
+}
+
+TEST(Compression, DeterministicEncoding) {
+  // Same input -> identical bytes, including the top-k tie-break (the
+  // traffic accounting and the training trajectories depend on it).
+  std::vector<float> ties(64, 0.25f);
+  for (CompressionKind kind :
+       {CompressionKind::kNone, CompressionKind::kQuantizeInt8,
+        CompressionKind::kTopK}) {
+    ByteBuffer a, b;
+    compress(ties, {kind, 0.25f}, a);
+    compress(ties, {kind, 0.25f}, b);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+        << to_string(kind);
+  }
+}
+
+TEST(Compression, DecompressRejectsGarbageTag) {
+  ByteBuffer buf;
+  buf.write_pod<std::uint8_t>(0x7f);
+  EXPECT_THROW(decompress(buf), std::invalid_argument);
+}
+
+TEST(Compression, ToStringNames) {
+  EXPECT_STREQ(to_string(CompressionKind::kNone), "none");
+  EXPECT_STREQ(to_string(CompressionKind::kQuantizeInt8), "int8");
+  EXPECT_STREQ(to_string(CompressionKind::kTopK), "top-k");
+}
+
+}  // namespace
+}  // namespace mdgan::dist
