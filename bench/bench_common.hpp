@@ -1,11 +1,16 @@
 // Shared plumbing for the experiment benches: competitor runners that
 // train one configuration and return its evaluation series plus the
 // traffic its simulated network carried. Every bench emits CSV rows:
-//   series,<label>,<iter>,<inception_score>,<fid>
+//   series,<label>,<iter>,<inception_score>,<fid>,<sim_seconds>
+// where <sim_seconds> is the simulated elapsed time under the run's
+// link model (0 under the default zero model), turning every score
+// series into a time-to-score series.
 //
 // Every bench accepts --iters / --workers / --batch / --seed / --full;
 // defaults are scaled for a single CPU core (the paper used 4 GPUs and
-// I=50,000 — see EXPERIMENTS.md for the mapping).
+// I=50,000 — see EXPERIMENTS.md for the mapping). Benches that model
+// time also accept --latency-ms / --bandwidth-mbps / --jitter-ms via
+// link_model_from_flags.
 #pragma once
 
 #include <cstdio>
@@ -48,28 +53,69 @@ struct Series {
   std::string label;
   std::vector<metrics::EvalRecord> points;
   TrafficSummary traffic;
+  // Simulated elapsed seconds at each eval point (aligned with
+  // `points`; all zeros under the zero link model / no network).
+  std::vector<double> sim_at;
+  // Simulated elapsed seconds at the end of the run.
+  double sim_total = 0.0;
 };
 
 inline void print_series(const Series& s) {
-  for (const auto& r : s.points) {
-    std::printf("series,%s,%lld,%.4f,%.4f\n", s.label.c_str(),
+  for (std::size_t i = 0; i < s.points.size(); ++i) {
+    const auto& r = s.points[i];
+    const double t = i < s.sim_at.size() ? s.sim_at[i] : 0.0;
+    std::printf("series,%s,%lld,%.4f,%.4f,%.4f\n", s.label.c_str(),
                 static_cast<long long>(r.iter), r.scores.inception_score,
-                r.scores.fid);
+                r.scores.fid, t);
   }
 }
 
 inline void print_final_table(const std::vector<Series>& all) {
-  std::printf("\n%-28s %10s %10s %12s %12s\n", "competitor", "final IS",
-              "final FID", "C<->W", "W<->W");
+  std::printf("\n%-28s %10s %10s %12s %12s %12s\n", "competitor",
+              "final IS", "final FID", "C<->W", "W<->W", "sim time");
   for (const auto& s : all) {
     if (s.points.empty()) continue;
     const auto& last = s.points.back();
-    std::printf("%-28s %10.3f %10.2f %12s %12s\n", s.label.c_str(),
+    std::printf("%-28s %10.3f %10.2f %12s %12s %10.3fs\n", s.label.c_str(),
                 last.scores.inception_score, last.scores.fid,
                 core::human_bytes(s.traffic.c_to_w + s.traffic.w_to_c)
                     .c_str(),
-                core::human_bytes(s.traffic.w_to_w).c_str());
+                core::human_bytes(s.traffic.w_to_w).c_str(), s.sim_total);
   }
+}
+
+// --- link-model helpers -------------------------------------------------
+
+// Uniform link model from the shared bench flags: --latency-ms,
+// --bandwidth-mbps (megabits/s), --jitter-ms. All-zero flags (the
+// default) give the zero model, i.e. the pre-clock behavior.
+inline dist::LinkModel link_model_from_flags(const CliFlags& flags,
+                                             std::uint64_t seed,
+                                             double default_latency_ms = 0,
+                                             double default_mbps = 0,
+                                             double default_jitter_ms = 0) {
+  dist::LinkParams p;
+  p.latency_s =
+      dist::ms_to_s(flags.get_double("latency-ms", default_latency_ms));
+  p.bytes_per_s = dist::mbps_to_bytes_per_s(
+      flags.get_double("bandwidth-mbps", default_mbps));
+  p.jitter_s =
+      dist::ms_to_s(flags.get_double("jitter-ms", default_jitter_ms));
+  return dist::LinkModel(p, seed);
+}
+
+// A uniform model with one straggling worker whose links (both
+// directions) run `slowdown` times slower.
+inline dist::LinkModel straggler_link_model(double latency_ms, double mbps,
+                                            int straggler_worker,
+                                            double slowdown,
+                                            std::uint64_t seed) {
+  dist::LinkParams p;
+  p.latency_s = dist::ms_to_s(latency_ms);
+  p.bytes_per_s = dist::mbps_to_bytes_per_s(mbps);
+  dist::LinkModel model(p, seed);
+  if (slowdown != 1.0) model.slow_node(straggler_worker, slowdown);
+  return model;
 }
 
 // --- competitor runners -------------------------------------------------
@@ -81,20 +127,25 @@ struct RunContext {
   std::int64_t iters;
   std::int64_t eval_every;
   std::uint64_t seed;
+  // Link model applied to the run's Network (zero model by default, so
+  // benches that don't care about time are unchanged).
+  dist::LinkModel link{};
 };
 
 inline Series run_standalone(const RunContext& ctx, gan::GanHyperParams hp,
                              const std::string& label) {
-  Series out{label, {}, {}};
+  Series out{label, {}, {}, {}, 0.0};
   gan::StandaloneGan alone(ctx.arch, hp, ctx.seed);
   out.points.push_back(
       {0, ctx.evaluator.evaluate(alone.generator(), ctx.arch,
                                  alone.codes())});
+  out.sim_at.push_back(0.0);  // no network, no simulated time
   alone.train(ctx.train, ctx.iters, ctx.eval_every,
               [&](std::int64_t it, nn::Sequential& g) {
                 out.points.push_back(
                     {it, ctx.evaluator.evaluate(g, ctx.arch,
                                                 alone.codes())});
+                out.sim_at.push_back(0.0);
               });
   return out;
 }
@@ -102,10 +153,11 @@ inline Series run_standalone(const RunContext& ctx, gan::GanHyperParams hp,
 inline Series run_fl_gan(const RunContext& ctx, gan::GanHyperParams hp,
                          std::size_t workers,
                          const std::string& label) {
-  Series out{label, {}, {}};
+  Series out{label, {}, {}, {}, 0.0};
   Rng split_rng(ctx.seed);
   auto shards = data::split_iid(ctx.train, workers, split_rng);
   dist::Network net(workers);
+  net.set_link_model(ctx.link);
   gan::FlGanConfig cfg;
   cfg.hp = hp;
   gan::FlGan fl(ctx.arch, cfg, std::move(shards), ctx.seed, net);
@@ -113,13 +165,16 @@ inline Series run_fl_gan(const RunContext& ctx, gan::GanHyperParams hp,
     auto g = fl.server_generator();
     out.points.push_back(
         {0, ctx.evaluator.evaluate(g, ctx.arch, fl.codes())});
+    out.sim_at.push_back(net.max_sim_time());
   }
   fl.train(ctx.iters, ctx.eval_every,
            [&](std::int64_t it, nn::Sequential& g) {
              out.points.push_back(
                  {it, ctx.evaluator.evaluate(g, ctx.arch, fl.codes())});
+             out.sim_at.push_back(net.max_sim_time());
            });
   out.traffic = TrafficSummary::of(net);
+  out.sim_total = net.max_sim_time();
   return out;
 }
 
@@ -127,29 +182,35 @@ struct MdGanRunOptions {
   std::size_t k = 1;
   bool swap_enabled = true;
   const dist::CrashSchedule* crashes = nullptr;
+  dist::CompressionConfig feedback_compression{};
 };
 
 inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
                          std::size_t workers, MdGanRunOptions opts,
                          const std::string& label) {
-  Series out{label, {}, {}};
+  Series out{label, {}, {}, {}, 0.0};
   Rng split_rng(ctx.seed);
   auto shards = data::split_iid(ctx.train, workers, split_rng);
   dist::Network net(workers);
+  net.set_link_model(ctx.link);
   core::MdGanConfig cfg;
   cfg.hp = hp;
   cfg.k = opts.k;
   cfg.swap_enabled = opts.swap_enabled;
+  cfg.feedback_compression = opts.feedback_compression;
   core::MdGan md(ctx.arch, cfg, std::move(shards), ctx.seed, net,
                  opts.crashes);
   out.points.push_back(
       {0, ctx.evaluator.evaluate(md.generator(), ctx.arch, md.codes())});
+  out.sim_at.push_back(md.sim_seconds());
   md.train(ctx.iters, ctx.eval_every,
            [&](std::int64_t it, nn::Sequential& g) {
              out.points.push_back(
                  {it, ctx.evaluator.evaluate(g, ctx.arch, md.codes())});
+             out.sim_at.push_back(md.sim_seconds());
            });
   out.traffic = TrafficSummary::of(net);
+  out.sim_total = md.sim_seconds();
   return out;
 }
 

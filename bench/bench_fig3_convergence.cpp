@@ -10,6 +10,12 @@
 // --iters=240 with N=5, which preserves the orderings the paper reports
 // (MD-GAN tracks standalone b=100, k=log N >= k=1, FL-GAN trails on the
 // MLP panel). Use --full for N=10 and longer runs.
+//
+// Time-to-score: pass --latency-ms / --bandwidth-mbps (/ --jitter-ms)
+// to attach a link model; every series row then carries the simulated
+// elapsed seconds at that eval point, so the same run doubles as the
+// paper's score-vs-time comparison (standalone runs report 0 — they
+// move no bytes).
 #include <cstdio>
 #include <string>
 
@@ -49,6 +55,14 @@ int main(int argc, char** argv) {
               evaluator.classifier_accuracy());
 
   RunContext ctx{train, evaluator, arch, iters, eval_every, seed};
+  ctx.link = link_model_from_flags(flags, seed);
+  if (!ctx.link.zero()) {
+    std::printf("link model: latency=%.3gms bandwidth=%.3gMbit/s "
+                "jitter=%.3gms (series rows carry sim seconds)\n",
+                flags.get_double("latency-ms", 0),
+                flags.get_double("bandwidth-mbps", 0),
+                flags.get_double("jitter-ms", 0));
+  }
   gan::GanHyperParams hp_small, hp_big;
   hp_small.batch = small_b;
   hp_big.batch = big_b;

@@ -9,6 +9,14 @@
 //
 // Paper: N in {1,10,25,50}, 20,000 iterations. Single-core default:
 // N in {1,5,10}, --iters=160; --full restores the paper's N sweep.
+//
+// A second sweep reports simulated time-to-score under a link model
+// (--latency-ms / --bandwidth-mbps, defaults 5ms / 100Mbit/s) while one
+// worker's bandwidth is cut 1x/2x/10x: the training trajectory is
+// identical across slowdowns (the link model never changes what is
+// computed), but the simulated seconds needed to reach that score
+// degrade monotonically with the straggler's cut. --no-time skips
+// this sweep.
 #include <cstdio>
 #include <vector>
 
@@ -79,5 +87,44 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper shape to check: constant-worker-load beats constant-server"
       "-load at larger N; swapping beats no-swap (clearest in MS).\n");
+
+  if (!flags.get_bool("no-time")) {
+    // Time-to-score under a straggler: same seed everywhere, so every
+    // row trains the identical trajectory (the link model never changes
+    // the math; printed scores can wiggle slightly because the shared
+    // evaluator's sampling RNG advances between runs) — what moves is
+    // the simulated time to get there, and it must grow with the
+    // slowdown.
+    const double latency_ms = flags.get_double("latency-ms", 5.0);
+    const double mbps = flags.get_double("bandwidth-mbps", 100.0);
+    const std::size_t n_t = worker_counts.back();
+    std::printf("\n=== simulated time-to-score: worker 1's bandwidth cut "
+                "(N=%zu, %.3gms, %.3gMbit/s) ===\n",
+                n_t, latency_ms, mbps);
+    std::printf("csv: fig4time,<slowdown>,<N>,<sim_seconds>,<IS>,<FID>\n");
+    double prev = -1.0;
+    bool monotone = true;
+    for (double slowdown : {1.0, 2.0, 10.0}) {
+      RunContext ctx{train, evaluator, arch, iters,
+                     /*eval_every=*/iters, seed};
+      ctx.link = straggler_link_model(latency_ms, mbps,
+                                      /*straggler_worker=*/1, slowdown,
+                                      seed);
+      gan::GanHyperParams hp;
+      hp.batch = base_b;
+      MdGanRunOptions opts;
+      opts.k = core::k_log_n(n_t);
+      auto s = run_md_gan(ctx, hp, n_t, opts, "straggler");
+      const auto& last = s.points.back();
+      std::printf("fig4time,%.0f,%zu,%.4f,%.4f,%.4f\n", slowdown, n_t,
+                  s.sim_total, last.scores.inception_score,
+                  last.scores.fid);
+      std::fflush(stdout);
+      monotone = monotone && s.sim_total > prev;
+      prev = s.sim_total;
+    }
+    std::printf("time-to-score degradation monotone in slowdown: %s\n",
+                monotone ? "yes" : "NO (unexpected)");
+  }
   return 0;
 }

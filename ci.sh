@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build everything, run the full test suite.
-# Mirrors the command in ROADMAP.md; run from the repo root.
+# Tier-1 verify: configure, build everything, run the full test suite,
+# then smoke-run the simulated-time straggler bench so the virtual-clock
+# path cannot silently rot. Mirrors the command in ROADMAP.md; run from
+# the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build && ctest --output-on-failure -j"$(nproc)"
+
+echo "--- smoke: bench_stragglers --tiny"
+./bench_stragglers --tiny

@@ -186,6 +186,13 @@ void MdGan::worker_iteration(std::size_t disc_index) {
   Tensor feedback = gan::generator_feedback(
       disc.net, x_g, arch_.acgan ? &yg : nullptr, cfg_.hp.saturating);
 
+  // The local iteration's modeled compute happens between receiving the
+  // batches and shipping the feedback, so the feedback departs at
+  // arrival + compute on the worker's simulated clock.
+  if (cfg_.sim_worker_step_seconds > 0.0) {
+    net_.advance_time(disc.holder, cfg_.sim_worker_step_seconds);
+  }
+
   ByteBuffer buf;
   buf.write_pod<std::uint32_t>(gi);
   dist::compress(feedback.vec(), cfg_.feedback_compression, buf);
@@ -228,6 +235,12 @@ void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
   }
   g_opt_->step();
   ++gen_updates_;
+  // Server apply: the server's clock is already at the arrival of the
+  // slowest feedback (receive_tagged advanced it); the update's modeled
+  // compute lands on top of that.
+  if (cfg_.sim_server_update_seconds > 0.0) {
+    net_.advance_time(dist::kServerId, cfg_.sim_server_update_seconds);
+  }
 }
 
 void MdGan::server_update_async(const std::vector<std::size_t>& discs,
@@ -248,6 +261,11 @@ void MdGan::server_update_async(const std::vector<std::size_t>& discs,
     g_.backward(fb);
     g_opt_->step();
     ++gen_updates_;
+    // One modeled update cost per applied feedback: in the async regime
+    // the server is busy for every arrival, not once per round.
+    if (cfg_.sim_server_update_seconds > 0.0) {
+      net_.advance_time(dist::kServerId, cfg_.sim_server_update_seconds);
+    }
   }
 }
 
@@ -304,6 +322,9 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
                   const gan::EvalHook& hook) {
   const std::int64_t period = swap_period();
   for (std::int64_t i = 1; i <= iters; ++i) {
+    // Simulated round time = critical-path delta across the iteration
+    // (max over workers' paths into the server, + server apply + swap).
+    const double round_start_s = net_.max_sim_time();
     net_.begin_iteration(i);
     if (crashes_) {
       for (int w : crashes_->crashes_at(i)) {
@@ -345,6 +366,9 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
     if (cfg_.swap_enabled && i % period == 0) {
       swap_discriminators();
     }
+    // Clamped at 0: a crash can remove the node that held the max clock
+    // from the alive set, which must not read as negative elapsed time.
+    round_sim_s_.push_back(std::max(0.0, net_.max_sim_time() - round_start_s));
     iters_run_ = i;
     if (hook && eval_every > 0 && (i % eval_every == 0 || i == iters)) {
       hook(i, g_);

@@ -57,6 +57,13 @@ struct MdGanConfig {
   bool async = false;
   // §VII-2 feedback compression on the W->C link.
   dist::CompressionConfig feedback_compression;
+  // Simulated compute costs (seconds), layered on the Network's link
+  // model via its virtual clock: per-worker cost of one local iteration
+  // (L discriminator steps + feedback), and the server's cost of one
+  // generator update. Zero by default, which — together with the
+  // default zero link model — keeps every simulated clock at 0.
+  double sim_worker_step_seconds = 0.0;
+  double sim_server_update_seconds = 0.0;
 };
 
 // Helper for the paper's k = floor(log N) configuration (natural log,
@@ -97,6 +104,20 @@ class MdGan {
   // Total generator updates applied (== iterations in sync mode,
   // ~participants-per-iteration times more in async mode).
   std::int64_t generator_updates() const { return gen_updates_; }
+
+  // --- simulated time --------------------------------------------------
+  // Simulated elapsed seconds of each completed round: the critical
+  // path through that round — C->W batch delivery, the slowest worker's
+  // local work and W->C feedback, the server's apply, and any
+  // discriminator swap — under the Network's link model plus the
+  // sim_*_seconds compute costs. All zeros when both are zero (the
+  // default), so existing runs are unchanged.
+  const std::vector<double>& round_sim_seconds() const {
+    return round_sim_s_;
+  }
+  // Total simulated time so far: the critical path over the whole run
+  // (max clock over alive nodes).
+  double sim_seconds() const { return net_.max_sim_time(); }
 
  private:
   struct Disc {
@@ -144,6 +165,7 @@ class MdGan {
   std::vector<Disc> discs_;
   std::int64_t iters_run_ = 0;
   std::int64_t gen_updates_ = 0;
+  std::vector<double> round_sim_s_;  // per completed round, seconds
 };
 
 }  // namespace mdgan::core

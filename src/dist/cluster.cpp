@@ -1,7 +1,9 @@
 #include "dist/cluster.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <future>
+#include <stdexcept>
 
 #include "common/thread_pool.hpp"
 
@@ -38,6 +40,39 @@ void for_each_worker(const std::vector<int>& ids,
     }
   }
   if (first) std::rethrow_exception(first);
+}
+
+double SimTimes::max_worker() const {
+  double out = 0.0;
+  for (double t : workers) out = std::max(out, t);
+  return out;
+}
+
+double SimTimes::critical_path() const {
+  return std::max(server, max_worker());
+}
+
+SimTimes operator-(const SimTimes& a, const SimTimes& b) {
+  if (a.workers.size() != b.workers.size()) {
+    throw std::invalid_argument("SimTimes: cluster sizes differ");
+  }
+  SimTimes out;
+  out.server = a.server - b.server;
+  out.workers.resize(a.workers.size());
+  for (std::size_t i = 0; i < a.workers.size(); ++i) {
+    out.workers[i] = a.workers[i] - b.workers[i];
+  }
+  return out;
+}
+
+SimTimes sim_times_of(const Network& net) {
+  SimTimes out;
+  out.server = net.sim_time(kServerId);
+  out.workers.resize(net.n_workers());
+  for (std::size_t w = 1; w <= net.n_workers(); ++w) {
+    out.workers[w - 1] = net.sim_time(static_cast<int>(w));
+  }
+  return out;
 }
 
 }  // namespace mdgan::dist

@@ -12,6 +12,7 @@
 
 #include "dist/compression.hpp"
 #include "dist/fault.hpp"
+#include "dist/link_model.hpp"
 #include "dist/network.hpp"
 
 namespace mdgan::dist {
@@ -23,5 +24,28 @@ namespace mdgan::dist {
 // abandoned mid-flight.
 void for_each_worker(const std::vector<int>& ids,
                      const std::function<void(int)>& fn, bool parallel);
+
+// Snapshot of every node's simulated clock. Take one before and one
+// after a round and subtract to get the round's per-node elapsed time;
+// critical_path() of the difference is the round's simulated duration
+// (for the MD-GAN round: max over workers, then the server's apply,
+// which the server clock already includes because it consumes every
+// feedback). All zeros under the zero link model.
+struct SimTimes {
+  double server = 0.0;
+  std::vector<double> workers;  // workers[i] is worker i+1's clock
+
+  // Slowest node in the snapshot (or, for a difference, the slowest
+  // node across the interval).
+  double critical_path() const;
+  double max_worker() const;
+
+  // Element-wise difference a - b (same cluster size required).
+  friend SimTimes operator-(const SimTimes& a, const SimTimes& b);
+};
+
+// Reads the current clocks off the network (crashed workers report the
+// clock they froze at).
+SimTimes sim_times_of(const Network& net);
 
 }  // namespace mdgan::dist

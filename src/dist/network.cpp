@@ -23,6 +23,9 @@ Network::Network(std::size_t n_workers) : n_workers_(n_workers) {
   send_seq_.assign(n_workers_ + 1, 0);
   ingress_window_.assign(n_workers_ + 1, 0);
   ingress_max_.assign(n_workers_ + 1, 0);
+  sim_time_.assign(n_workers_ + 1, 0.0);
+  link_busy_.assign((n_workers_ + 1) * (n_workers_ + 1), 0.0);
+  link_seq_.assign((n_workers_ + 1) * (n_workers_ + 1), 0);
 }
 
 void Network::check_node(int node) const {
@@ -56,11 +59,27 @@ void Network::send(int from, int to, const std::string& tag,
   t.messages += 1;
   ingress_window_[static_cast<std::size_t>(to)] += payload.size();
 
+  // Virtual clock: the message departs at the sender's current time and
+  // arrives after queueing behind earlier traffic on the same link plus
+  // the link's transmit/latency/jitter cost. Zero model: arrival ==
+  // sender clock, no link state touched (clocks stay wherever
+  // advance_time left them, i.e. all-zero by default).
+  double arrival = sim_time_[static_cast<std::size_t>(from)];
+  if (!model_zero_) {
+    const std::size_t li = pair_index(from, to);
+    const LinkDelay d =
+        model_.delay(from, to, payload.size(), link_seq_[li]++);
+    const double start = std::max(arrival, link_busy_[li]);
+    link_busy_[li] = start + d.transmit_s;
+    arrival = start + d.transmit_s + d.propagation_s;
+  }
+
   Stored s;
   s.seq = send_seq_[static_cast<std::size_t>(from)]++;
   s.msg.from = from;
   s.msg.tag = tag;
   s.msg.payload = std::move(payload);
+  s.msg.arrival_s = arrival;
   mailbox_[static_cast<std::size_t>(to)].push_back(std::move(s));
 }
 
@@ -81,6 +100,11 @@ std::optional<Message> Network::receive_tagged(int node,
   if (best == box.end()) return std::nullopt;
   Message out = std::move(best->msg);
   box.erase(best);
+  // Consuming a message is the receiver's next event: its clock jumps
+  // forward to the arrival time (never backward — the receiver may
+  // already be later because of advance_time or an earlier arrival).
+  auto& clock = sim_time_[static_cast<std::size_t>(node)];
+  clock = std::max(clock, out.arrival_s);
   return out;
 }
 
@@ -105,6 +129,38 @@ std::uint64_t Network::max_ingress_per_iteration(int node) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto n = static_cast<std::size_t>(node);
   return std::max(ingress_max_[n], ingress_window_[n]);
+}
+
+void Network::set_link_model(LinkModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+  model_zero_ = model_.zero();
+}
+
+const LinkModel& Network::link_model() const { return model_; }
+
+double Network::sim_time(int node) const {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_time_[static_cast<std::size_t>(node)];
+}
+
+void Network::advance_time(int node, double seconds) {
+  check_node(node);
+  if (seconds < 0.0) {
+    throw std::invalid_argument("Network: cannot advance time backwards");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  sim_time_[static_cast<std::size_t>(node)] += seconds;
+}
+
+double Network::max_sim_time() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double out = sim_time_[kServerId];  // the server never crashes
+  for (std::size_t n = 1; n < sim_time_.size(); ++n) {
+    if (alive_[n]) out = std::max(out, sim_time_[n]);
+  }
+  return out;
 }
 
 void Network::crash(int worker) {

@@ -5,13 +5,27 @@
 // estimated from formulas.
 //
 // Delivery model: send() enqueues into the destination's mailbox and
-// the traffic counters are charged immediately (the simulation has no
-// latency — messages are always consumed later in the same global
-// iteration). receive_tagged() pops the matching message with the
-// lowest (sender, per-sender sequence) key, NOT arrival order: under
-// parallel worker execution the physical enqueue order is racy, and
-// deterministic pop order is what keeps parallel and sequential runs
-// bit-identical (tests/core/test_md_gan.cpp ParallelAndSequential).
+// the traffic counters are charged immediately (messages are always
+// consumed later in the same global iteration). receive_tagged() pops
+// the matching message with the lowest (sender, per-sender sequence)
+// key, NOT physical arrival order: under parallel worker execution the
+// physical enqueue order is racy, and deterministic pop order is what
+// keeps parallel and sequential runs bit-identical
+// (tests/core/test_md_gan.cpp ParallelAndSequential). A corollary the
+// protocols rely on: two sends issued by the same sender in program
+// order are assigned increasing sequence numbers under one mutex, so
+// per-sender FIFO holds even when sends race on the cluster thread
+// pool (tests/dist/test_network.cpp SameSenderFifoUnderClusterPool).
+//
+// Simulated time: the Network also keeps a deterministic virtual clock
+// per node, driven by the attached LinkModel (default: the zero model,
+// which keeps every clock at 0 and all behavior identical to the
+// clock-less transport). send() stamps each message with its arrival
+// time — sender clock, plus per-link queueing/transmit/latency/jitter —
+// and receive_tagged() advances the receiver's clock to
+// max(own clock, message arrival). advance_time() lets callers model
+// local compute. Simulated time never changes what is sent or received,
+// only the timestamps; byte/message accounting is model-independent.
 //
 // Liveness is fail-stop (paper §V, Figure 5): crash(w) drops the
 // worker's queued mail, makes its future sends/receives no-ops, and
@@ -29,6 +43,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "dist/link_model.hpp"
 
 namespace mdgan::dist {
 
@@ -51,6 +66,9 @@ struct Message {
   int from = kServerId;
   std::string tag;
   ByteBuffer payload;
+  // Simulated arrival time (seconds) under the network's link model;
+  // 0 under the zero model unless the sender's clock was advanced.
+  double arrival_s = 0.0;
 };
 
 class Network {
@@ -88,6 +106,23 @@ class Network {
   // window participates, so the value is usable mid-run.
   std::uint64_t max_ingress_per_iteration(int node) const;
 
+  // --- simulated time --------------------------------------------------
+  // Replaces the link model. Legal at any point; only future sends are
+  // affected. Setting a zero model re-disables all clock arithmetic
+  // (clocks keep their current values).
+  void set_link_model(LinkModel model);
+  const LinkModel& link_model() const;
+
+  // Node's simulated clock, seconds: the time of its last event
+  // (message arrival it consumed, or advance_time call).
+  double sim_time(int node) const;
+  // Models local compute at `node`: advances its clock by `seconds`
+  // (>= 0; throws std::invalid_argument on negative).
+  void advance_time(int node, double seconds);
+  // Critical path so far: max clock over the *alive* nodes (a crashed
+  // worker's frozen clock must not dominate the round time forever).
+  double max_sim_time() const;
+
   // --- liveness --------------------------------------------------------
   // Fail-stop crash. The server cannot crash. Idempotent.
   void crash(int worker);
@@ -105,6 +140,11 @@ class Network {
   std::size_t link_index(LinkKind kind) const {
     return static_cast<std::size_t>(kind);
   }
+  // Flat index of the directed link from -> to.
+  std::size_t pair_index(int from, int to) const {
+    return static_cast<std::size_t>(from) * (n_workers_ + 1) +
+           static_cast<std::size_t>(to);
+  }
 
   std::size_t n_workers_;
   mutable std::mutex mu_;
@@ -114,6 +154,13 @@ class Network {
   LinkTotals totals_[3];
   std::vector<std::uint64_t> ingress_window_;  // open window, per node
   std::vector<std::uint64_t> ingress_max_;     // closed-window max
+
+  // Virtual clock state (all zeros under the zero model).
+  LinkModel model_;
+  bool model_zero_ = true;             // cached LinkModel::zero()
+  std::vector<double> sim_time_;       // per node
+  std::vector<double> link_busy_;      // per directed link, pair_index
+  std::vector<std::uint64_t> link_seq_;  // messages ever sent per link
 };
 
 }  // namespace mdgan::dist

@@ -150,6 +150,109 @@ TEST(Compression, DeterministicEncoding) {
   }
 }
 
+// Property-style round-trip fuzz over random tensors: the fixed-vector
+// cases above pin the wire format; these pin the documented error
+// bounds and size formulas for arbitrary shapes — empty, single-entry,
+// odd, large — and fractions across the whole (0, 1] range.
+TEST(CompressionFuzz, RoundTripBoundsOverRandomTensors) {
+  const std::size_t sizes[] = {0, 1, 2, 3, 7, 97, 255, 1024, 6273};
+  Rng meta_rng(0xf22);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (std::size_t n : sizes) {
+      // Feedback-shaped data with deliberate pathologies: exact zeros,
+      // repeated values (top-k ties), and occasional spikes.
+      Rng rng(seed * 1000 + n);
+      std::vector<float> v(n);
+      for (auto& x : v) x = rng.normal(0.f, 0.05f);
+      for (std::size_t i = 0; i < n; i += 13) v[i] = 0.f;
+      for (std::size_t i = 5; i < n; i += 29) v[i] = v[0];
+      for (std::size_t i = 3; i < n; i += 101) v[i] = rng.normal(0.f, 1.f);
+
+      // kNone: exact, size formula 1 tag + 8 count + 4n payload.
+      std::size_t size = 0;
+      auto out = round_trip(v, {CompressionKind::kNone, 0.f}, &size);
+      EXPECT_EQ(out, v);
+      EXPECT_EQ(size, 1u + 8u + 4u * n);
+
+      // kQuantizeInt8: size 1 + 8 + 4 scale + n codes; per-entry error
+      // within half a quantization step of scale = max|v|.
+      float max_abs = 0.f;
+      for (float x : v) max_abs = std::max(max_abs, std::fabs(x));
+      out = round_trip(v, {CompressionKind::kQuantizeInt8, 0.f}, &size);
+      ASSERT_EQ(out.size(), n);
+      EXPECT_EQ(size, 1u + 8u + 4u + n);
+      const float bound = max_abs / 127.f * 0.5f + max_abs * 1e-5f + 1e-7f;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(out[i], v[i], bound) << "n=" << n << " entry " << i;
+      }
+
+      // kTopK at a random and at extreme fractions: survivors exact, a
+      // dropped entry never out-magnitudes a kept one, wire size
+      // matches k exactly.
+      const float fractions[] = {0.01f, 1.f, meta_rng.uniform(),
+                                 meta_rng.uniform()};
+      for (float fraction : fractions) {
+        out = round_trip(v, {CompressionKind::kTopK, fraction}, &size);
+        ASSERT_EQ(out.size(), n);
+        if (n == 0) {
+          EXPECT_EQ(size, 1u + 8u + 8u);
+          continue;
+        }
+        const std::size_t k = std::min<std::size_t>(
+            n, std::max<std::size_t>(
+                   1, static_cast<std::size_t>(std::lround(
+                          std::clamp(fraction, 0.f, 1.f) * n))));
+        EXPECT_EQ(size, 1u + 8u + 8u + 8u * k);
+        float min_kept = 1e30f;
+        std::size_t n_exact = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out[i] != 0.f) {
+            ASSERT_EQ(out[i], v[i]) << "survivor must be exact";
+            min_kept = std::min(min_kept, std::fabs(out[i]));
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out[i] == 0.f) {
+            // Dropped (or a kept exact zero): either way its magnitude
+            // cannot exceed the smallest kept survivor.
+            ASSERT_LE(std::fabs(v[i]), min_kept + 1e-7f)
+                << "n=" << n << " f=" << fraction << " entry " << i;
+          } else {
+            ++n_exact;
+          }
+        }
+        EXPECT_LE(n_exact, k);  // zeros among the top-k decode as zeros
+      }
+    }
+  }
+}
+
+TEST(CompressionFuzz, EncodingsAreDeterministicOverRandomTensors) {
+  // Same tensor -> identical bytes, for every codec, across shapes that
+  // stress the tie-breaking paths (all-equal, all-zero, random).
+  for (std::size_t n : {1u, 64u, 1023u}) {
+    std::vector<std::vector<float>> inputs;
+    inputs.emplace_back(n, 0.f);
+    inputs.emplace_back(n, 0.125f);
+    Rng rng(n);
+    std::vector<float> random(n);
+    for (auto& x : random) x = rng.normal(0.f, 0.1f);
+    inputs.push_back(std::move(random));
+    for (const auto& v : inputs) {
+      for (CompressionKind kind :
+           {CompressionKind::kNone, CompressionKind::kQuantizeInt8,
+            CompressionKind::kTopK}) {
+        ByteBuffer a, b;
+        compress(v, {kind, 0.37f}, a);
+        compress(v, {kind, 0.37f}, b);
+        ASSERT_EQ(a.size(), b.size());
+        ASSERT_EQ(std::memcmp(a.data(), b.data(), a.size()), 0)
+            << to_string(kind) << " n=" << n;
+      }
+    }
+  }
+}
+
 TEST(Compression, DecompressRejectsGarbageTag) {
   ByteBuffer buf;
   buf.write_pod<std::uint8_t>(0x7f);

@@ -135,6 +135,58 @@ TEST(Network, DeterministicDrainUnderConcurrentSends) {
   }
 }
 
+TEST(Network, SameSenderFifoUnderClusterPool) {
+  // Regression for the receive-ordering doc/test gap: sequence numbers
+  // are assigned under the network mutex in program order, so two sends
+  // issued by one thread as the same sender can never be observed in
+  // the opposite order — even when many cluster-pool tasks hammer the
+  // same sender id concurrently and physical enqueue order is racy.
+  Network net(4);
+  const int kTasks = 8, kMsgs = 50;
+  std::vector<int> task_ids(kTasks);
+  for (int t = 0; t < kTasks; ++t) task_ids[t] = t;
+  for_each_worker(
+      task_ids,
+      [&](int task) {
+        const int sender = task % 4 + 1;  // two tasks share each sender
+        for (int i = 0; i < kMsgs; ++i) {
+          ByteBuffer buf;
+          buf.write_pod<std::int32_t>(task * 1000 + i);
+          net.send(sender, kServerId, "fb", std::move(buf));
+        }
+      },
+      /*parallel=*/true);
+
+  // Drain everything; per task, payloads must appear in send order.
+  std::vector<int> last_seen(kTasks, -1);
+  std::size_t drained = 0;
+  while (auto m = net.receive_tagged(kServerId, "fb")) {
+    const int value = m->payload.read_pod<std::int32_t>();
+    const int task = value / 1000, i = value % 1000;
+    ASSERT_LT(last_seen[task], i)
+        << "task " << task << " reordered: saw " << i << " after "
+        << last_seen[task];
+    last_seen[task] = i;
+    ++drained;
+  }
+  EXPECT_EQ(drained, static_cast<std::size_t>(kTasks * kMsgs));
+  for (int t = 0; t < kTasks; ++t) EXPECT_EQ(last_seen[t], kMsgs - 1);
+}
+
+TEST(Network, DefaultClocksStayAtZero) {
+  // No link model, no advance_time: the virtual clock is inert and the
+  // transport behaves exactly as before it existed.
+  Network net(2);
+  net.send(kServerId, 1, "t", payload_of(16));
+  auto m = net.receive_tagged(1, "t");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->arrival_s, 0.0);
+  EXPECT_EQ(net.sim_time(kServerId), 0.0);
+  EXPECT_EQ(net.sim_time(1), 0.0);
+  EXPECT_EQ(net.max_sim_time(), 0.0);
+  EXPECT_TRUE(net.link_model().zero());
+}
+
 TEST(Network, CrashDropsMailAndSilencesLinks) {
   Network net(3);
   net.send(kServerId, 1, "t", payload_of(4));
