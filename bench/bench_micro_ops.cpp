@@ -1,147 +1,284 @@
-// Micro benchmarks (google-benchmark) of the kernels the experiments
-// stand on: matmul, im2col-based conv, the MLP generator/discriminator
-// forward+backward, the feedback computation a worker performs per
-// iteration, the serialization of a swap message, and the derangement
-// draw of the swap protocol. These quantify where a global iteration's
-// time goes.
-#include <benchmark/benchmark.h>
+// Micro benchmarks of the kernels the experiments stand on: matmul, the
+// im2col-based conv, the MLP generator/discriminator forward+backward,
+// the per-iteration worker feedback, swap serialization, feedback
+// compression, and the derangement draw of the swap protocol. These
+// quantify where a global iteration's time goes.
+//
+// Self-contained harness (no google-benchmark): each bench reports
+// ns/iter, GFLOP/s where the kernel has a defined flop count, and heap
+// bytes/calls allocated per iteration (via the global allocation
+// counters in common/alloc_tracker.hpp).
+//
+// Flags:
+//   --tiny         shrink the measurement budget (CI smoke mode)
+//   --json[=path]  also emit machine-readable results
+//                  (default path: BENCH_micro_ops.json)
+//   --filter=str   only run benches whose name contains `str`
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/alloc_tracker.hpp"
+#include "common/cli.hpp"
 #include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/compression.hpp"
 #include "gan/arch.hpp"
 #include "gan/trainer.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/init.hpp"
+#include "opt/adam.hpp"
 #include "tensor/tensor_ops.hpp"
 
 using namespace mdgan;
 
 namespace {
 
-void BM_MatmulSquare(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(1);
-  Tensor a = Tensor::randn({n, n}, rng);
-  Tensor b = Tensor::randn({n, n}, rng);
-  for (auto _ : state) {
-    Tensor c = matmul(a, b);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
-}
-BENCHMARK(BM_MatmulSquare)->Arg(64)->Arg(128)->Arg(256);
+struct BenchResult {
+  std::string name;
+  double ns_per_iter = 0;
+  double gflops = 0;  // 0 when the bench has no defined flop count
+  double alloc_bytes_per_iter = 0;
+  double alloc_count_per_iter = 0;
+  std::uint64_t iters = 0;
+};
 
-void BM_MatmulGanShaped(benchmark::State& state) {
+class Harness {
+ public:
+  Harness(double min_time_s, std::string filter)
+      : min_time_s_(min_time_s), filter_(std::move(filter)) {}
+
+  // Runs `fn` repeatedly until the measurement budget is filled and
+  // records timing + allocation stats. `flops` is the flop count of one
+  // iteration (0 if undefined).
+  void run(const std::string& name, double flops,
+           const std::function<void()>& fn) {
+    if (!filter_.empty() && name.find(filter_) == std::string::npos) return;
+    fn();  // warm-up: first-touch allocations, lazy pool construction
+    std::uint64_t iters = 1;
+    for (;;) {
+      const AllocStats a0 = alloc_stats();
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t i = 0; i < iters; ++i) fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      const AllocStats da = alloc_stats() - a0;
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+      if (secs >= min_time_s_ || iters >= (1ull << 30)) {
+        BenchResult r;
+        r.name = name;
+        r.iters = iters;
+        r.ns_per_iter = secs * 1e9 / static_cast<double>(iters);
+        r.gflops = flops > 0 && secs > 0
+                       ? flops * static_cast<double>(iters) / secs / 1e9
+                       : 0.0;
+        r.alloc_bytes_per_iter =
+            static_cast<double>(da.bytes) / static_cast<double>(iters);
+        r.alloc_count_per_iter =
+            static_cast<double>(da.count) / static_cast<double>(iters);
+        results_.push_back(r);
+        std::printf("%-34s %12.0f ns %9.2f GFLOP/s %12.0f B/iter %8.1f allocs\n",
+                    r.name.c_str(), r.ns_per_iter, r.gflops,
+                    r.alloc_bytes_per_iter, r.alloc_count_per_iter);
+        std::fflush(stdout);
+        return;
+      }
+      // Re-run with enough iterations to fill the budget (x2 headroom).
+      const double want = iters * (min_time_s_ / (secs > 1e-9 ? secs : 1e-9));
+      iters = static_cast<std::uint64_t>(want * 2) + 1;
+    }
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+  void write_json(const std::string& path, bool tiny) const {
+    std::ofstream os(path);
+    os << "{\n  \"bench\": \"micro_ops\",\n";
+    os << "  \"tiny\": " << (tiny ? "true" : "false") << ",\n";
+    os << "  \"gemm_isa\": \"" << gemm_isa() << "\",\n";
+    os << "  \"threads\": " << ThreadPool::global().size() << ",\n";
+    os << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      const auto& r = results_[i];
+      char buf[512];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"ns_per_iter\": %.1f, "
+                    "\"gflops\": %.3f, \"alloc_bytes_per_iter\": %.1f, "
+                    "\"alloc_count_per_iter\": %.2f, \"iters\": %llu}%s\n",
+                    r.name.c_str(), r.ns_per_iter, r.gflops,
+                    r.alloc_bytes_per_iter, r.alloc_count_per_iter,
+                    static_cast<unsigned long long>(r.iters),
+                    i + 1 < results_.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  double min_time_s_;
+  std::string filter_;
+  std::vector<BenchResult> results_;
+};
+
+void bench_matmul_square(Harness& h) {
+  for (std::size_t n : {std::size_t{64}, std::size_t{128}, std::size_t{256}}) {
+    Rng rng(1);
+    Tensor a = Tensor::randn({n, n}, rng);
+    Tensor b = Tensor::randn({n, n}, rng);
+    h.run("BM_MatmulSquare/" + std::to_string(n),
+          2.0 * static_cast<double>(n) * n * n, [&] {
+            Tensor c = matmul(a, b);
+            volatile float sink = c[0];
+            (void)sink;
+          });
+  }
+}
+
+void bench_matmul_gan_shaped(Harness& h) {
   // The dominant matmul of the MLP discriminator: (b, 784) x (784, 512).
-  const auto b = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
-  Tensor x = Tensor::randn({b, 784}, rng);
-  Tensor w = Tensor::randn({784, 512}, rng);
-  for (auto _ : state) {
-    Tensor y = matmul(x, w);
-    benchmark::DoNotOptimize(y.data());
+  for (std::size_t b : {std::size_t{10}, std::size_t{100}}) {
+    Rng rng(2);
+    Tensor x = Tensor::randn({b, 784}, rng);
+    Tensor w = Tensor::randn({784, 512}, rng);
+    h.run("BM_MatmulGanShaped/" + std::to_string(b),
+          2.0 * static_cast<double>(b) * 784 * 512, [&] {
+            Tensor y = matmul(x, w);
+            volatile float sink = y[0];
+            (void)sink;
+          });
   }
 }
-BENCHMARK(BM_MatmulGanShaped)->Arg(10)->Arg(100);
 
-void BM_Conv2DForward(benchmark::State& state) {
-  const auto b = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
-  nn::Conv2D conv(3, 16, 3, 3, 2, 1);
-  nn::he_normal(conv.weight(), 27, rng);
-  Tensor x = Tensor::randn({b, 3, 32, 32}, rng);
-  for (auto _ : state) {
-    Tensor y = conv.forward(x, true);
-    benchmark::DoNotOptimize(y.data());
+void bench_conv2d_forward(Harness& h) {
+  for (std::size_t b : {std::size_t{10}, std::size_t{50}}) {
+    Rng rng(3);
+    nn::Conv2D conv(3, 16, 3, 3, 2, 1);
+    nn::he_normal(conv.weight(), 27, rng);
+    Tensor x = Tensor::randn({b, 3, 32, 32}, rng);
+    // 32x32, k3 s2 p1 -> 16x16 output; gemm is (b*256, 27) x (27, 16).
+    h.run("BM_Conv2DForward/" + std::to_string(b),
+          2.0 * static_cast<double>(b) * 256 * 27 * 16, [&] {
+            Tensor y = conv.forward(x, true);
+            volatile float sink = y[0];
+            (void)sink;
+          });
   }
 }
-BENCHMARK(BM_Conv2DForward)->Arg(10)->Arg(50);
 
-void BM_Im2Col(benchmark::State& state) {
+void bench_im2col(Harness& h) {
   Rng rng(4);
   Tensor x = Tensor::randn({10, 3, 32, 32}, rng);
   std::size_t oh, ow;
-  for (auto _ : state) {
+  h.run("BM_Im2Col", 0, [&] {
     Tensor cols = im2col(x, 3, 3, 2, 1, oh, ow);
-    benchmark::DoNotOptimize(cols.data());
+    volatile float sink = cols[0];
+    (void)sink;
+  });
+}
+
+void bench_mlp_generator_forward(Harness& h) {
+  for (std::size_t b : {std::size_t{10}, std::size_t{100}}) {
+    Rng rng(5);
+    auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+    auto g = gan::build_generator(arch, rng);
+    Tensor z = Tensor::randn({b, arch.latent_dim}, rng);
+    h.run("BM_MlpGeneratorForward/" + std::to_string(b), 0, [&] {
+      Tensor x = g.forward(z, true);
+      volatile float sink = x[0];
+      (void)sink;
+    });
   }
 }
-BENCHMARK(BM_Im2Col);
 
-void BM_MlpGeneratorForward(benchmark::State& state) {
-  const auto b = static_cast<std::size_t>(state.range(0));
-  Rng rng(5);
-  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
-  auto g = gan::build_generator(arch, rng);
-  Tensor z = Tensor::randn({b, arch.latent_dim}, rng);
-  for (auto _ : state) {
-    Tensor x = g.forward(z, true);
-    benchmark::DoNotOptimize(x.data());
-  }
-}
-BENCHMARK(BM_MlpGeneratorForward)->Arg(10)->Arg(100);
-
-void BM_WorkerFeedback(benchmark::State& state) {
+void bench_worker_feedback(Harness& h) {
   // Algorithm 1 lines 9-10: the per-iteration feedback computation of
   // one worker (D forward + backward to the input).
-  const auto b = static_cast<std::size_t>(state.range(0));
-  Rng rng(6);
-  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
-  auto d = gan::build_discriminator(arch, rng);
-  Tensor x = Tensor::randn({b, arch.image_dim()}, rng);
-  std::vector<int> labels(b, 3);
-  for (auto _ : state) {
-    Tensor f = gan::generator_feedback(d, x, &labels, false);
-    benchmark::DoNotOptimize(f.data());
+  for (std::size_t b : {std::size_t{10}, std::size_t{100}}) {
+    Rng rng(6);
+    auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+    auto d = gan::build_discriminator(arch, rng);
+    Tensor x = Tensor::randn({b, arch.image_dim()}, rng);
+    std::vector<int> labels(b, 3);
+    h.run("BM_WorkerFeedback/" + std::to_string(b), 0, [&] {
+      Tensor f = gan::generator_feedback(d, x, &labels, false);
+      volatile float sink = f[0];
+      (void)sink;
+    });
   }
 }
-BENCHMARK(BM_WorkerFeedback)->Arg(10)->Arg(100);
 
-void BM_DiscLearningStep(benchmark::State& state) {
-  const auto b = static_cast<std::size_t>(state.range(0));
-  Rng rng(7);
-  auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
-  auto d = gan::build_discriminator(arch, rng);
-  opt::Adam adam(d.params(), d.grads(), {});
-  Tensor x_real = Tensor::randn({b, arch.image_dim()}, rng);
-  Tensor x_fake = Tensor::randn({b, arch.image_dim()}, rng);
-  std::vector<int> y(b, 1);
-  for (auto _ : state) {
-    auto stats = gan::disc_learning_step(d, adam, x_real, y, x_fake, y,
-                                         true);
-    benchmark::DoNotOptimize(stats);
+void bench_disc_learning_step(Harness& h) {
+  for (std::size_t b : {std::size_t{10}, std::size_t{100}}) {
+    Rng rng(7);
+    auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+    auto d = gan::build_discriminator(arch, rng);
+    opt::Adam adam(d.params(), d.grads(), {});
+    Tensor x_real = Tensor::randn({b, arch.image_dim()}, rng);
+    Tensor x_fake = Tensor::randn({b, arch.image_dim()}, rng);
+    std::vector<int> y(b, 1);
+    h.run("BM_DiscLearningStep/" + std::to_string(b), 0, [&] {
+      auto stats =
+          gan::disc_learning_step(d, adam, x_real, y, x_fake, y, true);
+      volatile float sink = stats.loss_real;
+      (void)sink;
+    });
   }
 }
-BENCHMARK(BM_DiscLearningStep)->Arg(10)->Arg(100);
 
-void BM_SwapSerialization(benchmark::State& state) {
+void bench_swap_serialization(Harness& h) {
   // One swap message: flatten + serialize + parse + assign of a full
   // MLP discriminator (|theta| = 670,219 floats).
   Rng rng(8);
   auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
   auto d = gan::build_discriminator(arch, rng);
-  for (auto _ : state) {
+  h.run("BM_SwapSerialization", 0, [&] {
     auto params = d.flatten_parameters();
     ByteBuffer buf;
     buf.write_floats(params.data(), params.size());
     auto back = buf.read_floats();
     d.assign_parameters(back);
-    benchmark::DoNotOptimize(buf.size());
-  }
-  state.SetBytesProcessed(state.iterations() * 670219 * 4);
+    volatile std::size_t sink = buf.size();
+    (void)sink;
+  });
 }
-BENCHMARK(BM_SwapSerialization);
 
-void BM_Derangement(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(9);
-  for (auto _ : state) {
-    auto p = rng.derangement(n);
-    benchmark::DoNotOptimize(p.data());
+void bench_feedback_compression(Harness& h) {
+  // W->C wire path: compress+decompress one batch of feedback floats
+  // (keeps the serialization/compression codecs off the iteration
+  // critical path — the ROADMAP micro-ops item).
+  Rng rng(11);
+  std::vector<float> values(100 * 784);
+  rng.fill_normal(values.data(), values.size(), 0.f, 1.f);
+  for (auto kind : {dist::CompressionKind::kQuantizeInt8,
+                    dist::CompressionKind::kTopK}) {
+    dist::CompressionConfig cfg;
+    cfg.kind = kind;
+    h.run(std::string("BM_FeedbackCompression/") + dist::to_string(kind), 0,
+          [&] {
+            ByteBuffer buf;
+            dist::compress(values, cfg, buf);
+            auto back = dist::decompress(buf);
+            volatile float sink = back[0];
+            (void)sink;
+          });
   }
 }
-BENCHMARK(BM_Derangement)->Arg(10)->Arg(50);
 
-void BM_AdamStepMlpGenerator(benchmark::State& state) {
+void bench_derangement(Harness& h) {
+  for (std::size_t n : {std::size_t{10}, std::size_t{50}}) {
+    Rng rng(9);
+    h.run("BM_Derangement/" + std::to_string(n), 0, [&] {
+      auto p = rng.derangement(n);
+      volatile std::size_t sink = p[0];
+      (void)sink;
+    });
+  }
+}
+
+void bench_adam_step(Harness& h) {
   Rng rng(10);
   auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
   auto g = gan::build_generator(arch, rng);
@@ -149,13 +286,35 @@ void BM_AdamStepMlpGenerator(benchmark::State& state) {
   for (auto* grad : g.grads()) {
     rng.fill_normal(grad->data(), grad->numel(), 0.f, 0.01f);
   }
-  for (auto _ : state) {
-    adam.step();
-  }
-  state.SetItemsProcessed(state.iterations() * 716560);
+  h.run("BM_AdamStepMlpGenerator", 0, [&] { adam.step(); });
 }
-BENCHMARK(BM_AdamStepMlpGenerator);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const bool tiny = flags.get_bool("tiny");
+  const double min_time = tiny ? 0.02 : 0.25;
+  std::printf("micro_ops: gemm_isa=%s threads=%zu%s\n", gemm_isa(),
+              ThreadPool::global().size(), tiny ? " (tiny)" : "");
+  Harness h(min_time, flags.get("filter", ""));
+
+  bench_matmul_square(h);
+  bench_matmul_gan_shaped(h);
+  bench_conv2d_forward(h);
+  bench_im2col(h);
+  bench_mlp_generator_forward(h);
+  bench_worker_feedback(h);
+  bench_disc_learning_step(h);
+  bench_swap_serialization(h);
+  bench_feedback_compression(h);
+  bench_derangement(h);
+  bench_adam_step(h);
+
+  if (flags.has("json")) {
+    std::string path = flags.get("json", "");
+    if (path.empty() || path == "true") path = "BENCH_micro_ops.json";
+    h.write_json(path, tiny);
+  }
+  return 0;
+}

@@ -12,3 +12,6 @@ cd build && ctest --output-on-failure -j"$(nproc)"
 
 echo "--- smoke: bench_stragglers --tiny"
 ./bench_stragglers --tiny
+
+echo "--- smoke: bench_micro_ops --tiny"
+./bench_micro_ops --tiny --json=BENCH_micro_ops.json

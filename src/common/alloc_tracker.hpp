@@ -1,0 +1,28 @@
+// Process-wide heap allocation counters.
+//
+// Linking this translation unit replaces the global operator new/delete
+// with counting wrappers (two relaxed atomic adds per allocation, so the
+// overhead is noise). The counters let the workspace tests assert that a
+// warmed-up training step performs zero heap allocations, and let
+// bench_micro_ops report bytes-allocated-per-iteration next to GFLOP/s.
+#pragma once
+
+#include <cstdint>
+
+namespace mdgan {
+
+struct AllocStats {
+  std::uint64_t count = 0;  // number of operator-new calls
+  std::uint64_t bytes = 0;  // total bytes requested
+
+  AllocStats operator-(const AllocStats& o) const {
+    return {count - o.count, bytes - o.bytes};
+  }
+};
+
+// Snapshot of all heap allocations made by this process so far.
+// Deallocations are not tracked: the interesting quantity is how much a
+// region of code *requests*, not the live set.
+AllocStats alloc_stats();
+
+}  // namespace mdgan

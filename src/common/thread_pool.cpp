@@ -50,9 +50,15 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t n_chunks = std::min(n, size());
-  if (n_chunks <= 1) {
+  parallel_for(n, 1, fn);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t n_chunks = parallel_chunk_count(n, grain, size());
+  if (n_chunks == 0) return;
+  if (n_chunks == 1) {
     fn(0, n);
     return;
   }
@@ -71,11 +77,6 @@ void ThreadPool::parallel_for(
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
-}
-
-void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  ThreadPool::global().parallel_for(n, fn);
 }
 
 }  // namespace mdgan

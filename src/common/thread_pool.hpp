@@ -8,6 +8,7 @@
 // loop through the exact same code path.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -18,6 +19,25 @@
 #include <vector>
 
 namespace mdgan {
+
+// Default minimum-work grain (in elements, assuming ~1 cheap flop each)
+// for parallel elementwise/reduction ops: below one chunk of this size,
+// task dispatch costs more than it buys. Ops whose per-element cost is
+// higher (exp, tanh) divide it accordingly.
+constexpr std::size_t kParallelGrainElems = 1u << 15;
+
+// How many chunks [0, n) splits into under a minimum `grain` per chunk
+// on `threads` threads; <= 1 means run serially on the caller. The one
+// chunking policy shared by ThreadPool::parallel_for and the inline
+// fast path below.
+constexpr std::size_t parallel_chunk_count(std::size_t n, std::size_t grain,
+                                           std::size_t threads) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  const std::size_t by_grain = (n + grain - 1) / grain;
+  const std::size_t cap = n < threads ? n : threads;
+  return by_grain < cap ? by_grain : cap;
+}
 
 class ThreadPool {
  public:
@@ -39,6 +59,13 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  // Grain-aware variant: never creates a chunk smaller than `grain`
+  // items, so small problems run inline on the calling thread (no task
+  // dispatch, no allocation) and large ones still fan out to all
+  // threads. `grain` == 0 behaves like 1.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
   // Process-wide pool, lazily constructed.
   static ThreadPool& global();
 
@@ -52,8 +79,25 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-// Convenience free function over the global pool.
-void parallel_for(std::size_t n,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+// Convenience free functions over the global pool. Templates so the
+// serial case (one chunk after applying the grain) invokes the callable
+// directly — no std::function construction, hence no heap allocation,
+// which is what keeps small warmed-up tensor ops allocation-free.
+template <typename Fn>
+void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t n_chunks = parallel_chunk_count(n, grain, pool.size());
+  if (n_chunks == 0) return;
+  if (n_chunks == 1) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  pool.parallel_for(n, grain, fn);
+}
+
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn) {
+  parallel_for(n, std::size_t{1}, std::forward<Fn>(fn));
+}
 
 }  // namespace mdgan

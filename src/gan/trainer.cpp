@@ -13,18 +13,19 @@ DiscStepStats disc_learning_step(nn::Sequential& disc,
   DiscStepStats stats;
   d_opt.zero_grad();
 
-  // Real side.
-  Tensor out_real = disc.forward(x_real, /*train=*/true);
+  // Real side (workspace path: activations and the discarded input grad
+  // live in layer scratch, so the step allocates only the loss grads).
+  const Tensor& out_real = disc.forward_ws(x_real, /*train=*/true);
   SideLoss real = disc_side_loss(out_real, /*target_real=*/true,
                                  acgan ? &y_real : nullptr);
-  disc.backward(real.grad);
+  disc.backward_ws(real.grad);
 
   // Fake side (forward/backward immediately: layer caches are
   // single-shot).
-  Tensor out_fake = disc.forward(x_fake, /*train=*/true);
+  const Tensor& out_fake = disc.forward_ws(x_fake, /*train=*/true);
   SideLoss fake = disc_side_loss(out_fake, /*target_real=*/false,
                                  acgan ? &y_fake : nullptr);
-  disc.backward(fake.grad);
+  disc.backward_ws(fake.grad);
 
   d_opt.step();
   stats.loss_real = real.source_loss;
@@ -36,9 +37,9 @@ DiscStepStats disc_learning_step(nn::Sequential& disc,
 Tensor generator_feedback(nn::Sequential& disc, const Tensor& x_fake,
                           const std::vector<int>* y_fake, bool saturating,
                           float* loss_out) {
-  Tensor d_out = disc.forward(x_fake, /*train=*/true);
+  const Tensor& d_out = disc.forward_ws(x_fake, /*train=*/true);
   SideLoss gl = generator_loss(d_out, y_fake, saturating);
-  Tensor feedback = disc.backward(gl.grad);
+  Tensor feedback = disc.backward_ws(gl.grad);  // copy: shipped to server
   // Drop the parameter gradients this pass accumulated: the
   // discriminator is not being trained here (Algorithm 1 line 9 only
   // ships dJ/dx).

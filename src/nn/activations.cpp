@@ -3,86 +3,175 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace mdgan::nn {
 namespace {
-void check_backward_shape(const Tensor& cached, const Tensor& grad,
+
+void check_backward_shape(const Tensor* cached, const Tensor& grad,
                           const char* who) {
-  if (cached.shape() != grad.shape()) {
+  if (!cached) {
+    throw std::logic_error(std::string(who) + "::backward: no forward");
+  }
+  if (cached->shape() != grad.shape()) {
     throw std::invalid_argument(std::string(who) +
                                 "::backward: grad shape mismatch");
   }
 }
+
 }  // namespace
 
-Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  cached_input_ = x;
-  Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = x[i] > 0.f ? x[i] : 0.f;
-  }
-  return y;
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
 }
-
 Tensor ReLU::backward(const Tensor& grad_out) {
-  check_backward_shape(cached_input_, grad_out, "ReLU");
-  Tensor g(grad_out.shape());
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    g[i] = cached_input_[i] > 0.f ? grad_out[i] : 0.f;
-  }
-  return g;
+  return backward_ws(grad_out);
 }
 
-Tensor LeakyReLU::forward(const Tensor& x, bool /*train*/) {
-  cached_input_ = x;
-  Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = x[i] > 0.f ? x[i] : alpha_ * x[i];
-  }
+const Tensor& ReLU::forward_ws(const Tensor& x, bool /*train*/) {
+  ws_.reset();
+  Tensor& y = ws_.acquire(x.shape());
+  const float* __restrict p = x.data();
+  float* __restrict py = y.data();
+  parallel_for(x.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) py[i] = p[i] > 0.f ? p[i] : 0.f;
+  });
+  cached_output_ = &y;
   return y;
 }
 
+const Tensor& ReLU::backward_ws(const Tensor& grad_out) {
+  check_backward_shape(cached_output_, grad_out, "ReLU");
+  // y > 0 iff x > 0, so the output is its own mask.
+  Tensor& g = ws_.acquire(grad_out.shape());
+  const float* __restrict py = cached_output_->data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict pd = g.data();
+  parallel_for(g.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) {
+      pd[i] = py[i] > 0.f ? pg[i] : 0.f;
+    }
+  });
+  return g;
+}
+
+LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
+  if (alpha < 0.f) {
+    throw std::invalid_argument("LeakyReLU: alpha must be >= 0");
+  }
+}
+
+Tensor LeakyReLU::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
+}
 Tensor LeakyReLU::backward(const Tensor& grad_out) {
-  check_backward_shape(cached_input_, grad_out, "LeakyReLU");
-  Tensor g(grad_out.shape());
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    g[i] = cached_input_[i] > 0.f ? grad_out[i] : alpha_ * grad_out[i];
-  }
-  return g;
+  return backward_ws(grad_out);
 }
 
-Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
-  Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
-  cached_output_ = y;
+const Tensor& LeakyReLU::forward_ws(const Tensor& x, bool /*train*/) {
+  ws_.reset();
+  Tensor& y = ws_.acquire(x.shape());
+  const float a = alpha_;
+  const float* __restrict p = x.data();
+  float* __restrict py = y.data();
+  parallel_for(x.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) {
+      py[i] = p[i] > 0.f ? p[i] : a * p[i];
+    }
+  });
+  cached_output_ = &y;
   return y;
 }
 
+const Tensor& LeakyReLU::backward_ws(const Tensor& grad_out) {
+  check_backward_shape(cached_output_, grad_out, "LeakyReLU");
+  // alpha >= 0 keeps sign(y) == sign(x), so the output is its own mask
+  // (x <= 0 gives y = alpha*x <= 0 either way).
+  Tensor& g = ws_.acquire(grad_out.shape());
+  const float a = alpha_;
+  const float* __restrict py = cached_output_->data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict pd = g.data();
+  parallel_for(g.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) {
+      pd[i] = py[i] > 0.f ? pg[i] : a * pg[i];
+    }
+  });
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
+}
 Tensor Tanh::backward(const Tensor& grad_out) {
-  check_backward_shape(cached_output_, grad_out, "Tanh");
-  Tensor g(grad_out.shape());
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    const float t = cached_output_[i];
-    g[i] = grad_out[i] * (1.f - t * t);
-  }
-  return g;
+  return backward_ws(grad_out);
 }
 
-Tensor Sigmoid::forward(const Tensor& x, bool /*train*/) {
-  Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    y[i] = 1.f / (1.f + std::exp(-x[i]));
-  }
-  cached_output_ = y;
+const Tensor& Tanh::forward_ws(const Tensor& x, bool /*train*/) {
+  ws_.reset();
+  Tensor& y = ws_.acquire(x.shape());
+  const float* __restrict p = x.data();
+  float* __restrict py = y.data();
+  // tanh is expensive; weigh it into the grain like softmax does.
+  parallel_for(x.numel(), kParallelGrainElems / 16,
+               [&](std::size_t e0, std::size_t e1) {
+                 for (std::size_t i = e0; i < e1; ++i) {
+                   py[i] = std::tanh(p[i]);
+                 }
+               });
+  cached_output_ = &y;
   return y;
 }
 
+const Tensor& Tanh::backward_ws(const Tensor& grad_out) {
+  check_backward_shape(cached_output_, grad_out, "Tanh");
+  Tensor& g = ws_.acquire(grad_out.shape());
+  const float* __restrict py = cached_output_->data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict pd = g.data();
+  parallel_for(g.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) {
+      const float t = py[i];
+      pd[i] = pg[i] * (1.f - t * t);
+    }
+  });
+  return g;
+}
+
+Tensor Sigmoid::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
+}
 Tensor Sigmoid::backward(const Tensor& grad_out) {
+  return backward_ws(grad_out);
+}
+
+const Tensor& Sigmoid::forward_ws(const Tensor& x, bool /*train*/) {
+  ws_.reset();
+  Tensor& y = ws_.acquire(x.shape());
+  const float* __restrict p = x.data();
+  float* __restrict py = y.data();
+  parallel_for(x.numel(), kParallelGrainElems / 16,
+               [&](std::size_t e0, std::size_t e1) {
+                 for (std::size_t i = e0; i < e1; ++i) {
+                   py[i] = 1.f / (1.f + std::exp(-p[i]));
+                 }
+               });
+  cached_output_ = &y;
+  return y;
+}
+
+const Tensor& Sigmoid::backward_ws(const Tensor& grad_out) {
   check_backward_shape(cached_output_, grad_out, "Sigmoid");
-  Tensor g(grad_out.shape());
-  for (std::size_t i = 0; i < g.numel(); ++i) {
-    const float s = cached_output_[i];
-    g[i] = grad_out[i] * s * (1.f - s);
-  }
+  Tensor& g = ws_.acquire(grad_out.shape());
+  const float* __restrict py = cached_output_->data();
+  const float* __restrict pg = grad_out.data();
+  float* __restrict pd = g.data();
+  parallel_for(g.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) {
+      const float s = py[i];
+      pd[i] = pg[i] * s * (1.f - s);
+    }
+  });
   return g;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/nchw_reorder.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace mdgan::nn {
@@ -21,7 +22,15 @@ ConvTranspose2D::ConvTranspose2D(std::size_t in_channels,
       dw_({in_channels, out_channels * kh * kw}),
       db_({out_channels}) {}
 
-Tensor ConvTranspose2D::forward(const Tensor& x, bool /*train*/) {
+Tensor ConvTranspose2D::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
+}
+
+Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
+  return backward_ws(grad_out);
+}
+
+const Tensor& ConvTranspose2D::forward_ws(const Tensor& x, bool /*train*/) {
   if (x.rank() != 4 || x.dim(1) != ic_) {
     throw std::invalid_argument("ConvTranspose2D::forward: expected (B," +
                                 std::to_string(ic_) + ",H,W), got " +
@@ -32,44 +41,43 @@ Tensor ConvTranspose2D::forward(const Tensor& x, bool /*train*/) {
       (w - 1) * stride_ + kw_ < 2 * pad_) {
     throw std::invalid_argument("ConvTranspose2D: padding too large");
   }
+  ws_.reset();
   out_h_ = (h - 1) * stride_ - 2 * pad_ + kh_;
   out_w_ = (w - 1) * stride_ - 2 * pad_ + kw_;
   cached_input_shape_ = x.shape();
 
   // Reorder x NCHW -> (B*H*W, IC): one row per input pixel.
   const std::size_t p = h * w;
-  cached_x_mat_ = Tensor({batch * p, ic_});
-  const float* src = x.data();
-  float* dst = cached_x_mat_.data();
-  for (std::size_t bi = 0; bi < batch; ++bi) {
-    for (std::size_t c = 0; c < ic_; ++c) {
-      const float* plane = src + (bi * ic_ + c) * p;
-      for (std::size_t pi = 0; pi < p; ++pi) {
-        dst[(bi * p + pi) * ic_ + c] = plane[pi];
-      }
-    }
-  }
+  Tensor& x_mat = ws_.acquire({batch * p, ic_});
+  planes_to_rows(x.data(), x_mat.data(), batch, ic_, p);
+  cached_x_mat_ = &x_mat;
 
   // Patches this layer scatters: (B*H*W, OC*kh*kw).
-  Tensor patches = matmul(cached_x_mat_, w_);
+  Tensor& patches = ws_.acquire({batch * p, oc_ * kh_ * kw_});
+  matmul_into(patches, x_mat, w_);
   // col2im with the geometry of the *underlying* conv (output -> input):
   // image is our output (Ho, Wo), "cols grid" is our input (h, w).
-  Tensor y = col2im(patches, batch, oc_, out_h_, out_w_, kh_, kw_, stride_,
-                    pad_, h, w);
+  Tensor& y = ws_.acquire({batch, oc_, out_h_, out_w_});
+  col2im_into(patches, batch, oc_, out_h_, out_w_, kh_, kw_, stride_, pad_,
+              h, w, y);
   // Per-channel bias.
   float* py = y.data();
   const float* pb = b_.data();
   const std::size_t op = out_h_ * out_w_;
   for (std::size_t bi = 0; bi < batch; ++bi) {
     for (std::size_t c = 0; c < oc_; ++c) {
-      float* plane = py + (bi * oc_ + c) * op;
-      for (std::size_t pi = 0; pi < op; ++pi) plane[pi] += pb[c];
+      float* __restrict plane = py + (bi * oc_ + c) * op;
+      const float add = pb[c];
+      for (std::size_t pi = 0; pi < op; ++pi) plane[pi] += add;
     }
   }
   return y;
 }
 
-Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
+const Tensor& ConvTranspose2D::backward_ws(const Tensor& grad_out) {
+  if (!cached_x_mat_) {
+    throw std::logic_error("ConvTranspose2D::backward: no forward cached");
+  }
   const std::size_t batch = cached_input_shape_.at(0);
   const std::size_t h = cached_input_shape_.at(2);
   const std::size_t w = cached_input_shape_.at(3);
@@ -80,42 +88,37 @@ Tensor ConvTranspose2D::backward(const Tensor& grad_out) {
                                 shape_to_string(grad_out.shape()));
   }
   // Adjoint of col2im is im2col with the same geometry.
+  Tensor& dpatches = ws_.acquire({batch * h * w, oc_ * kh_ * kw_});
   std::size_t gh = 0, gw = 0;
-  Tensor dpatches =
-      im2col(grad_out, kh_, kw_, stride_, pad_, gh, gw);  // (B*h*w, OC*k*k)
+  im2col_into(grad_out, kh_, kw_, stride_, pad_, gh, gw, dpatches);
   if (gh != h || gw != w) {
     throw std::logic_error("ConvTranspose2D::backward: geometry mismatch");
   }
 
   // dW (IC, OC*k*k) += x_mat^T (IC, B*p) x dpatches (B*p, OC*k*k).
-  matmul_acc(dw_, cached_x_mat_, dpatches, /*trans_a=*/true);
+  matmul_acc(dw_, *cached_x_mat_, dpatches, /*trans_a=*/true);
 
-  // db: sum of grad_out over batch and spatial dims.
+  // db: sum of grad_out over batch and spatial dims (double-accumulated).
   const std::size_t op = out_h_ * out_w_;
   const float* pg = grad_out.data();
   for (std::size_t bi = 0; bi < batch; ++bi) {
     for (std::size_t c = 0; c < oc_; ++c) {
-      const float* plane = pg + (bi * oc_ + c) * op;
+      const float* __restrict plane = pg + (bi * oc_ + c) * op;
       double acc = 0.0;
       for (std::size_t pi = 0; pi < op; ++pi) acc += plane[pi];
       db_[c] += static_cast<float>(acc);
     }
   }
 
-  // dx_mat = dpatches x W^T -> (B*p, IC), then reorder to NCHW.
-  Tensor dx_mat = matmul(dpatches, w_, /*trans_a=*/false, /*trans_b=*/true);
+  // dx_mat = dpatches x W^T -> (B*p, IC), scattered to NCHW by the
+  // fused tile epilogue.
   const std::size_t p = h * w;
-  Tensor dx({batch, ic_, h, w});
-  float* pd = dx.data();
-  const float* ps = dx_mat.data();
-  for (std::size_t bi = 0; bi < batch; ++bi) {
-    for (std::size_t c = 0; c < ic_; ++c) {
-      float* plane = pd + (bi * ic_ + c) * p;
-      for (std::size_t pi = 0; pi < p; ++pi) {
-        plane[pi] = ps[(bi * p + pi) * ic_ + c];
-      }
-    }
-  }
+  Tensor& dx_mat = ws_.acquire({batch * p, ic_});
+  Tensor& dx = ws_.acquire(cached_input_shape_);
+  RowsToPlanesTile ep{dx_mat.data(), dx.data(), /*bias=*/nullptr, ic_, p};
+  GemmTileHook hook{&ep, rows_to_planes_tile};
+  matmul_into(dx_mat, dpatches, w_, /*trans_a=*/false, /*trans_b=*/true,
+              &hook);
   return dx;
 }
 

@@ -8,6 +8,7 @@
 // Ho = (H-1)*stride - 2*pad + kh, Wo likewise.
 #pragma once
 
+#include "common/workspace.hpp"
 #include "nn/layer.hpp"
 
 namespace mdgan::nn {
@@ -20,6 +21,8 @@ class ConvTranspose2D : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward_ws(const Tensor& x, bool train) override;
+  const Tensor& backward_ws(const Tensor& grad_out) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&dw_, &db_}; }
   std::string name() const override { return "ConvTranspose2D"; }
@@ -31,7 +34,8 @@ class ConvTranspose2D : public Layer {
   // Stored as (IC, OC*kh*kw): row c_in holds the patch this input channel
   // contributes to the output, matching the underlying-conv orientation.
   Tensor w_, b_, dw_, db_;
-  Tensor cached_x_mat_;  // (B*H*W, IC) input reordered
+  Workspace ws_;
+  const Tensor* cached_x_mat_ = nullptr;  // (B*H*W, IC) ws slot
   Shape cached_input_shape_;
   std::size_t out_h_ = 0, out_w_ = 0;
 };

@@ -29,6 +29,21 @@ class Layer {
   // called after a matching forward (layers cache what they need).
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
+  // Workspace-backed hot path: identical math to forward()/backward()
+  // but the result lives in layer-owned scratch that is reused across
+  // steps, so warmed-up layers allocate nothing. The returned reference
+  // is valid until this layer's next forward_ws/backward_ws (or
+  // forward/backward) call. The base implementation falls back to the
+  // allocating pair, so only hot layers need to override.
+  virtual const Tensor& forward_ws(const Tensor& x, bool train) {
+    fallback_out_ = forward(x, train);
+    return fallback_out_;
+  }
+  virtual const Tensor& backward_ws(const Tensor& grad_out) {
+    fallback_grad_ = backward(grad_out);
+    return fallback_grad_;
+  }
+
   // Trainable parameters and their gradient buffers, index-aligned.
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
@@ -44,6 +59,10 @@ class Layer {
     for (Tensor* p : params()) n += p->numel();
     return n;
   }
+
+ private:
+  // Holds results for the default (allocating) forward_ws/backward_ws.
+  Tensor fallback_out_, fallback_grad_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

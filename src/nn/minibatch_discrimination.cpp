@@ -1,5 +1,6 @@
 #include "nn/minibatch_discrimination.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -16,24 +17,38 @@ MinibatchDiscrimination::MinibatchDiscrimination(std::size_t in_features,
       t_({in_features, num_kernels * kernel_dim}),
       dt_({in_features, num_kernels * kernel_dim}) {}
 
-Tensor MinibatchDiscrimination::forward(const Tensor& x, bool /*train*/) {
+Tensor MinibatchDiscrimination::forward(const Tensor& x, bool train) {
+  return forward_ws(x, train);
+}
+
+Tensor MinibatchDiscrimination::backward(const Tensor& grad_out) {
+  return backward_ws(grad_out);
+}
+
+const Tensor& MinibatchDiscrimination::forward_ws(const Tensor& x,
+                                                  bool /*train*/) {
   if (x.rank() != 2 || x.dim(1) != in_) {
     throw std::invalid_argument(
         "MinibatchDiscrimination::forward: expected (B," +
         std::to_string(in_) + "), got " + shape_to_string(x.shape()));
   }
-  cached_input_ = x;
-  cached_m_ = matmul(x, t_);  // (B, Bd*Cd)
+  ws_.reset();
+  Tensor& xc = ws_.acquire(x.shape());
+  std::copy_n(x.data(), x.numel(), xc.data());
+  cached_input_ = &xc;
+
+  Tensor& m_t = ws_.acquire({x.dim(0), num_kernels_ * kernel_dim_});
+  matmul_into(m_t, xc, t_);  // (B, Bd*Cd)
+  cached_m_ = &m_t;
 
   const std::size_t batch = x.dim(0);
-  Tensor y({batch, in_ + num_kernels_});
+  Tensor& y = ws_.acquire({batch, in_ + num_kernels_});
   // Copy-through of the input features.
+  const std::size_t out_w = in_ + num_kernels_;
   for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t f = 0; f < in_; ++f) {
-      y.at(i, f) = x.at(i, f);
-    }
+    std::copy_n(xc.data() + i * in_, in_, y.data() + i * out_w);
   }
-  const float* m = cached_m_.data();
+  const float* m = m_t.data();
   for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t b = 0; b < num_kernels_; ++b) {
       float o = 0.f;
@@ -47,26 +62,31 @@ Tensor MinibatchDiscrimination::forward(const Tensor& x, bool /*train*/) {
         }
         o += std::exp(-l1);
       }
-      y.at(i, in_ + b) = o;
+      y.data()[i * out_w + in_ + b] = o;
     }
   }
   return y;
 }
 
-Tensor MinibatchDiscrimination::backward(const Tensor& grad_out) {
-  const std::size_t batch = cached_input_.dim(0);
+const Tensor& MinibatchDiscrimination::backward_ws(const Tensor& grad_out) {
+  if (!cached_input_ || !cached_m_) {
+    throw std::logic_error(
+        "MinibatchDiscrimination::backward: no forward pass cached");
+  }
+  const std::size_t batch = cached_input_->dim(0);
   if (grad_out.rank() != 2 || grad_out.dim(0) != batch ||
       grad_out.dim(1) != in_ + num_kernels_) {
     throw std::invalid_argument(
         "MinibatchDiscrimination::backward: bad grad shape " +
         shape_to_string(grad_out.shape()));
   }
-  const float* m = cached_m_.data();
+  const float* m = cached_m_->data();
 
   // dL/dM. For each unordered pair (i, j) and kernel b the term
   // exp(-||M_ib - M_jb||_1) contributes to both o_ib and o_jb, and the
   // sign pattern of (M_ibc - M_jbc) routes the gradient.
-  Tensor dm({batch, num_kernels_ * kernel_dim_});
+  Tensor& dm = ws_.acquire({batch, num_kernels_ * kernel_dim_});
+  dm.zero();
   for (std::size_t i = 0; i < batch; ++i) {
     for (std::size_t j = i + 1; j < batch; ++j) {
       for (std::size_t b = 0; b < num_kernels_; ++b) {
@@ -93,12 +113,14 @@ Tensor MinibatchDiscrimination::backward(const Tensor& grad_out) {
   }
 
   // dT += x^T dM ; dx = dM T^T + pass-through grad on the copied features.
-  matmul_acc(dt_, cached_input_, dm, /*trans_a=*/true);
-  Tensor dx = matmul(dm, t_, /*trans_a=*/false, /*trans_b=*/true);
+  matmul_acc(dt_, *cached_input_, dm, /*trans_a=*/true);
+  Tensor& dx = ws_.acquire({batch, in_});
+  matmul_into(dx, dm, t_, /*trans_a=*/false, /*trans_b=*/true);
+  const std::size_t out_w = in_ + num_kernels_;
   for (std::size_t i = 0; i < batch; ++i) {
-    for (std::size_t f = 0; f < in_; ++f) {
-      dx.at(i, f) += grad_out.at(i, f);
-    }
+    float* __restrict drow = dx.data() + i * in_;
+    const float* __restrict grow = grad_out.data() + i * out_w;
+    for (std::size_t f = 0; f < in_; ++f) drow[f] += grow[f];
   }
   return dx;
 }

@@ -10,6 +10,7 @@
 // and is covered by finite-difference tests for both dT and dx.
 #pragma once
 
+#include "common/workspace.hpp"
 #include "nn/layer.hpp"
 
 namespace mdgan::nn {
@@ -21,6 +22,8 @@ class MinibatchDiscrimination : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  const Tensor& forward_ws(const Tensor& x, bool train) override;
+  const Tensor& backward_ws(const Tensor& grad_out) override;
   std::vector<Tensor*> params() override { return {&t_}; }
   std::vector<Tensor*> grads() override { return {&dt_}; }
   std::string name() const override { return "MinibatchDiscrimination"; }
@@ -31,8 +34,9 @@ class MinibatchDiscrimination : public Layer {
  private:
   std::size_t in_, num_kernels_, kernel_dim_;
   Tensor t_, dt_;  // (in, num_kernels*kernel_dim)
-  Tensor cached_input_;  // (B, in)
-  Tensor cached_m_;      // (B, num_kernels*kernel_dim)
+  Workspace ws_;
+  const Tensor* cached_input_ = nullptr;  // (B, in) ws copy
+  const Tensor* cached_m_ = nullptr;      // (B, num_kernels*kernel_dim)
 };
 
 }  // namespace mdgan::nn

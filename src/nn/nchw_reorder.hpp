@@ -1,0 +1,73 @@
+// Blocked reorders between NCHW plane-major storage (B, C, P) with
+// P = H*W and the matmul row layout (B*P, C) the conv layers feed to the
+// GEMM engine. Tiled so reads and writes both stay within cache-resident
+// blocks (the straight nested loop strides by P on one side). Also the
+// shared GemmTileHook epilogue that scatters (B*P, C) rows into NCHW
+// straight out of completed GEMM tiles.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "tensor/gemm.hpp"
+
+namespace mdgan::nn {
+
+// Fused GEMM epilogue: each completed tile of a (B*P, C) product is
+// scattered into the NCHW destination while still cache-hot, with an
+// optional per-channel bias — Conv2D's forward (bias set) and
+// ConvTranspose2D's input-grad (bias null) both use it, replacing what
+// would otherwise be a separate full-size reorder pass.
+struct RowsToPlanesTile {
+  const float* src;   // (B*P, C) — the GEMM's C matrix
+  float* dst;         // (B, C, P)
+  const float* bias;  // per-channel, nullable
+  std::size_t ch, p;
+};
+
+inline void rows_to_planes_tile(void* vctx, std::size_t r0, std::size_t r1,
+                                std::size_t c0, std::size_t c1) {
+  const auto* ctx = static_cast<const RowsToPlanesTile*>(vctx);
+  for (std::size_t r = r0; r < r1; ++r) {
+    const std::size_t bi = r / ctx->p;
+    const std::size_t pi = r % ctx->p;
+    const float* __restrict src = ctx->src + r * ctx->ch;
+    float* dst = ctx->dst + bi * ctx->ch * ctx->p + pi;
+    if (ctx->bias) {
+      for (std::size_t c = c0; c < c1; ++c) {
+        dst[c * ctx->p] = src[c] + ctx->bias[c];
+      }
+    } else {
+      for (std::size_t c = c0; c < c1; ++c) dst[c * ctx->p] = src[c];
+    }
+  }
+}
+
+// (B, C, P) planes -> (B*P, C) rows.
+inline void planes_to_rows(const float* src, float* dst, std::size_t batch,
+                           std::size_t ch, std::size_t p) {
+  constexpr std::size_t kB = 64;
+  const std::size_t grain =
+      std::max<std::size_t>(1, kParallelGrainElems / std::max<std::size_t>(1, ch * p));
+  parallel_for(batch, grain, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      const float* sb = src + b * ch * p;
+      float* db = dst + b * p * ch;
+      for (std::size_t c0 = 0; c0 < ch; c0 += kB) {
+        const std::size_t c1 = std::min(ch, c0 + kB);
+        for (std::size_t p0 = 0; p0 < p; p0 += kB) {
+          const std::size_t p1 = std::min(p, p0 + kB);
+          for (std::size_t c = c0; c < c1; ++c) {
+            const float* __restrict plane = sb + c * p;
+            for (std::size_t pi = p0; pi < p1; ++pi) {
+              db[pi * ch + c] = plane[pi];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace mdgan::nn

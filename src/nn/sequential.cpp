@@ -7,17 +7,25 @@
 namespace mdgan::nn {
 
 Tensor Sequential::forward(const Tensor& x, bool train) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer->forward(h, train);
-  return h;
+  return forward_ws(x, train);
 }
 
 Tensor Sequential::backward(const Tensor& grad_out) {
-  Tensor g = grad_out;
+  return backward_ws(grad_out);
+}
+
+const Tensor& Sequential::forward_ws(const Tensor& x, bool train) {
+  const Tensor* h = &x;
+  for (auto& layer : layers_) h = &layer->forward_ws(*h, train);
+  return *h;
+}
+
+const Tensor& Sequential::backward_ws(const Tensor& grad_out) {
+  const Tensor* g = &grad_out;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->backward(g);
+    g = &(*it)->backward_ws(*g);
   }
-  return g;
+  return *g;
 }
 
 std::vector<Tensor*> Sequential::params() {

@@ -35,6 +35,10 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  // Chains the layers' workspace paths; the returned reference lives in
+  // the last (resp. first) layer's scratch.
+  const Tensor& forward_ws(const Tensor& x, bool train) override;
+  const Tensor& backward_ws(const Tensor& grad_out) override;
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;
   std::string name() const override { return "Sequential"; }

@@ -1,0 +1,85 @@
+// Blocked/packed GEMM engine — the dense-compute spine of the repo.
+//
+// C = op(A) * op(B) (+ C), row-major, float or double. The engine is a
+// classic three-level blocked design: K is split into KC panels, rows
+// into MC tiles sized for L2, and both operands are repacked into
+// microkernel-friendly slivers (A in MR-row slivers, B in NR-column
+// blocks, edges zero-padded) so one unrolled microkernel serves all
+// four trans_a/trans_b combinations with unit-stride, branch-free inner
+// loops. Work is 2D tile-parallel (row tiles x column chunks) over the
+// global thread pool with a minimum-flops grain so small products stay
+// serial (and therefore allocation-free).
+//
+// The same templated kernel is compiled three times — baseline, AVX2+FMA
+// and AVX-512F — and dispatched per-process by runtime CPU detection, so
+// the default build stays portable while running at the host's native
+// SIMD width. No intrinsics: the microkernel is written so the compiler
+// auto-vectorizes it at each target's width.
+#pragma once
+
+#include <cstddef>
+
+namespace mdgan {
+
+// Optional epilogue: called once per completed C region while it is
+// still cache-hot (bias add, NCHW reorder, ...). Regions partition C and
+// calls may arrive concurrently from pool threads, so `fn` must only
+// touch output derived from its own [row0,row1) x [col0,col1) region.
+struct GemmTileHook {
+  void* ctx = nullptr;
+  void (*fn)(void* ctx, std::size_t row0, std::size_t row1,
+             std::size_t col0, std::size_t col1) = nullptr;
+};
+
+template <typename T>
+struct GemmArgs {
+  bool trans_a = false;
+  bool trans_b = false;
+  // false: C = op(A)op(B) (C need not be initialized); true: C += ...
+  bool accumulate = false;
+  // Dispatch guarantees m, n, k > 0 (degenerate shapes are handled in
+  // gemm.cpp before any ISA-specific code runs).
+  std::size_t m = 0, n = 0, k = 0;
+  const T* a = nullptr;
+  std::size_t lda = 0;  // leading dimension of A as stored
+  const T* b = nullptr;
+  std::size_t ldb = 0;
+  T* c = nullptr;
+  std::size_t ldc = 0;
+  const GemmTileHook* hook = nullptr;
+  // Packing scratch, sized by the dispatcher (baseline-ISA TU) to at
+  // least (m + kMaxMR) * k and (n + kMaxNR) * k elements from reused
+  // thread-local buffers, so the ISA-specific kernels never touch
+  // std::vector code — a resize instantiated under -mavx* would be a
+  // weak comdat symbol that could leak AVX instructions into the
+  // portable build.
+  T* a_pack = nullptr;
+  T* b_pack = nullptr;
+};
+
+// Upper bounds on the microkernel tile shapes across all ISA variants
+// (used to size packing scratch in the dispatcher).
+constexpr std::size_t kMaxMR = 8;
+constexpr std::size_t kMaxNR = 32;
+
+// Single-precision blocked GEMM:
+//   op(A) is (m x k), op(B) is (k x n), C is (m x n) with row stride ldc.
+//   trans_a: A is stored (k x m) and read transposed (same for B).
+// Uses thread-local packing scratch; safe to call concurrently from
+// different threads.
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, const float* a, std::size_t lda, const float* b,
+           std::size_t ldb, bool accumulate, float* c, std::size_t ldc,
+           const GemmTileHook* hook = nullptr);
+
+// Double-precision twin (the FID / linalg critical path).
+void dgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, const double* a, std::size_t lda, const double* b,
+           std::size_t ldb, bool accumulate, double* c, std::size_t ldc,
+           const GemmTileHook* hook = nullptr);
+
+// Name of the microkernel variant runtime dispatch selected
+// ("avx512" / "avx2" / "generic") — surfaced by bench_micro_ops.
+const char* gemm_isa();
+
+}  // namespace mdgan

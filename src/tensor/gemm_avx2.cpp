@@ -1,0 +1,12 @@
+// AVX2+FMA instantiation of the blocked GEMM kernel. Compiled with
+// -mavx2 -mfma (see CMakeLists.txt) and only ever *called* after the
+// runtime dispatch in gemm.cpp has confirmed the CPU supports both, so
+// it must hold no namespace-scope objects with constructors. Tile shape
+// 6x16: twelve 256-bit accumulators plus loads fits the 16-register ymm
+// file (the classic Haswell shape).
+#define MDGAN_GEMM_NS gemm_avx2
+#define MDGAN_GEMM_F32_MR 6
+#define MDGAN_GEMM_F32_NR 16
+#define MDGAN_GEMM_F64_MR 6
+#define MDGAN_GEMM_F64_NR 8
+#include "tensor/gemm_kernel.inc"

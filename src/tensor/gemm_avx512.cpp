@@ -1,0 +1,11 @@
+// AVX-512F instantiation of the blocked GEMM kernel. Compiled with
+// -mavx512f (see CMakeLists.txt) and only ever *called* after runtime
+// dispatch confirms support, so it must hold no namespace-scope objects
+// with constructors. Tile shape 8x32: sixteen 512-bit accumulators out
+// of the 32-register zmm file.
+#define MDGAN_GEMM_NS gemm_avx512
+#define MDGAN_GEMM_F32_MR 8
+#define MDGAN_GEMM_F32_NR 32
+#define MDGAN_GEMM_F64_MR 8
+#define MDGAN_GEMM_F64_NR 16
+#include "tensor/gemm_kernel.inc"

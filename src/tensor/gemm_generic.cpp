@@ -1,0 +1,9 @@
+// Baseline-ISA instantiation of the blocked GEMM kernel (whatever the
+// toolchain's default vector width is — SSE2 on stock x86-64). Tile
+// shapes sized for 16 x 128-bit registers.
+#define MDGAN_GEMM_NS gemm_generic
+#define MDGAN_GEMM_F32_MR 6
+#define MDGAN_GEMM_F32_NR 8
+#define MDGAN_GEMM_F64_MR 6
+#define MDGAN_GEMM_F64_NR 4
+#include "tensor/gemm_kernel.inc"

@@ -118,6 +118,23 @@ Tensor Tensor::reshaped(Shape new_shape) const {
   return t;
 }
 
+Tensor& Tensor::resize(const Shape& new_shape) {
+  if (shape_ == new_shape) return *this;
+  shape_ = new_shape;
+  data_.resize(shape_numel(shape_), 0.f);
+  return *this;
+}
+
+Tensor& Tensor::resize(std::initializer_list<std::size_t> dims) {
+  if (shape_.size() == dims.size() &&
+      std::equal(dims.begin(), dims.end(), shape_.begin())) {
+    return *this;
+  }
+  shape_.assign(dims.begin(), dims.end());
+  data_.resize(shape_numel(shape_), 0.f);
+  return *this;
+}
+
 Tensor Tensor::row(std::size_t i) const {
   if (rank() != 2 || i >= shape_[0]) bad_index("row(i)");
   const std::size_t cols = shape_[1];

@@ -68,6 +68,17 @@ class Tensor {
   Tensor& reshape(Shape new_shape);
   // Copying reshape.
   Tensor reshaped(Shape new_shape) const;
+  // In-place resize: like reshape but numel may change. Storage is
+  // reused whenever the new element count fits the existing capacity —
+  // the property reused Workspace tensors rely on to stay
+  // allocation-free in steady state. Grown elements are
+  // zero-initialized; existing contents are otherwise preserved.
+  // A no-op (and allocation-free, including the shape itself) when the
+  // shape is unchanged: the Shape is only copied after the comparison.
+  // The initializer_list form never materializes a Shape vector at the
+  // call site at all.
+  Tensor& resize(const Shape& new_shape);
+  Tensor& resize(std::initializer_list<std::size_t> dims);
 
   // Row view helpers for rank-2 tensors: copies row i into/out of a
   // contiguous rank-1 tensor.

@@ -9,6 +9,14 @@
 namespace mdgan {
 namespace {
 
+
+// Grain in rows for a (rows x cols) row-parallel op, where each element
+// costs roughly `cost` cheap flops.
+std::size_t row_grain(std::size_t cols, std::size_t cost = 1) {
+  const std::size_t per_row = std::max<std::size_t>(1, cols * cost);
+  return std::max<std::size_t>(1, kParallelGrainElems / per_row);
+}
+
 void matmul_dims(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
                  std::size_t& m, std::size_t& k, std::size_t& n) {
   if (a.rank() != 2 || b.rank() != 2) {
@@ -27,71 +35,21 @@ void matmul_dims(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
   }
 }
 
-// Core kernel: writes into pre-sized C (must be zeroed or carry the
-// accumulate base). Row-parallel; each task owns disjoint C rows.
-void matmul_impl(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
-                 bool trans_b, std::size_t m, std::size_t k, std::size_t n) {
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  const std::size_t lda = a.dim(1);
-  const std::size_t ldb = b.dim(1);
-
-  auto body = [&](std::size_t row_begin, std::size_t row_end) {
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      float* crow = pc + i * n;
-      if (!trans_a && !trans_b) {
-        // C[i,:] += sum_k A[i,k] * B[k,:]  (streaming over B rows).
-        const float* arow = pa + i * lda;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aik = arow[kk];
-          if (aik == 0.f) continue;
-          const float* brow = pb + kk * ldb;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      } else if (trans_a && !trans_b) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aik = pa[kk * lda + i];
-          if (aik == 0.f) continue;
-          const float* brow = pb + kk * ldb;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-        }
-      } else if (!trans_a && trans_b) {
-        const float* arow = pa + i * lda;
-        for (std::size_t j = 0; j < n; ++j) {
-          const float* bcol = pb + j * ldb;  // row j of B == col j of op(B)
-          float acc = 0.f;
-          for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * bcol[kk];
-          crow[j] += acc;
-        }
-      } else {  // trans_a && trans_b
-        for (std::size_t j = 0; j < n; ++j) {
-          const float* bcol = pb + j * ldb;
-          float acc = 0.f;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            acc += pa[kk * lda + i] * bcol[kk];
-          }
-          crow[j] += acc;
-        }
-      }
-    }
-  };
-  // Only parallelize work big enough to amortize task dispatch.
-  if (m * n * k >= (1u << 16)) {
-    parallel_for(m, body);
-  } else {
-    body(0, m);
-  }
-}
-
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  Tensor c;
+  matmul_into(c, a, b, trans_a, trans_b);
+  return c;
+}
+
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                 bool trans_b, const GemmTileHook* hook) {
   std::size_t m, k, n;
   matmul_dims(a, b, trans_a, trans_b, m, k, n);
-  Tensor c({m, n});
-  matmul_impl(c, a, b, trans_a, trans_b, m, k, n);
-  return c;
+  c.resize({m, n});
+  sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(), b.dim(1),
+        /*accumulate=*/false, c.data(), n, hook);
 }
 
 void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
@@ -102,7 +60,8 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
     throw std::invalid_argument("matmul_acc: C has wrong shape " +
                                 shape_to_string(c.shape()));
   }
-  matmul_impl(c, a, b, trans_a, trans_b, m, k, n);
+  sgemm(trans_a, trans_b, m, n, k, a.data(), a.dim(1), b.data(), b.dim(1),
+        /*accumulate=*/true, c.data(), n, nullptr);
 }
 
 void add_row_broadcast(Tensor& rows, const Tensor& bias) {
@@ -110,23 +69,52 @@ void add_row_broadcast(Tensor& rows, const Tensor& bias) {
     throw std::invalid_argument("add_row_broadcast: shape mismatch");
   }
   const std::size_t b = rows.dim(0), n = rows.dim(1);
-  float* p = rows.data();
-  const float* pb = bias.data();
-  for (std::size_t i = 0; i < b; ++i) {
-    for (std::size_t j = 0; j < n; ++j) p[i * n + j] += pb[j];
-  }
+  float* __restrict p = rows.data();
+  const float* __restrict pb = bias.data();
+  parallel_for(b, row_grain(n), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      float* __restrict row = p + i * n;
+      for (std::size_t j = 0; j < n; ++j) row[j] += pb[j];
+    }
+  });
 }
 
 Tensor sum_rows(const Tensor& m) {
   if (m.rank() != 2) throw std::invalid_argument("sum_rows: rank-2 required");
+  Tensor out({m.dim(1)});
+  sum_rows_acc(out, m);
+  return out;
+}
+
+void sum_rows_acc(Tensor& out, const Tensor& m) {
+  if (m.rank() != 2 || out.numel() != m.dim(1)) {
+    throw std::invalid_argument("sum_rows_acc: shape mismatch");
+  }
   const std::size_t b = m.dim(0), n = m.dim(1);
-  Tensor out({n});
   const float* p = m.data();
   float* po = out.data();
-  for (std::size_t i = 0; i < b; ++i) {
-    for (std::size_t j = 0; j < n; ++j) po[j] += p[i * n + j];
-  }
-  return out;
+  // Column chunks are disjoint in `out`, so they parallelize cleanly;
+  // each column accumulates in double so the bias gradient does not
+  // drift as the batch grows.
+  constexpr std::size_t kChunk = 64;
+  const std::size_t chunks = (n + kChunk - 1) / kChunk;
+  const std::size_t grain =
+      std::max<std::size_t>(1, kParallelGrainElems / std::max<std::size_t>(
+                                                 1, b * kChunk));
+  parallel_for(chunks, grain, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const std::size_t j0 = c * kChunk;
+      const std::size_t w = std::min(kChunk, n - j0);
+      double acc[kChunk] = {};
+      for (std::size_t i = 0; i < b; ++i) {
+        const float* __restrict row = p + i * n + j0;
+        for (std::size_t j = 0; j < w; ++j) acc[j] += row[j];
+      }
+      for (std::size_t j = 0; j < w; ++j) {
+        po[j0 + j] += static_cast<float>(acc[j]);
+      }
+    }
+  });
 }
 
 Tensor softmax_rows(const Tensor& logits) {
@@ -137,19 +125,23 @@ Tensor softmax_rows(const Tensor& logits) {
   Tensor out(logits.shape());
   const float* p = logits.data();
   float* po = out.data();
-  for (std::size_t i = 0; i < b; ++i) {
-    const float* row = p + i * n;
-    float mx = row[0];
-    for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
-    float denom = 0.f;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float e = std::exp(row[j] - mx);
-      po[i * n + j] = e;
-      denom += e;
+  // exp dominates; weigh it as ~16 cheap ops when choosing the grain.
+  parallel_for(b, row_grain(n, 16), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float* __restrict row = p + i * n;
+      float* __restrict orow = po + i * n;
+      float mx = row[0];
+      for (std::size_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+      float denom = 0.f;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float e = std::exp(row[j] - mx);
+        orow[j] = e;
+        denom += e;
+      }
+      const float inv = 1.f / denom;
+      for (std::size_t j = 0; j < n; ++j) orow[j] *= inv;
     }
-    const float inv = 1.f / denom;
-    for (std::size_t j = 0; j < n; ++j) po[i * n + j] *= inv;
-  }
+  });
   return out;
 }
 
@@ -157,15 +149,42 @@ Tensor transpose(const Tensor& m) {
   if (m.rank() != 2) throw std::invalid_argument("transpose: rank-2 required");
   const std::size_t r = m.dim(0), c = m.dim(1);
   Tensor out({c, r});
-  for (std::size_t i = 0; i < r; ++i) {
-    for (std::size_t j = 0; j < c; ++j) out[j * r + i] = m[i * c + j];
-  }
+  const float* p = m.data();
+  float* po = out.data();
+  // Blocked so both the row-major read and the column-major write stay
+  // within cache-resident tiles.
+  constexpr std::size_t kB = 64;
+  const std::size_t row_tiles = (r + kB - 1) / kB;
+  const std::size_t grain =
+      std::max<std::size_t>(1, kParallelGrainElems / std::max<std::size_t>(1, kB * c));
+  parallel_for(row_tiles, grain, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t i0 = t * kB;
+      const std::size_t i1 = std::min(r, i0 + kB);
+      for (std::size_t j0 = 0; j0 < c; j0 += kB) {
+        const std::size_t j1 = std::min(c, j0 + kB);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t j = j0; j < j1; ++j) {
+            po[j * r + i] = p[i * c + j];
+          }
+        }
+      }
+    }
+  });
   return out;
 }
 
 Tensor im2col(const Tensor& input, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad, std::size_t& out_h,
               std::size_t& out_w) {
+  Tensor cols;
+  im2col_into(input, kh, kw, stride, pad, out_h, out_w, cols);
+  return cols;
+}
+
+void im2col_into(const Tensor& input, std::size_t kh, std::size_t kw,
+                 std::size_t stride, std::size_t pad, std::size_t& out_h,
+                 std::size_t& out_w, Tensor& cols) {
   if (input.rank() != 4) throw std::invalid_argument("im2col: NCHW required");
   const std::size_t batch = input.dim(0), ch = input.dim(1),
                     h = input.dim(2), w = input.dim(3);
@@ -175,110 +194,122 @@ Tensor im2col(const Tensor& input, std::size_t kh, std::size_t kw,
   out_h = (h + 2 * pad - kh) / stride + 1;
   out_w = (w + 2 * pad - kw) / stride + 1;
   const std::size_t patch = ch * kh * kw;
-  Tensor cols({batch * out_h * out_w, patch});
+  cols.resize({batch * out_h * out_w, patch});
   const float* in = input.data();
   float* pc = cols.data();
+  const std::size_t out_h_local = out_h, out_w_local = out_w;
 
-  auto body = [&](std::size_t b_begin, std::size_t b_end) {
-    for (std::size_t b = b_begin; b < b_end; ++b) {
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox) {
-          float* row =
-              pc + ((b * out_h + oy) * out_w + ox) * patch;
-          for (std::size_t c = 0; c < ch; ++c) {
-            for (std::size_t ky = 0; ky < kh; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
-                  static_cast<std::ptrdiff_t>(pad);
-              for (std::size_t kx = 0; kx < kw; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
-                    static_cast<std::ptrdiff_t>(pad);
-                float v = 0.f;
-                if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) &&
-                    ix >= 0 && ix < static_cast<std::ptrdiff_t>(w)) {
-                  v = in[((b * ch + c) * h + iy) * w + ix];
+  const std::size_t per_batch = out_h * out_w * patch;
+  parallel_for(
+      batch, std::max<std::size_t>(1, kParallelGrainElems / std::max<std::size_t>(
+                                                        1, per_batch)),
+      [&, out_h_local, out_w_local](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          for (std::size_t oy = 0; oy < out_h_local; ++oy) {
+            for (std::size_t ox = 0; ox < out_w_local; ++ox) {
+              float* row =
+                  pc + ((b * out_h_local + oy) * out_w_local + ox) * patch;
+              for (std::size_t c = 0; c < ch; ++c) {
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                  const std::ptrdiff_t iy =
+                      static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  for (std::size_t kx = 0; kx < kw; ++kx) {
+                    const std::ptrdiff_t ix =
+                        static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                        static_cast<std::ptrdiff_t>(pad);
+                    float v = 0.f;
+                    if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(h) &&
+                        ix >= 0 && ix < static_cast<std::ptrdiff_t>(w)) {
+                      v = in[((b * ch + c) * h + iy) * w + ix];
+                    }
+                    row[(c * kh + ky) * kw + kx] = v;
+                  }
                 }
-                row[(c * kh + ky) * kw + kx] = v;
               }
             }
           }
         }
-      }
-    }
-  };
-  if (batch > 1) {
-    parallel_for(batch, body);
-  } else {
-    body(0, batch);
-  }
-  return cols;
+      });
 }
 
 Tensor col2im(const Tensor& cols, std::size_t batch, std::size_t channels,
               std::size_t height, std::size_t width, std::size_t kh,
               std::size_t kw, std::size_t stride, std::size_t pad,
               std::size_t out_h, std::size_t out_w) {
+  Tensor img;
+  col2im_into(cols, batch, channels, height, width, kh, kw, stride, pad,
+              out_h, out_w, img);
+  return img;
+}
+
+void col2im_into(const Tensor& cols, std::size_t batch, std::size_t channels,
+                 std::size_t height, std::size_t width, std::size_t kh,
+                 std::size_t kw, std::size_t stride, std::size_t pad,
+                 std::size_t out_h, std::size_t out_w, Tensor& img) {
   const std::size_t patch = channels * kh * kw;
   if (cols.rank() != 2 || cols.dim(0) != batch * out_h * out_w ||
       cols.dim(1) != patch) {
     throw std::invalid_argument("col2im: cols shape mismatch, got " +
                                 shape_to_string(cols.shape()));
   }
-  Tensor img({batch, channels, height, width});
+  img.resize({batch, channels, height, width});
+  img.zero();
   const float* pc = cols.data();
   float* out = img.data();
   // Batches are independent -> safe to parallelize across them (each
   // output element belongs to exactly one batch index).
-  auto body = [&](std::size_t b_begin, std::size_t b_end) {
-    for (std::size_t b = b_begin; b < b_end; ++b) {
-      for (std::size_t oy = 0; oy < out_h; ++oy) {
-        for (std::size_t ox = 0; ox < out_w; ++ox) {
-          const float* row = pc + ((b * out_h + oy) * out_w + ox) * patch;
-          for (std::size_t c = 0; c < channels; ++c) {
-            for (std::size_t ky = 0; ky < kh; ++ky) {
-              const std::ptrdiff_t iy =
-                  static_cast<std::ptrdiff_t>(oy * stride + ky) -
-                  static_cast<std::ptrdiff_t>(pad);
-              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
-                continue;
-              }
-              for (std::size_t kx = 0; kx < kw; ++kx) {
-                const std::ptrdiff_t ix =
-                    static_cast<std::ptrdiff_t>(ox * stride + kx) -
-                    static_cast<std::ptrdiff_t>(pad);
-                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(width)) {
-                  continue;
+  const std::size_t per_batch = out_h * out_w * patch;
+  parallel_for(
+      batch, std::max<std::size_t>(1, kParallelGrainElems / std::max<std::size_t>(
+                                                        1, per_batch)),
+      [&](std::size_t b_begin, std::size_t b_end) {
+        for (std::size_t b = b_begin; b < b_end; ++b) {
+          for (std::size_t oy = 0; oy < out_h; ++oy) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) {
+              const float* row = pc + ((b * out_h + oy) * out_w + ox) * patch;
+              for (std::size_t c = 0; c < channels; ++c) {
+                for (std::size_t ky = 0; ky < kh; ++ky) {
+                  const std::ptrdiff_t iy =
+                      static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                      static_cast<std::ptrdiff_t>(pad);
+                  if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(height)) {
+                    continue;
+                  }
+                  for (std::size_t kx = 0; kx < kw; ++kx) {
+                    const std::ptrdiff_t ix =
+                        static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                        static_cast<std::ptrdiff_t>(pad);
+                    if (ix < 0 ||
+                        ix >= static_cast<std::ptrdiff_t>(width)) {
+                      continue;
+                    }
+                    out[((b * channels + c) * height + iy) * width + ix] +=
+                        row[(c * kh + ky) * kw + kx];
+                  }
                 }
-                out[((b * channels + c) * height + iy) * width + ix] +=
-                    row[(c * kh + ky) * kw + kx];
               }
             }
           }
         }
-      }
-    }
-  };
-  if (batch > 1) {
-    parallel_for(batch, body);
-  } else {
-    body(0, batch);
-  }
-  return img;
+      });
 }
 
 Tensor map(const Tensor& t, float (*fn)(float)) {
   Tensor out(t.shape());
   const float* p = t.data();
   float* po = out.data();
-  for (std::size_t i = 0; i < t.numel(); ++i) po[i] = fn(p[i]);
+  parallel_for(t.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) po[i] = fn(p[i]);
+  });
   return out;
 }
 
 void clamp_(Tensor& t, float lo, float hi) {
-  for (std::size_t i = 0; i < t.numel(); ++i) {
-    t[i] = std::clamp(t[i], lo, hi);
-  }
+  float* __restrict p = t.data();
+  parallel_for(t.numel(), kParallelGrainElems, [&](std::size_t e0, std::size_t e1) {
+    for (std::size_t i = e0; i < e1; ++i) p[i] = std::clamp(p[i], lo, hi);
+  });
 }
 
 float mse(const Tensor& a, const Tensor& b) {

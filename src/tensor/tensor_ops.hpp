@@ -1,8 +1,12 @@
-// Bulk kernels over Tensor: blocked parallel matmul (with transpose
-// flags, which is all backprop needs), broadcast bias, axis reductions,
-// and the im2col/col2im pair that turns convolutions into matmuls.
+// Bulk kernels over Tensor: blocked/packed parallel matmul (with
+// transpose flags, which is all backprop needs), broadcast bias, axis
+// reductions, and the im2col/col2im pair that turns convolutions into
+// matmuls. The matmul entry points ride the sgemm engine in gemm.hpp;
+// elementwise/reduction ops fan out over the global pool with a
+// minimum-work grain so tiny tensors stay serial (and allocation-free).
 #pragma once
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mdgan {
@@ -10,9 +14,17 @@ namespace mdgan {
 // C = op(A) * op(B) where op is optional transposition.
 //   trans_a == false: A is (M x K); true: A is (K x M) read transposed.
 //   trans_b == false: B is (K x N); true: B is (N x K) read transposed.
-// Parallelized over rows of C via the global thread pool.
+// Tile-parallel via the blocked GEMM engine.
 Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
               bool trans_b = false);
+
+// As matmul, but writes into `c` (resized in place, so a reused `c`
+// allocates nothing in steady state). `hook`, if given, runs once per
+// completed C tile while it is cache-hot — the fused-epilogue channel
+// the conv layers use for bias add + NCHW reorder.
+void matmul_into(Tensor& c, const Tensor& a, const Tensor& b,
+                 bool trans_a = false, bool trans_b = false,
+                 const GemmTileHook* hook = nullptr);
 
 // C += op(A) * op(B); shapes as matmul. Used to accumulate gradients.
 void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b,
@@ -22,12 +34,18 @@ void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b,
 void add_row_broadcast(Tensor& rows, const Tensor& bias);
 
 // Sum of a (B x N) tensor over axis 0 -> (N). Used for bias gradients.
+// Accumulates in double per column so the result does not drift with
+// batch size.
 Tensor sum_rows(const Tensor& m);
+
+// out (N) += column sums of m (B x N); the allocation-free form the
+// layers use for bias gradients.
+void sum_rows_acc(Tensor& out, const Tensor& m);
 
 // Row-wise softmax of a (B x N) tensor (numerically stabilized).
 Tensor softmax_rows(const Tensor& logits);
 
-// Transpose of a rank-2 tensor.
+// Transpose of a rank-2 tensor (cache-blocked).
 Tensor transpose(const Tensor& m);
 
 // im2col for NCHW tensors.
@@ -41,12 +59,23 @@ Tensor im2col(const Tensor& input, std::size_t kh, std::size_t kw,
               std::size_t stride, std::size_t pad, std::size_t& out_h,
               std::size_t& out_w);
 
+// As im2col, but writes into `cols` (resized in place).
+void im2col_into(const Tensor& input, std::size_t kh, std::size_t kw,
+                 std::size_t stride, std::size_t pad, std::size_t& out_h,
+                 std::size_t& out_w, Tensor& cols);
+
 // Adjoint of im2col: scatters patch rows back into an NCHW image tensor
 // (accumulating overlaps). `cols` must be (B*out_h*out_w, C*kh*kw).
 Tensor col2im(const Tensor& cols, std::size_t batch, std::size_t channels,
               std::size_t height, std::size_t width, std::size_t kh,
               std::size_t kw, std::size_t stride, std::size_t pad,
               std::size_t out_h, std::size_t out_w);
+
+// As col2im, but writes into `img` (resized and zeroed in place).
+void col2im_into(const Tensor& cols, std::size_t batch, std::size_t channels,
+                 std::size_t height, std::size_t width, std::size_t kh,
+                 std::size_t kw, std::size_t stride, std::size_t pad,
+                 std::size_t out_h, std::size_t out_w, Tensor& img);
 
 // Elementwise map out-of-place.
 Tensor map(const Tensor& t, float (*fn)(float));
