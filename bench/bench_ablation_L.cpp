@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "dist/sim_network.hpp"
 
 using namespace mdgan;
 using namespace mdgan::bench;

@@ -21,6 +21,7 @@
 #include "core/complexity.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 #include "gan/fl_gan.hpp"
 #include "metrics/evaluator.hpp"
 
@@ -33,7 +34,7 @@ struct TrafficSummary {
   std::uint64_t max_worker_ingress_per_iter = 0;
   std::uint64_t max_server_ingress_per_iter = 0;
 
-  static TrafficSummary of(const dist::Network& net) {
+  static TrafficSummary of(const dist::Transport& net) {
     TrafficSummary t;
     t.c_to_w = net.totals(dist::LinkKind::kServerToWorker).bytes;
     t.w_to_c = net.totals(dist::LinkKind::kWorkerToServer).bytes;

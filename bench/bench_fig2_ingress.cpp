@@ -14,6 +14,7 @@
 #include "core/complexity.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 
 using namespace mdgan;
 

@@ -1,8 +1,10 @@
 // Micro benchmarks of the kernels the experiments stand on: matmul, the
 // im2col-based conv, the MLP generator/discriminator forward+backward,
 // the per-iteration worker feedback, swap serialization, feedback
-// compression, and the derangement draw of the swap protocol. These
-// quantify where a global iteration's time goes.
+// compression, the per-message wire path of both transports (SimNetwork
+// mailbox, TCP framing, and a real loopback socket round trip), and the
+// derangement draw of the swap protocol. These quantify where a global
+// iteration's time goes.
 //
 // Self-contained harness (no google-benchmark): each bench reports
 // ns/iter, GFLOP/s where the kernel has a defined flop count, and heap
@@ -26,6 +28,9 @@
 #include "common/serialize.hpp"
 #include "common/thread_pool.hpp"
 #include "dist/compression.hpp"
+#include "dist/frame.hpp"
+#include "dist/sim_network.hpp"
+#include "dist/tcp_network.hpp"
 #include "gan/arch.hpp"
 #include "gan/trainer.hpp"
 #include "nn/conv2d.hpp"
@@ -267,6 +272,59 @@ void bench_feedback_compression(Harness& h) {
   }
 }
 
+void bench_wire_path(Harness& h) {
+  // The per-message wire path beyond the codecs: what one
+  // Transport::send + receive_tagged of a feedback-sized payload costs
+  // on each backend. Sizes are one batch of (b, 784) floats for b = 8
+  // (the tiny-test shape) and b = 100 (the paper's).
+  for (std::size_t floats :
+       {std::size_t{8} * 784, std::size_t{100} * 784}) {
+    std::vector<float> values(floats);
+    Rng rng(12);
+    rng.fill_normal(values.data(), values.size(), 0.f, 1.f);
+    const std::string suffix = "/" + std::to_string(floats);
+
+    // In-process backend: serialize + mailbox enqueue + ordered pop.
+    dist::SimNetwork sim(2);
+    h.run("BM_SimNetSendRecv" + suffix, 0, [&] {
+      ByteBuffer buf;
+      buf.write_floats(values.data(), values.size());
+      sim.send(1, dist::kServerId, "fb", std::move(buf));
+      auto m = sim.receive_tagged(dist::kServerId, "fb");
+      volatile std::size_t sink = m->payload.size();
+      (void)sink;
+    });
+
+    // TCP framing layer alone (no kernel in the loop): encode + header
+    // decode + body decode of one frame.
+    h.run("BM_FrameEncodeDecode" + suffix, 0, [&] {
+      ByteBuffer buf;
+      buf.write_floats(values.data(), values.size());
+      const auto wire = dist::encode_frame(1, dist::kServerId, "fb", buf);
+      const auto body_len = dist::decode_frame_header(wire.data());
+      auto f = dist::decode_frame_body(wire.data() + dist::kFrameHeaderBytes,
+                                       body_len);
+      volatile std::size_t sink = f.payload.size();
+      (void)sink;
+    });
+
+    // The real thing over 127.0.0.1: framing + socket write + reader
+    // thread + ordered mailbox pop.
+    auto server = dist::TcpNetwork::serve(0, 1);
+    auto worker =
+        dist::TcpNetwork::connect("127.0.0.1", server->port(), 1, 1);
+    server->wait_ready();
+    h.run("BM_TcpLoopbackSendRecv" + suffix, 0, [&] {
+      ByteBuffer buf;
+      buf.write_floats(values.data(), values.size());
+      worker->send(1, dist::kServerId, "fb", std::move(buf));
+      auto m = server->receive_tagged(dist::kServerId, "fb");
+      volatile std::size_t sink = m->payload.size();
+      (void)sink;
+    });
+  }
+}
+
 void bench_derangement(Harness& h) {
   for (std::size_t n : {std::size_t{10}, std::size_t{50}}) {
     Rng rng(9);
@@ -308,6 +366,7 @@ int main(int argc, char** argv) {
   bench_disc_learning_step(h);
   bench_swap_serialization(h);
   bench_feedback_compression(h);
+  bench_wire_path(h);
   bench_derangement(h);
   bench_adam_step(h);
 

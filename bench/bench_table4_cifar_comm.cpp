@@ -16,6 +16,7 @@
 #include "core/complexity.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 #include "gan/fl_gan.hpp"
 
 using namespace mdgan;

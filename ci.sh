@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything, run the full test suite,
-# then smoke-run the simulated-time straggler bench so the virtual-clock
-# path cannot silently rot. Mirrors the command in ROADMAP.md; run from
-# the repo root.
+# then smoke-run the simulated-time straggler bench (virtual-clock
+# path), the micro-op bench, and a real loopback TCP training run
+# (server + 2 worker processes) checked bit-for-bit against the
+# simulator, so neither the clock nor the socket path can silently rot.
+# Mirrors the command in ROADMAP.md; run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -15,3 +17,35 @@ echo "--- smoke: bench_stragglers --tiny"
 
 echo "--- smoke: bench_micro_ops --tiny"
 ./bench_micro_ops --tiny --json=BENCH_micro_ops.json
+
+echo "--- smoke: mdgan_node loopback TCP (server + 2 workers vs sim)"
+./mdgan_node --role=sim --workers=2 --iters=2 | tee mdgan_node_sim.log
+./mdgan_node --role=server --workers=2 --port=0 --iters=2 \
+  > mdgan_node_server.log 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on 0.0.0.0:[0-9]+' mdgan_node_server.log \
+         | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "mdgan_node server never listened"; exit 1; }
+./mdgan_node --role=worker --id=1 --connect=127.0.0.1:"$PORT" \
+  --workers=2 --iters=2 &
+W1_PID=$!
+./mdgan_node --role=worker --id=2 --connect=127.0.0.1:"$PORT" \
+  --workers=2 --iters=2 &
+W2_PID=$!
+# wait per pid: a bare `wait` would mask a failing node's exit code.
+for pid in "$W1_PID" "$W2_PID" "$SERVER_PID"; do
+  wait "$pid" || { echo "mdgan_node process $pid failed"; exit 1; }
+done
+cat mdgan_node_server.log
+SIM_SUM=$(grep -oE 'generator_fnv1a=[0-9a-f]+' mdgan_node_sim.log)
+TCP_SUM=$(grep -oE 'generator_fnv1a=[0-9a-f]+' mdgan_node_server.log)
+[ "${SIM_SUM#*=}" = "${TCP_SUM#*=}" ] || {
+  echo "FAIL: TCP run diverged from the simulator ($SIM_SUM vs $TCP_SUM)"
+  exit 1
+}
+echo "loopback TCP run matches the simulator: ${TCP_SUM#*=}"

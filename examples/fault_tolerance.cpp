@@ -8,6 +8,7 @@
 #include "common/cli.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 #include "metrics/evaluator.hpp"
 
 int main(int argc, char** argv) {

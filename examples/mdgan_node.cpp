@@ -1,0 +1,184 @@
+// mdgan_node: one node of a real MD-GAN deployment, speaking the TCP
+// transport. Launch one server and N workers — on one machine via
+// 127.0.0.1 or on N+1 machines — and the same protocol the simulator
+// runs executes as real processes:
+//
+//   ./mdgan_node --role=server --workers=2 --port=29471
+//   ./mdgan_node --role=worker --id=1 --connect=host:29471 --workers=2
+//   ./mdgan_node --role=worker --id=2 --connect=host:29471 --workers=2
+//
+// A third role replays the identical configuration on the in-process
+// SimNetwork, which makes the backend swap auditable end to end:
+//
+//   ./mdgan_node --role=sim --workers=2
+//
+// prints the same generator checksum a TCP run converges to — the
+// ci.sh smoke compares the two. Every role derives the dataset and its
+// shard deterministically from (--seed, --workers, --shard), so no
+// data moves at startup; all roles must be launched with identical
+// training flags.
+//
+// Shared training flags: --iters, --batch, --k, --shard (samples per
+// worker), --seed, --swap=0|1, --compress=none|int8|topk.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/md_gan.hpp"
+#include "data/synthetic.hpp"
+#include "dist/compression.hpp"
+#include "dist/sim_network.hpp"
+#include "dist/tcp_network.hpp"
+
+namespace {
+
+using namespace mdgan;
+
+// FNV-1a over the parameter bytes: a compact fingerprint two runs can
+// compare for bit-identity without shipping the whole vector around.
+std::uint64_t fnv1a(const std::vector<float>& values) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(values.data());
+  for (std::size_t i = 0; i < values.size() * sizeof(float); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct NodeConfig {
+  std::size_t workers = 2;
+  std::int64_t iters = 4;
+  std::size_t shard = 16;
+  std::uint64_t seed = 42;
+  core::MdGanConfig cfg;
+};
+
+NodeConfig parse_training_flags(const CliFlags& flags) {
+  NodeConfig nc;
+  nc.workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+  nc.iters = flags.get_int("iters", 4);
+  nc.shard = static_cast<std::size_t>(flags.get_int("shard", 16));
+  nc.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  nc.cfg.hp.batch = static_cast<std::size_t>(flags.get_int("batch", 8));
+  nc.cfg.hp.disc_steps = 1;
+  nc.cfg.k = static_cast<std::size_t>(
+      flags.get_int("k", static_cast<std::int64_t>(
+                             std::min<std::size_t>(2, nc.workers))));
+  nc.cfg.swap_enabled = flags.get_bool("swap", true);
+  nc.cfg.parallel_workers = false;
+  const std::string codec = flags.get("compress", "none");
+  if (codec == "int8") {
+    nc.cfg.feedback_compression.kind = dist::CompressionKind::kQuantizeInt8;
+  } else if (codec == "topk") {
+    nc.cfg.feedback_compression.kind = dist::CompressionKind::kTopK;
+  } else if (codec != "none") {
+    std::fprintf(stderr, "mdgan_node: unknown --compress=%s\n",
+                 codec.c_str());
+    std::exit(2);
+  }
+  return nc;
+}
+
+// Every role regenerates the full dataset and splits it with the same
+// seeded shuffle, so worker w's shard is identical across processes.
+std::vector<data::InMemoryDataset> shards_of(const NodeConfig& nc) {
+  auto full = data::make_synthetic_digits(nc.workers * nc.shard, nc.seed);
+  Rng split_rng(nc.seed);
+  return data::split_iid(full, nc.workers, split_rng);
+}
+
+void print_summary(const char* role, core::MdGan& md,
+                   const dist::Transport& net) {
+  const auto params = md.generator().flatten_parameters();
+  std::printf("%s: generator_fnv1a=%016llx\n", role,
+              static_cast<unsigned long long>(fnv1a(params)));
+  std::printf("%s: traffic c2w=%llu w2c=%llu w2w=%llu bytes, elapsed=%.3fs\n",
+              role,
+              static_cast<unsigned long long>(
+                  net.totals(dist::LinkKind::kServerToWorker).bytes),
+              static_cast<unsigned long long>(
+                  net.totals(dist::LinkKind::kWorkerToServer).bytes),
+              static_cast<unsigned long long>(
+                  net.totals(dist::LinkKind::kWorkerToWorker).bytes),
+              net.max_sim_time());
+}
+
+int run_sim(const NodeConfig& nc) {
+  dist::SimNetwork net(nc.workers);
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), nc.cfg,
+                 shards_of(nc), nc.seed, net);
+  md.train(nc.iters);
+  print_summary("sim", md, net);
+  return 0;
+}
+
+int run_server(const NodeConfig& nc, std::uint16_t port) {
+  auto net = dist::TcpNetwork::serve(port, nc.workers);
+  std::printf("server: listening on 0.0.0.0:%u, waiting for %zu workers\n",
+              net->port(), nc.workers);
+  std::fflush(stdout);
+  if (!net->wait_ready()) {
+    std::fprintf(stderr, "server: rendezvous timed out\n");
+    return 1;
+  }
+  std::printf("server: all %zu workers connected, training %lld "
+              "iterations\n",
+              nc.workers, static_cast<long long>(nc.iters));
+  std::fflush(stdout);
+  core::MdGanConfig cfg = nc.cfg;
+  cfg.shard_size = nc.shard;  // the server holds no shard to derive it
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg, {},
+                 nc.seed, *net, nullptr, core::NodeRole::server());
+  md.train(nc.iters);
+  print_summary("server", md, *net);
+  return 0;
+}
+
+int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "mdgan_node: --connect wants host:port\n");
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+  auto net = dist::TcpNetwork::connect(host, port, id, nc.workers);
+  std::printf("worker %d: connected to %s\n", id, connect.c_str());
+  std::fflush(stdout);
+  auto shards = shards_of(nc);
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), nc.cfg,
+                 {shards[static_cast<std::size_t>(id) - 1]}, nc.seed, *net,
+                 nullptr, core::NodeRole::worker(id));
+  md.train(nc.iters);
+  std::printf("worker %d: done, %lld iterations\n", id,
+              static_cast<long long>(md.iterations_run()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const std::string role = flags.get("role", "sim");
+  const NodeConfig nc = parse_training_flags(flags);
+  try {
+    if (role == "sim") return run_sim(nc);
+    if (role == "server") {
+      return run_server(
+          nc, static_cast<std::uint16_t>(flags.get_int("port", 29471)));
+    }
+    if (role == "worker") {
+      const int id = static_cast<int>(flags.get_int("id", 0));
+      return run_worker(nc, flags.get("connect", "127.0.0.1:29471"), id);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mdgan_node(%s): %s\n", role.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "mdgan_node: --role must be sim, server or worker\n");
+  return 2;
+}

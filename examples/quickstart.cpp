@@ -14,6 +14,7 @@
 #include "core/md_gan.hpp"
 #include "data/image_io.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 #include "metrics/evaluator.hpp"
 
 int main(int argc, char** argv) {

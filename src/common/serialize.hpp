@@ -1,9 +1,20 @@
-// Value-semantic byte buffers used as the wire format of the simulated
-// cluster. Every message between nodes is serialized into a ByteBuffer;
-// its size() is what the traffic accountant records, so the bytes in
-// Table IV / Figure 2 come from real serialized payloads, not estimates.
+// Value-semantic byte buffers used as the wire format of the cluster
+// transports. Every message between nodes is serialized into a
+// ByteBuffer; its size() is what the traffic accountant records, so the
+// bytes in Table IV / Figure 2 come from real serialized payloads, not
+// estimates.
+//
+// Wire format: explicitly little-endian. Integers and floats are stored
+// with their least-significant byte first regardless of the host, so a
+// frame produced by one machine parses identically on any other — the
+// property the TCP backend (dist/tcp_network) needs to run the protocol
+// across heterogeneous hosts. On little-endian hosts (x86-64, the only
+// ones this repo has run on so far) the encoding is byte-for-byte what
+// the old native-order memcpy produced, so all historical byte totals
+// are unchanged.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -14,9 +25,34 @@
 
 namespace mdgan {
 
+namespace detail {
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) && \
+    (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__)
+inline constexpr bool kHostLittleEndian = false;
+#else
+inline constexpr bool kHostLittleEndian = true;
+#endif
+}  // namespace detail
+
 class ByteBuffer {
  public:
   ByteBuffer() = default;
+
+  // Wraps received wire bytes for parsing (copies them).
+  static ByteBuffer wrap(const std::uint8_t* data, std::size_t n) {
+    ByteBuffer buf;
+    buf.data_.assign(data, data + n);
+    return buf;
+  }
+
+  // Takes ownership of received wire bytes without copying (the TCP
+  // receive path reads each payload straight into the vector it hands
+  // over here).
+  static ByteBuffer adopt(std::vector<std::uint8_t>&& data) {
+    ByteBuffer buf;
+    buf.data_ = std::move(data);
+    return buf;
+  }
 
   std::size_t size() const { return data_.size(); }
   const std::uint8_t* data() const { return data_.data(); }
@@ -25,29 +61,56 @@ class ByteBuffer {
     read_pos_ = 0;
   }
 
+  // Appends raw bytes verbatim (no length header). The caller owns the
+  // framing; used by the frame codec and tests.
+  void append_raw(const std::uint8_t* p, std::size_t n) {
+    data_.insert(data_.end(), p, p + n);
+  }
+
   template <typename T>
   void write_pod(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    data_.insert(data_.end(), p, p + sizeof(T));
+    static_assert(sizeof(T) == 1 || std::is_arithmetic_v<T> ||
+                      std::is_enum_v<T>,
+                  "multi-byte non-arithmetic types have no defined byte "
+                  "order on the wire");
+    std::uint8_t bytes[sizeof(T)];
+    std::memcpy(bytes, &v, sizeof(T));
+    if constexpr (sizeof(T) > 1 && !detail::kHostLittleEndian) {
+      std::reverse(bytes, bytes + sizeof(T));
+    }
+    data_.insert(data_.end(), bytes, bytes + sizeof(T));
   }
 
   template <typename T>
   T read_pod() {
     static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(sizeof(T) == 1 || std::is_arithmetic_v<T> ||
+                      std::is_enum_v<T>,
+                  "multi-byte non-arithmetic types have no defined byte "
+                  "order on the wire");
     if (read_pos_ + sizeof(T) > data_.size()) {
       throw std::out_of_range("ByteBuffer: read past end");
     }
+    std::uint8_t bytes[sizeof(T)];
+    std::memcpy(bytes, data_.data() + read_pos_, sizeof(T));
+    if constexpr (sizeof(T) > 1 && !detail::kHostLittleEndian) {
+      std::reverse(bytes, bytes + sizeof(T));
+    }
     T v;
-    std::memcpy(&v, data_.data() + read_pos_, sizeof(T));
+    std::memcpy(&v, bytes, sizeof(T));
     read_pos_ += sizeof(T);
     return v;
   }
 
   void write_floats(const float* src, std::size_t n) {
     write_pod<std::uint64_t>(n);
-    const auto* p = reinterpret_cast<const std::uint8_t*>(src);
-    data_.insert(data_.end(), p, p + n * sizeof(float));
+    if constexpr (detail::kHostLittleEndian) {
+      const auto* p = reinterpret_cast<const std::uint8_t*>(src);
+      data_.insert(data_.end(), p, p + n * sizeof(float));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) write_pod<float>(src[i]);
+    }
   }
 
   std::vector<float> read_floats() {
@@ -56,8 +119,12 @@ class ByteBuffer {
       throw std::out_of_range("ByteBuffer: float read past end");
     }
     std::vector<float> out(n);
-    std::memcpy(out.data(), data_.data() + read_pos_, n * sizeof(float));
-    read_pos_ += n * sizeof(float);
+    if constexpr (detail::kHostLittleEndian) {
+      std::memcpy(out.data(), data_.data() + read_pos_, n * sizeof(float));
+      read_pos_ += n * sizeof(float);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = read_pod<float>();
+    }
     return out;
   }
 

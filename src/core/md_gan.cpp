@@ -18,49 +18,110 @@ std::size_t k_log_n(std::size_t n_workers) {
 
 MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
              std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-             dist::Network& net, const dist::CrashSchedule* crashes)
+             dist::Transport& net, const dist::CrashSchedule* crashes,
+             NodeRole role)
     : arch_(arch),
       cfg_(cfg),
       codes_(arch.image.num_classes, arch.latent_dim),
       net_(net),
       crashes_(crashes),
       seed_(seed),
+      role_(role),
       server_rng_(Rng(seed).split(0x5e1)),
       swap_rng_(Rng(seed).split(0x50a9)) {
-  if (shards.empty()) throw std::invalid_argument("MdGan: no shards");
-  if (net_.n_workers() != shards.size()) {
-    throw std::invalid_argument("MdGan: network sized for " +
-                                std::to_string(net_.n_workers()) +
-                                " workers, got " +
-                                std::to_string(shards.size()) + " shards");
+  const std::size_t n_workers = net_.n_workers();
+  switch (role_.kind) {
+    case NodeRole::Kind::kInProcess:
+      if (shards.empty()) throw std::invalid_argument("MdGan: no shards");
+      if (n_workers != shards.size()) {
+        throw std::invalid_argument(
+            "MdGan: network sized for " + std::to_string(n_workers) +
+            " workers, got " + std::to_string(shards.size()) + " shards");
+      }
+      break;
+    case NodeRole::Kind::kServer:
+      if (!shards.empty()) {
+        throw std::invalid_argument("MdGan: the server role holds no shard");
+      }
+      if (cfg_.shard_size == 0) {
+        throw std::invalid_argument(
+            "MdGan: the server role needs cfg.shard_size (it fixes the "
+            "swap period)");
+      }
+      break;
+    case NodeRole::Kind::kWorker:
+      if (role_.worker_id < 1 ||
+          role_.worker_id > static_cast<int>(n_workers)) {
+        throw std::invalid_argument("MdGan: worker id " +
+                                    std::to_string(role_.worker_id) +
+                                    " outside [1, " +
+                                    std::to_string(n_workers) + "]");
+      }
+      if (shards.size() != 1) {
+        throw std::invalid_argument(
+            "MdGan: the worker role holds exactly its own shard");
+      }
+      break;
   }
-  if (cfg_.k == 0 || cfg_.k > shards.size()) {
+  if (crashes_ != nullptr && role_.kind != NodeRole::Kind::kInProcess) {
+    // The swap schedule is replayed SPMD-style across role-split
+    // processes and cannot see injected crashes consistently.
+    throw std::invalid_argument(
+        "MdGan: CrashSchedule is only supported in-process");
+  }
+  if (cfg_.k == 0 || cfg_.k > n_workers) {
     throw std::invalid_argument("MdGan: need 1 <= k <= N");
   }
   const std::size_t n_discs =
-      cfg_.n_discriminators == 0 ? shards.size() : cfg_.n_discriminators;
-  if (n_discs > shards.size()) {
+      cfg_.n_discriminators == 0 ? n_workers : cfg_.n_discriminators;
+  if (n_discs > n_workers) {
     throw std::invalid_argument("MdGan: more discriminators than workers");
   }
 
   // The same init stream as the standalone/FL-GAN constructors, so a
   // (seed, arch) pair pins identical initial weights across competitors
-  // — required by the N=1 equivalence test.
+  // — required by the N=1 equivalence test. Every role derives the same
+  // initial models: that is what lets a worker process train the same
+  // D_j the in-process run would.
   Rng init_rng = Rng(seed).split(0x1417);
   g_ = gan::build_generator(arch_, init_rng);
   nn::Sequential d0 = gan::build_discriminator(arch_, init_rng);
   g_opt_ = std::make_unique<opt::Adam>(g_.params(), g_.grads(),
                                        cfg_.hp.g_adam);
 
-  workers_.reserve(shards.size());
+  // workers_[i] is worker i+1's local state; role-split instances
+  // populate only the slots they embody.
+  workers_.resize(n_workers);
   for (std::size_t n = 0; n < shards.size(); ++n) {
+    const std::size_t worker_1based =
+        role_.kind == NodeRole::Kind::kWorker
+            ? static_cast<std::size_t>(role_.worker_id)
+            : n + 1;
     auto w = std::make_unique<Worker>();
     w->shard = std::move(shards[n]);
     if (w->shard.size() < cfg_.hp.batch) {
       throw std::invalid_argument("MdGan: shard smaller than batch size");
     }
-    w->rng = Rng(seed).split(0x3d9a).split(n + 1);
-    workers_.push_back(std::move(w));
+    w->rng = Rng(seed).split(0x3d9a).split(worker_1based);
+    workers_[worker_1based - 1] = std::move(w);
+  }
+  // m, which fixes the swap period: the first shard governs, as it
+  // always has (hand-built uneven shards stay legal in-process). A
+  // role-split worker must agree with the cluster-wide cfg.shard_size,
+  // or its replayed swap schedule would diverge from everyone else's.
+  shard_size_ = cfg_.shard_size != 0
+                    ? cfg_.shard_size
+                    : workers_[role_.kind == NodeRole::Kind::kWorker
+                                   ? static_cast<std::size_t>(
+                                         role_.worker_id - 1)
+                                   : 0]
+                          ->shard.size();
+  if (role_.kind == NodeRole::Kind::kWorker && cfg_.shard_size != 0 &&
+      cfg_.shard_size !=
+          workers_[static_cast<std::size_t>(role_.worker_id - 1)]
+              ->shard.size()) {
+    throw std::invalid_argument(
+        "MdGan: cfg.shard_size disagrees with this worker's shard");
   }
 
   discs_.reserve(n_discs);
@@ -92,9 +153,8 @@ int MdGan::holder_of(std::size_t disc_index) const {
 }
 
 std::int64_t MdGan::swap_period() const {
-  const std::size_t m = workers_.front()->shard.size();
   const std::int64_t period = static_cast<std::int64_t>(
-      cfg_.epochs_per_swap * m / cfg_.hp.batch);
+      cfg_.epochs_per_swap * shard_size_ / cfg_.hp.batch);
   return period > 0 ? period : 1;
 }
 
@@ -203,18 +263,39 @@ void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
   const std::size_t b = cfg_.hp.batch;
   const std::size_t d = arch_.image_dim();
 
-  // Collect feedbacks, grouped by generated-batch id.
-  std::vector<Tensor> upstream(k_eff);
-  std::vector<std::size_t> counts(k_eff, 0);
+  // Collect every feedback first, then fold in ascending sender order:
+  // SimNetwork already pops that way, but TCP frames arrive in racy
+  // wall-clock order, and the float accumulation order must not depend
+  // on which transport carried them.
+  struct Feedback {
+    int from;
+    std::uint32_t batch;
+    Tensor grad;
+  };
+  std::vector<Feedback> received;
+  received.reserve(n_feedbacks);
   for (std::size_t i = 0; i < n_feedbacks; ++i) {
     auto msg = net_.receive_tagged(dist::kServerId, "feedback");
     if (!msg) throw std::logic_error("MdGan server: missing feedback");
     const auto j = msg->payload.read_pod<std::uint32_t>();
-    Tensor fb({b, d}, dist::decompress(msg->payload));
+    if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
+    received.push_back(
+        {msg->from, j, Tensor({b, d}, dist::decompress(msg->payload))});
+  }
+  std::sort(received.begin(), received.end(),
+            [](const Feedback& a, const Feedback& b2) {
+              return a.from < b2.from;  // one feedback per sender
+            });
+
+  // Group by generated-batch id.
+  std::vector<Tensor> upstream(k_eff);
+  std::vector<std::size_t> counts(k_eff, 0);
+  for (auto& fb : received) {
+    const auto j = fb.batch;
     if (upstream[j].empty()) {
-      upstream[j] = std::move(fb);
+      upstream[j] = std::move(fb.grad);
     } else {
-      upstream[j] += fb;
+      upstream[j] += fb.grad;
     }
     ++counts[j];
   }
@@ -298,23 +379,68 @@ void MdGan::swap_discriminators() {
   }
   if (targets.empty()) return;  // e.g. one worker alive hosting the disc
 
-  // Ship parameters old holder -> new holder (W->W traffic), then adopt.
-  for (std::size_t p = 0; p < nd; ++p) {
-    Disc& disc = discs_[alive_discs[p]];
-    const auto params = disc.net.flatten_parameters();
-    ByteBuffer buf;
-    buf.write_pod<std::uint32_t>(
-        static_cast<std::uint32_t>(alive_discs[p]));
-    buf.write_floats(params.data(), params.size());
-    net_.send(disc.holder, targets[p], "disc_swap", std::move(buf));
-  }
-  for (std::size_t p = 0; p < nd; ++p) {
-    Disc& disc = discs_[alive_discs[p]];
-    auto msg = net_.receive_tagged(targets[p], "disc_swap");
-    if (!msg) throw std::logic_error("MdGan swap: missing message");
-    msg->payload.read_pod<std::uint32_t>();
-    disc.net.assign_parameters(msg->payload.read_floats());
-    disc.holder = targets[p];
+  // Ship parameters old holder -> new holder (W->W traffic), then
+  // adopt. The wire carries θ only — the paper's swap cost — so the
+  // host-local Adam moments cannot travel with the discriminator; every
+  // adoption resets them, in-process included, which is what keeps
+  // role-split (TCP) and in-process runs bit-identical.
+  switch (role_.kind) {
+    case NodeRole::Kind::kInProcess:
+      for (std::size_t p = 0; p < nd; ++p) {
+        Disc& disc = discs_[alive_discs[p]];
+        const auto params = disc.net.flatten_parameters();
+        ByteBuffer buf;
+        buf.write_pod<std::uint32_t>(
+            static_cast<std::uint32_t>(alive_discs[p]));
+        buf.write_floats(params.data(), params.size());
+        net_.send(disc.holder, targets[p], "disc_swap", std::move(buf));
+      }
+      for (std::size_t p = 0; p < nd; ++p) {
+        Disc& disc = discs_[alive_discs[p]];
+        auto msg = net_.receive_tagged(targets[p], "disc_swap");
+        if (!msg) throw std::logic_error("MdGan swap: missing message");
+        msg->payload.read_pod<std::uint32_t>();
+        disc.net.assign_parameters(msg->payload.read_floats());
+        disc.opt->reset();
+        disc.holder = targets[p];
+      }
+      break;
+    case NodeRole::Kind::kServer:
+      // The parameters move worker-to-worker; the server only replays
+      // the holder bookkeeping.
+      for (std::size_t p = 0; p < nd; ++p) {
+        discs_[alive_discs[p]].holder = targets[p];
+      }
+      break;
+    case NodeRole::Kind::kWorker: {
+      const int me = role_.worker_id;
+      for (std::size_t p = 0; p < nd; ++p) {
+        Disc& disc = discs_[alive_discs[p]];
+        if (disc.holder != me) continue;
+        const auto params = disc.net.flatten_parameters();
+        ByteBuffer buf;
+        buf.write_pod<std::uint32_t>(
+            static_cast<std::uint32_t>(alive_discs[p]));
+        buf.write_floats(params.data(), params.size());
+        net_.send(me, targets[p], "disc_swap", std::move(buf));
+      }
+      for (std::size_t p = 0; p < nd; ++p) {
+        if (targets[p] != me) continue;
+        auto msg = net_.receive_tagged(me, "disc_swap");
+        if (!msg) throw std::logic_error("MdGan swap: missing message");
+        const auto idx = msg->payload.read_pod<std::uint32_t>();
+        if (idx != alive_discs[p]) {
+          throw std::logic_error("MdGan swap: discriminator id mismatch");
+        }
+        Disc& disc = discs_[idx];
+        disc.net.assign_parameters(msg->payload.read_floats());
+        disc.opt->reset();
+      }
+      for (std::size_t p = 0; p < nd; ++p) {
+        discs_[alive_discs[p]].holder = targets[p];
+      }
+      break;
+    }
   }
 }
 
@@ -344,23 +470,36 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
     }
     const std::size_t k_eff = std::min(cfg_.k, participants.size());
 
-    server_generate_and_send(participants, k_eff);
-    dist::for_each_worker(
-        [&] {
-          std::vector<int> ids(participants.size());
-          for (std::size_t p = 0; p < participants.size(); ++p) {
-            ids[p] = static_cast<int>(p);
-          }
-          return ids;
-        }(),
-        [this, &participants](int p) {
-          worker_iteration(participants[static_cast<std::size_t>(p)]);
-        },
-        cfg_.parallel_workers);
-    if (cfg_.async) {
-      server_update_async(participants, k_eff);
-    } else {
-      server_update_sync(participants.size(), k_eff);
+    if (runs_server()) server_generate_and_send(participants, k_eff);
+    if (role_.kind == NodeRole::Kind::kInProcess) {
+      dist::for_each_worker(
+          [&] {
+            std::vector<int> ids(participants.size());
+            for (std::size_t p = 0; p < participants.size(); ++p) {
+              ids[p] = static_cast<int>(p);
+            }
+            return ids;
+          }(),
+          [this, &participants](int p) {
+            worker_iteration(participants[static_cast<std::size_t>(p)]);
+          },
+          cfg_.parallel_workers);
+    } else if (role_.kind == NodeRole::Kind::kWorker) {
+      // This process embodies one worker: run only the discriminators
+      // it currently hosts (receive_tagged blocks until the server's
+      // batches arrive over the wire).
+      for (std::size_t p = 0; p < participants.size(); ++p) {
+        if (discs_[participants[p]].holder == role_.worker_id) {
+          worker_iteration(participants[p]);
+        }
+      }
+    }
+    if (runs_server()) {
+      if (cfg_.async) {
+        server_update_async(participants, k_eff);
+      } else {
+        server_update_sync(participants.size(), k_eff);
+      }
     }
 
     if (cfg_.swap_enabled && i % period == 0) {
@@ -370,7 +509,10 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
     // from the alive set, which must not read as negative elapsed time.
     round_sim_s_.push_back(std::max(0.0, net_.max_sim_time() - round_start_s));
     iters_run_ = i;
-    if (hook && eval_every > 0 && (i % eval_every == 0 || i == iters)) {
+    // The hook observes the server generator; worker roles hold only
+    // the stale initial copy, so they never fire it.
+    if (runs_server() && hook && eval_every > 0 &&
+        (i % eval_every == 0 || i == iters)) {
       hook(i, g_);
     }
   }

@@ -29,6 +29,25 @@
 // Fail-stop crashes (Figure 5) are injected through a CrashSchedule: a
 // crashed worker stops participating, its shard is lost, and any
 // discriminator it hosted dies with it.
+//
+// Transport and roles: MdGan speaks to the cluster only through
+// dist::Transport. The default NodeRole (kInProcess) drives every node
+// of the protocol in one process — the configuration all simulations
+// use, against a SimNetwork. The kServer / kWorker roles run a single
+// node of the SAME protocol against a per-process endpoint (a
+// dist::TcpNetwork), so a real deployment is N+1 processes each holding
+// an MdGan in its role. Cross-role coordination that the wire does not
+// carry (who hosts which discriminator after a swap) is derived SPMD
+// style: every role replays the identical seeded swap_rng stream, so no
+// control traffic is needed and the wire carries exactly the bytes the
+// in-process run accounts. A consequence the loopback equivalence test
+// pins: a TCP run (server + workers as real endpoints) produces
+// bit-identical generator weights and identical per-link traffic totals
+// to the in-process SimNetwork run with the same seeds. Role-split runs
+// assume fail-stop-free execution (a CrashSchedule is rejected): a real
+// crash surfaces as a dropped connection through
+// Transport::alive_workers, but the swap-schedule replay cannot see it,
+// so distributed runs are for healthy clusters.
 #pragma once
 
 #include <cstdint>
@@ -39,10 +58,25 @@
 #include "data/dataset.hpp"
 #include "dist/compression.hpp"
 #include "dist/fault.hpp"
-#include "dist/network.hpp"
+#include "dist/transport.hpp"
 #include "gan/trainer.hpp"
 
 namespace mdgan::core {
+
+// Which node(s) of the protocol this MdGan instance embodies.
+struct NodeRole {
+  enum class Kind {
+    kInProcess,  // every node, in one process (simulation; the default)
+    kServer,     // node 0 only: generate, send, fold feedbacks, update G
+    kWorker,     // one worker: receive batches, train D, ship feedback
+  };
+  Kind kind = Kind::kInProcess;
+  int worker_id = 0;  // 1-based; meaningful for kWorker only
+
+  static NodeRole in_process() { return {}; }
+  static NodeRole server() { return {Kind::kServer, 0}; }
+  static NodeRole worker(int id) { return {Kind::kWorker, id}; }
+};
 
 struct MdGanConfig {
   gan::GanHyperParams hp;
@@ -64,6 +98,10 @@ struct MdGanConfig {
   // default zero link model — keeps every simulated clock at 0.
   double sim_worker_step_seconds = 0.0;
   double sim_server_update_seconds = 0.0;
+  // Samples per worker shard. 0 derives it from the shards handed to
+  // the constructor; the kServer role holds no shard, so it must be set
+  // explicitly there (it fixes the swap period E * m / b).
+  std::size_t shard_size = 0;
 };
 
 // Helper for the paper's k = floor(log N) configuration (natural log,
@@ -72,13 +110,15 @@ std::size_t k_log_n(std::size_t n_workers);
 
 class MdGan {
  public:
-  // shards[n] is worker n+1's local dataset; net must be sized for
-  // shards.size() workers. `crashes` (optional) injects fail-stop
-  // faults at iteration boundaries.
+  // kInProcess: shards[n] is worker n+1's local dataset and must match
+  // net.n_workers(). kServer: shards must be empty (the server holds no
+  // data; set cfg.shard_size). kWorker: shards holds exactly the one
+  // local shard. `crashes` (optional, kInProcess only) injects
+  // fail-stop faults at iteration boundaries.
   MdGan(gan::GanArch arch, MdGanConfig cfg,
         std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-        dist::Network& net,
-        const dist::CrashSchedule* crashes = nullptr);
+        dist::Transport& net, const dist::CrashSchedule* crashes = nullptr,
+        NodeRole role = NodeRole::in_process());
 
   // Runs `iters` global iterations (= generator updates in sync mode;
   // in async mode one iteration still processes every participant but
@@ -97,7 +137,8 @@ class MdGan {
 
   const gan::GanArch& arch() const { return arch_; }
   const gan::ClassCodes& codes() const { return codes_; }
-  const dist::Network& network() const { return net_; }
+  const dist::Transport& network() const { return net_; }
+  const NodeRole& role() const { return role_; }
   // Global iterations between two swaps: E * m / b.
   std::int64_t swap_period() const;
   std::int64_t iterations_run() const { return iters_run_; }
@@ -130,6 +171,10 @@ class MdGan {
     Rng rng;
   };
 
+  bool runs_server() const {
+    return role_.kind != NodeRole::Kind::kWorker;
+  }
+
   // Discriminators whose holders are still alive; prunes the others
   // (fail-stop: a disc dies with its host).
   std::vector<std::size_t> live_discs();
@@ -137,7 +182,11 @@ class MdGan {
   void server_generate_and_send(const std::vector<std::size_t>& discs,
                                 std::size_t k_eff);
   void worker_iteration(std::size_t disc_index);
-  // Sync server reduce: averages all feedbacks per batch, one Adam step.
+  // Sync server reduce: averages all feedbacks per batch, one Adam
+  // step. Feedbacks are folded in sender order regardless of arrival
+  // order, so the float accumulation is identical whether the transport
+  // delivered them deterministically (SimNetwork) or raced over real
+  // sockets (TcpNetwork).
   void server_update_sync(std::size_t n_feedbacks, std::size_t k_eff);
   // Async server: one Adam step per feedback, in arrival order.
   void server_update_async(const std::vector<std::size_t>& discs,
@@ -147,9 +196,11 @@ class MdGan {
   gan::GanArch arch_;
   MdGanConfig cfg_;
   gan::ClassCodes codes_;
-  dist::Network& net_;
+  dist::Transport& net_;
   const dist::CrashSchedule* crashes_;
   std::uint64_t seed_;
+  NodeRole role_;
+  std::size_t shard_size_ = 0;  // m, fixes the swap period
 
   // Server state.
   nn::Sequential g_;

@@ -65,7 +65,7 @@ SimTimes operator-(const SimTimes& a, const SimTimes& b) {
   return out;
 }
 
-SimTimes sim_times_of(const Network& net) {
+SimTimes sim_times_of(const Transport& net) {
   SimTimes out;
   out.server = net.sim_time(kServerId);
   out.workers.resize(net.n_workers());

@@ -13,7 +13,9 @@
 #include "dist/compression.hpp"
 #include "dist/fault.hpp"
 #include "dist/link_model.hpp"
-#include "dist/network.hpp"
+#include "dist/sim_network.hpp"
+#include "dist/tcp_network.hpp"
+#include "dist/transport.hpp"
 
 namespace mdgan::dist {
 
@@ -44,8 +46,9 @@ struct SimTimes {
   friend SimTimes operator-(const SimTimes& a, const SimTimes& b);
 };
 
-// Reads the current clocks off the network (crashed workers report the
-// clock they froze at).
-SimTimes sim_times_of(const Network& net);
+// Reads the current clocks off the transport (crashed workers report
+// the clock they froze at; a TcpNetwork reports its one measured clock
+// for every node).
+SimTimes sim_times_of(const Transport& net);
 
 }  // namespace mdgan::dist

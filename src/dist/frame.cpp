@@ -1,0 +1,76 @@
+#include "dist/frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mdgan::dist {
+
+namespace {
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+}  // namespace
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::vector<std::uint8_t> encode_frame(int src, int dst,
+                                       const std::string& tag,
+                                       const ByteBuffer& payload) {
+  const std::size_t body_len =
+      kFrameBodyFixedBytes + tag.size() + payload.size();
+  if (body_len > kMaxFrameBodyBytes) {
+    throw std::runtime_error("encode_frame: frame too large");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + body_len);
+  put_le32(out, kFrameMagic);
+  put_le32(out, static_cast<std::uint32_t>(body_len));
+  put_le32(out, static_cast<std::uint32_t>(src));
+  put_le32(out, static_cast<std::uint32_t>(dst));
+  put_le32(out, static_cast<std::uint32_t>(tag.size()));
+  out.insert(out.end(), tag.begin(), tag.end());
+  out.insert(out.end(), payload.data(), payload.data() + payload.size());
+  return out;
+}
+
+std::uint32_t decode_frame_header(
+    const std::uint8_t header[kFrameHeaderBytes]) {
+  if (read_le32(header) != kFrameMagic) {
+    throw std::runtime_error("decode_frame_header: bad magic");
+  }
+  const std::uint32_t body_len = read_le32(header + 4);
+  if (body_len < kFrameBodyFixedBytes || body_len > kMaxFrameBodyBytes) {
+    throw std::runtime_error("decode_frame_header: bad body length");
+  }
+  return body_len;
+}
+
+Frame decode_frame_body(const std::uint8_t* body, std::size_t len) {
+  if (len < kFrameBodyFixedBytes) {
+    throw std::runtime_error("decode_frame_body: truncated body");
+  }
+  Frame f;
+  f.src = static_cast<std::int32_t>(read_le32(body));
+  f.dst = static_cast<std::int32_t>(read_le32(body + 4));
+  const std::uint32_t tag_len = read_le32(body + 8);
+  if (kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > len) {
+    throw std::runtime_error("decode_frame_body: tag overruns body");
+  }
+  f.tag.assign(reinterpret_cast<const char*>(body + kFrameBodyFixedBytes),
+               tag_len);
+  const std::uint8_t* payload = body + kFrameBodyFixedBytes + tag_len;
+  f.payload = ByteBuffer::wrap(payload, len - kFrameBodyFixedBytes - tag_len);
+  return f;
+}
+
+}  // namespace mdgan::dist

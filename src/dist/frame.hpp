@@ -1,0 +1,71 @@
+// Wire framing of the TCP backend: every message travels as one
+// length-prefixed frame so a byte stream can be cut back into tagged
+// messages without any in-band parsing of the payload.
+//
+//   u32  magic     0x4d444731 ("MDG1"), little-endian like all fields
+//   u32  body_len  bytes that follow this header
+//   i32  src       sending node id
+//   i32  dst       destination node id
+//   u32  tag_len   length of the tag string
+//   ...  tag       tag bytes (no terminator)
+//   ...  payload   body_len - 12 - tag_len bytes, the ByteBuffer verbatim
+//
+// All integers are explicitly little-endian (common/serialize), so a
+// frame produced on any host parses identically on any other. Tags
+// beginning with '!' are transport-internal control frames (rendezvous
+// hello, etc.) and are never charged to the traffic accountants.
+//
+// The codec is pure (bytes in, bytes out) so the framing cost is
+// measurable in bench_micro_ops without sockets, and fuzzable in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace mdgan::dist {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4d444731u;  // "MDG1"
+inline constexpr std::size_t kFrameHeaderBytes = 8;  // magic + body_len
+// src + dst + tag_len, the fixed part of the body.
+inline constexpr std::size_t kFrameBodyFixedBytes = 12;
+// Reject absurd frames before allocating (a corrupt stream must not
+// drive a 4 GiB allocation). Generous: the largest real message is a
+// full CNN discriminator swap, a few tens of MB.
+inline constexpr std::uint32_t kMaxFrameBodyBytes = 1u << 30;
+
+// Prefix of every transport-internal control tag.
+inline constexpr char kControlTagPrefix = '!';
+inline bool is_control_tag(const std::string& tag) {
+  return !tag.empty() && tag[0] == kControlTagPrefix;
+}
+
+struct Frame {
+  int src = 0;
+  int dst = 0;
+  std::string tag;
+  ByteBuffer payload;
+};
+
+// Little-endian u32 off a raw wire pointer (for incremental decoders
+// that read the fixed body fields straight off a socket buffer).
+std::uint32_t read_le32(const std::uint8_t* p);
+
+// Serializes header + body into one contiguous buffer, ready for a
+// single write(2).
+std::vector<std::uint8_t> encode_frame(int src, int dst,
+                                       const std::string& tag,
+                                       const ByteBuffer& payload);
+
+// Parses the 8-byte header. Returns the body length; throws
+// std::runtime_error on a bad magic or an oversized body.
+std::uint32_t decode_frame_header(const std::uint8_t header[kFrameHeaderBytes]);
+
+// Parses a frame body of `len` bytes (as announced by the header).
+// Throws std::runtime_error on a malformed body.
+Frame decode_frame_body(const std::uint8_t* body, std::size_t len);
+
+}  // namespace mdgan::dist

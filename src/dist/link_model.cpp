@@ -38,6 +38,23 @@ LinkModel& LinkModel::slow_node(int node, double bandwidth_divisor) {
   return *this;
 }
 
+LinkModel& LinkModel::set_nic(int node, double bytes_per_s) {
+  if (bytes_per_s < 0.0) {
+    throw std::invalid_argument("LinkModel::set_nic: negative bandwidth");
+  }
+  if (bytes_per_s == 0.0) {
+    node_nic_bytes_per_s_.erase(node);
+  } else {
+    node_nic_bytes_per_s_[node] = bytes_per_s;
+  }
+  return *this;
+}
+
+double LinkModel::nic_bytes_per_s(int node) const {
+  auto it = node_nic_bytes_per_s_.find(node);
+  return it != node_nic_bytes_per_s_.end() ? it->second : 0.0;
+}
+
 LinkParams LinkModel::params(int from, int to) const {
   LinkParams p = default_;
   auto it = overrides_.find({from, to});
@@ -56,6 +73,8 @@ bool LinkModel::zero() const {
   for (const auto& [key, p] : overrides_) {
     if (!p.zero()) return false;
   }
+  // A NIC cap makes transfers take time even over zero-cost links.
+  if (!node_nic_bytes_per_s_.empty()) return false;
   // Node divisors only scale bandwidth, so they cannot make a zero
   // model nonzero.
   return true;

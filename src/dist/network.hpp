@@ -1,166 +1,8 @@
-// In-process simulated cluster transport. One server (dist::kServerId)
-// and N workers (ids 1..N) exchange tagged ByteBuffer messages; every
-// payload is really serialized, so the byte totals the accountant
-// reports (Table III/IV, Figure 2) are measured off the wire, not
-// estimated from formulas.
-//
-// Delivery model: send() enqueues into the destination's mailbox and
-// the traffic counters are charged immediately (messages are always
-// consumed later in the same global iteration). receive_tagged() pops
-// the matching message with the lowest (sender, per-sender sequence)
-// key, NOT physical arrival order: under parallel worker execution the
-// physical enqueue order is racy, and deterministic pop order is what
-// keeps parallel and sequential runs bit-identical
-// (tests/core/test_md_gan.cpp ParallelAndSequential). A corollary the
-// protocols rely on: two sends issued by the same sender in program
-// order are assigned increasing sequence numbers under one mutex, so
-// per-sender FIFO holds even when sends race on the cluster thread
-// pool (tests/dist/test_network.cpp SameSenderFifoUnderClusterPool).
-//
-// Simulated time: the Network also keeps a deterministic virtual clock
-// per node, driven by the attached LinkModel (default: the zero model,
-// which keeps every clock at 0 and all behavior identical to the
-// clock-less transport). send() stamps each message with its arrival
-// time — sender clock, plus per-link queueing/transmit/latency/jitter —
-// and receive_tagged() advances the receiver's clock to
-// max(own clock, message arrival). advance_time() lets callers model
-// local compute. Simulated time never changes what is sent or received,
-// only the timestamps; byte/message accounting is model-independent.
-//
-// Liveness is fail-stop (paper §V, Figure 5): crash(w) drops the
-// worker's queued mail, makes its future sends/receives no-ops, and
-// removes it from alive_workers(). Crashed workers never come back.
-//
-// All public methods are thread-safe; workers running on the cluster
-// thread pool may send/receive concurrently.
+// Compatibility shim: the in-process transport moved to
+// dist/sim_network.hpp when the abstract dist::Transport seam was
+// extracted (dist/transport.hpp) and the TCP backend added
+// (dist/tcp_network.hpp). `dist::Network` remains an alias of
+// `dist::SimNetwork` there.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <mutex>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "common/serialize.hpp"
-#include "dist/link_model.hpp"
-
-namespace mdgan::dist {
-
-// Node id of the central server; workers are 1-based (1..N).
-inline constexpr int kServerId = 0;
-
-// Link direction classes of the paper's Table III.
-enum class LinkKind { kServerToWorker, kWorkerToServer, kWorkerToWorker };
-
-// Classify a (from, to) pair. Throws std::invalid_argument on
-// server->server, which no protocol produces.
-LinkKind link_kind(int from, int to);
-
-struct LinkTotals {
-  std::uint64_t bytes = 0;
-  std::uint64_t messages = 0;
-};
-
-struct Message {
-  int from = kServerId;
-  std::string tag;
-  ByteBuffer payload;
-  // Simulated arrival time (seconds) under the network's link model;
-  // 0 under the zero model unless the sender's clock was advanced.
-  double arrival_s = 0.0;
-};
-
-class Network {
- public:
-  explicit Network(std::size_t n_workers);
-
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
-
-  std::size_t n_workers() const { return n_workers_; }
-
-  // Marks the start of global iteration `iter`: closes the current
-  // per-node ingress window (for max_ingress_per_iteration).
-  void begin_iteration(std::int64_t iter);
-
-  // Serialized hand-off from -> to. Charges the link counters and the
-  // destination's ingress window, then enqueues. Messages to or from a
-  // crashed node are silently dropped (fail-stop: the bytes never make
-  // it onto the wire). Throws on out-of-range ids.
-  void send(int from, int to, const std::string& tag, ByteBuffer&& payload);
-
-  // Pops the queued message for `node` with tag `tag` that has the
-  // smallest (sender id, sender sequence) key. Returns std::nullopt if
-  // no such message is queued or the node has crashed.
-  std::optional<Message> receive_tagged(int node, const std::string& tag);
-
-  // Number of messages currently queued at `node` (any tag).
-  std::size_t pending(int node) const;
-
-  // --- traffic accounting ---------------------------------------------
-  LinkTotals totals(LinkKind kind) const;
-  std::uint64_t message_count(LinkKind kind) const;
-  // Largest number of bytes `node` received within any single iteration
-  // window (the quantity plotted in Figure 2). The currently open
-  // window participates, so the value is usable mid-run.
-  std::uint64_t max_ingress_per_iteration(int node) const;
-
-  // --- simulated time --------------------------------------------------
-  // Replaces the link model. Legal at any point; only future sends are
-  // affected. Setting a zero model re-disables all clock arithmetic
-  // (clocks keep their current values).
-  void set_link_model(LinkModel model);
-  const LinkModel& link_model() const;
-
-  // Node's simulated clock, seconds: the time of its last event
-  // (message arrival it consumed, or advance_time call).
-  double sim_time(int node) const;
-  // Models local compute at `node`: advances its clock by `seconds`
-  // (>= 0; throws std::invalid_argument on negative).
-  void advance_time(int node, double seconds);
-  // Critical path so far: max clock over the *alive* nodes (a crashed
-  // worker's frozen clock must not dominate the round time forever).
-  double max_sim_time() const;
-
-  // --- liveness --------------------------------------------------------
-  // Fail-stop crash. The server cannot crash. Idempotent.
-  void crash(int worker);
-  bool is_alive(int node) const;
-  std::vector<int> alive_workers() const;
-  std::size_t alive_worker_count() const;
-
- private:
-  struct Stored {
-    std::uint64_t seq = 0;  // per-sender sequence, assigned at send
-    Message msg;
-  };
-
-  void check_node(int node) const;
-  std::size_t link_index(LinkKind kind) const {
-    return static_cast<std::size_t>(kind);
-  }
-  // Flat index of the directed link from -> to.
-  std::size_t pair_index(int from, int to) const {
-    return static_cast<std::size_t>(from) * (n_workers_ + 1) +
-           static_cast<std::size_t>(to);
-  }
-
-  std::size_t n_workers_;
-  mutable std::mutex mu_;
-  std::vector<bool> alive_;                  // index 0 = server
-  std::vector<std::vector<Stored>> mailbox_;  // per destination node
-  std::vector<std::uint64_t> send_seq_;       // per sender node
-  LinkTotals totals_[3];
-  std::vector<std::uint64_t> ingress_window_;  // open window, per node
-  std::vector<std::uint64_t> ingress_max_;     // closed-window max
-
-  // Virtual clock state (all zeros under the zero model).
-  LinkModel model_;
-  bool model_zero_ = true;             // cached LinkModel::zero()
-  std::vector<double> sim_time_;       // per node
-  std::vector<double> link_busy_;      // per directed link, pair_index
-  std::vector<std::uint64_t> link_seq_;  // messages ever sent per link
-};
-
-}  // namespace mdgan::dist
+#include "dist/sim_network.hpp"

@@ -1,22 +1,13 @@
-#include "dist/network.hpp"
+#include "dist/sim_network.hpp"
 
 #include <algorithm>
 #include <stdexcept>
 
 namespace mdgan::dist {
 
-LinkKind link_kind(int from, int to) {
-  if (from == kServerId && to == kServerId) {
-    throw std::invalid_argument("link_kind: server->server has no link");
-  }
-  if (from == kServerId) return LinkKind::kServerToWorker;
-  if (to == kServerId) return LinkKind::kWorkerToServer;
-  return LinkKind::kWorkerToWorker;
-}
-
-Network::Network(std::size_t n_workers) : n_workers_(n_workers) {
+SimNetwork::SimNetwork(std::size_t n_workers) : n_workers_(n_workers) {
   if (n_workers_ == 0) {
-    throw std::invalid_argument("Network: need at least one worker");
+    throw std::invalid_argument("SimNetwork: need at least one worker");
   }
   alive_.assign(n_workers_ + 1, true);
   mailbox_.resize(n_workers_ + 1);
@@ -26,17 +17,19 @@ Network::Network(std::size_t n_workers) : n_workers_(n_workers) {
   sim_time_.assign(n_workers_ + 1, 0.0);
   link_busy_.assign((n_workers_ + 1) * (n_workers_ + 1), 0.0);
   link_seq_.assign((n_workers_ + 1) * (n_workers_ + 1), 0);
+  nic_out_busy_.assign(n_workers_ + 1, 0.0);
+  nic_in_busy_.assign(n_workers_ + 1, 0.0);
 }
 
-void Network::check_node(int node) const {
+void SimNetwork::check_node(int node) const {
   if (node < 0 || node > static_cast<int>(n_workers_)) {
-    throw std::out_of_range("Network: node id " + std::to_string(node) +
+    throw std::out_of_range("SimNetwork: node id " + std::to_string(node) +
                             " outside [0, " + std::to_string(n_workers_) +
                             "]");
   }
 }
 
-void Network::begin_iteration(std::int64_t /*iter*/) {
+void SimNetwork::begin_iteration(std::int64_t /*iter*/) {
   std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t n = 0; n < ingress_window_.size(); ++n) {
     ingress_max_[n] = std::max(ingress_max_[n], ingress_window_[n]);
@@ -44,8 +37,8 @@ void Network::begin_iteration(std::int64_t /*iter*/) {
   }
 }
 
-void Network::send(int from, int to, const std::string& tag,
-                   ByteBuffer&& payload) {
+void SimNetwork::send(int from, int to, const std::string& tag,
+                      ByteBuffer&& payload) {
   check_node(from);
   check_node(to);
   const LinkKind kind = link_kind(from, to);
@@ -60,18 +53,43 @@ void Network::send(int from, int to, const std::string& tag,
   ingress_window_[static_cast<std::size_t>(to)] += payload.size();
 
   // Virtual clock: the message departs at the sender's current time and
-  // arrives after queueing behind earlier traffic on the same link plus
-  // the link's transmit/latency/jitter cost. Zero model: arrival ==
-  // sender clock, no link state touched (clocks stay wherever
-  // advance_time left them, i.e. all-zero by default).
+  // arrives after queueing behind earlier traffic on the same link (and,
+  // when NIC caps are configured, behind the sender's other outgoing and
+  // the receiver's other incoming transfers) plus the link's
+  // transmit/latency/jitter cost. Zero model: arrival == sender clock,
+  // no link state touched (clocks stay wherever advance_time left them,
+  // i.e. all-zero by default).
   double arrival = sim_time_[static_cast<std::size_t>(from)];
   if (!model_zero_) {
     const std::size_t li = pair_index(from, to);
     const LinkDelay d =
         model_.delay(from, to, payload.size(), link_seq_[li]++);
-    const double start = std::max(arrival, link_busy_[li]);
-    link_busy_[li] = start + d.transmit_s;
-    arrival = start + d.transmit_s + d.propagation_s;
+    double start = std::max(arrival, link_busy_[li]);
+    double transmit = d.transmit_s;
+    // A capped NIC is one shared serializing resource per node: the
+    // transfer must wait for it to free and holds it for the whole
+    // transmit, whose duration is governed by the slowest resource on
+    // the path (link, sender NIC, receiver NIC). Uncapped nodes skip
+    // this entirely, preserving the independent-link behavior.
+    const double out_rate = model_.nic_bytes_per_s(from);
+    const double in_rate = model_.nic_bytes_per_s(to);
+    const auto bytes = static_cast<double>(payload.size());
+    if (out_rate > 0.0) {
+      start = std::max(start, nic_out_busy_[static_cast<std::size_t>(from)]);
+      transmit = std::max(transmit, bytes / out_rate);
+    }
+    if (in_rate > 0.0) {
+      start = std::max(start, nic_in_busy_[static_cast<std::size_t>(to)]);
+      transmit = std::max(transmit, bytes / in_rate);
+    }
+    link_busy_[li] = start + transmit;
+    if (out_rate > 0.0) {
+      nic_out_busy_[static_cast<std::size_t>(from)] = start + transmit;
+    }
+    if (in_rate > 0.0) {
+      nic_in_busy_[static_cast<std::size_t>(to)] = start + transmit;
+    }
+    arrival = start + transmit + d.propagation_s;
   }
 
   Stored s;
@@ -83,8 +101,8 @@ void Network::send(int from, int to, const std::string& tag,
   mailbox_[static_cast<std::size_t>(to)].push_back(std::move(s));
 }
 
-std::optional<Message> Network::receive_tagged(int node,
-                                               const std::string& tag) {
+std::optional<Message> SimNetwork::receive_tagged(int node,
+                                                  const std::string& tag) {
   check_node(node);
   std::lock_guard<std::mutex> lock(mu_);
   if (!alive_[static_cast<std::size_t>(node)]) return std::nullopt;
@@ -108,53 +126,53 @@ std::optional<Message> Network::receive_tagged(int node,
   return out;
 }
 
-std::size_t Network::pending(int node) const {
+std::size_t SimNetwork::pending(int node) const {
   check_node(node);
   std::lock_guard<std::mutex> lock(mu_);
   return mailbox_[static_cast<std::size_t>(node)].size();
 }
 
-LinkTotals Network::totals(LinkKind kind) const {
+LinkTotals SimNetwork::totals(LinkKind kind) const {
   std::lock_guard<std::mutex> lock(mu_);
   return totals_[link_index(kind)];
 }
 
-std::uint64_t Network::message_count(LinkKind kind) const {
+std::uint64_t SimNetwork::message_count(LinkKind kind) const {
   std::lock_guard<std::mutex> lock(mu_);
   return totals_[link_index(kind)].messages;
 }
 
-std::uint64_t Network::max_ingress_per_iteration(int node) const {
+std::uint64_t SimNetwork::max_ingress_per_iteration(int node) const {
   check_node(node);
   std::lock_guard<std::mutex> lock(mu_);
   const auto n = static_cast<std::size_t>(node);
   return std::max(ingress_max_[n], ingress_window_[n]);
 }
 
-void Network::set_link_model(LinkModel model) {
+void SimNetwork::set_link_model(LinkModel model) {
   std::lock_guard<std::mutex> lock(mu_);
   model_ = std::move(model);
   model_zero_ = model_.zero();
 }
 
-const LinkModel& Network::link_model() const { return model_; }
+const LinkModel& SimNetwork::link_model() const { return model_; }
 
-double Network::sim_time(int node) const {
+double SimNetwork::sim_time(int node) const {
   check_node(node);
   std::lock_guard<std::mutex> lock(mu_);
   return sim_time_[static_cast<std::size_t>(node)];
 }
 
-void Network::advance_time(int node, double seconds) {
+void SimNetwork::advance_time(int node, double seconds) {
   check_node(node);
   if (seconds < 0.0) {
-    throw std::invalid_argument("Network: cannot advance time backwards");
+    throw std::invalid_argument("SimNetwork: cannot advance time backwards");
   }
   std::lock_guard<std::mutex> lock(mu_);
   sim_time_[static_cast<std::size_t>(node)] += seconds;
 }
 
-double Network::max_sim_time() const {
+double SimNetwork::max_sim_time() const {
   std::lock_guard<std::mutex> lock(mu_);
   double out = sim_time_[kServerId];  // the server never crashes
   for (std::size_t n = 1; n < sim_time_.size(); ++n) {
@@ -163,23 +181,23 @@ double Network::max_sim_time() const {
   return out;
 }
 
-void Network::crash(int worker) {
+void SimNetwork::crash(int worker) {
   check_node(worker);
   if (worker == kServerId) {
-    throw std::invalid_argument("Network: the server cannot crash");
+    throw std::invalid_argument("SimNetwork: the server cannot crash");
   }
   std::lock_guard<std::mutex> lock(mu_);
   alive_[static_cast<std::size_t>(worker)] = false;
   mailbox_[static_cast<std::size_t>(worker)].clear();
 }
 
-bool Network::is_alive(int node) const {
+bool SimNetwork::is_alive(int node) const {
   check_node(node);
   std::lock_guard<std::mutex> lock(mu_);
   return alive_[static_cast<std::size_t>(node)];
 }
 
-std::vector<int> Network::alive_workers() const {
+std::vector<int> SimNetwork::alive_workers() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> out;
   out.reserve(n_workers_);
@@ -189,7 +207,7 @@ std::vector<int> Network::alive_workers() const {
   return out;
 }
 
-std::size_t Network::alive_worker_count() const {
+std::size_t SimNetwork::alive_worker_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<std::size_t>(
       std::count(alive_.begin() + 1, alive_.end(), true));

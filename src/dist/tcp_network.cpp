@@ -1,0 +1,580 @@
+#include "dist/tcp_network.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "dist/frame.hpp"
+
+namespace mdgan::dist {
+
+namespace {
+
+constexpr char kHelloTag[] = "!hello";
+
+// Blocking exact-size read. False on EOF, error, or (if the fd carries
+// SO_RCVTIMEO) timeout.
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or hard error: the peer is gone
+  }
+  return true;
+}
+
+bool write_exact(int fd, const std::uint8_t* src, std::size_t n) {
+  std::size_t put = 0;
+  while (put < n) {
+    const ssize_t r = ::send(fd, src + put, n - put, MSG_NOSIGNAL);
+    if (r > 0) {
+      put += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void set_recv_timeout(int fd, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(seconds);
+  tv.tv_usec = static_cast<long>((seconds - static_cast<double>(tv.tv_sec)) *
+                                 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+// Reads one full frame off `fd`, incrementally: header, fixed body
+// fields, tag, then the payload straight into the buffer the Frame's
+// ByteBuffer adopts — the payload bytes (the bulk of a swap frame) are
+// copied off the socket exactly once. False when the stream ended or
+// the bytes are not a valid frame.
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  std::uint32_t body_len = 0;
+  try {
+    body_len = decode_frame_header(header);
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::uint8_t fixed[kFrameBodyFixedBytes];
+  if (!read_exact(fd, fixed, sizeof(fixed))) return false;
+  out.src = static_cast<std::int32_t>(read_le32(fixed));
+  out.dst = static_cast<std::int32_t>(read_le32(fixed + 4));
+  const std::uint32_t tag_len = read_le32(fixed + 8);
+  if (kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > body_len) {
+    return false;  // tag overruns the announced body
+  }
+  out.tag.resize(tag_len);
+  if (tag_len > 0 &&
+      !read_exact(fd, reinterpret_cast<std::uint8_t*>(&out.tag[0]),
+                  tag_len)) {
+    return false;
+  }
+  std::vector<std::uint8_t> payload(body_len - kFrameBodyFixedBytes -
+                                    tag_len);
+  if (!payload.empty() &&
+      !read_exact(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  out.payload = ByteBuffer::adopt(std::move(payload));
+  return true;
+}
+
+}  // namespace
+
+TcpNetwork::TcpNetwork(int local, std::size_t n_workers, Options opts)
+    : local_(local), n_workers_(n_workers), opts_(opts) {
+  if (n_workers_ == 0) {
+    throw std::invalid_argument("TcpNetwork: need at least one worker");
+  }
+  alive_.assign(n_workers_ + 1, true);
+  registered_.assign(n_workers_ + 1, false);
+  recv_seq_.assign(n_workers_ + 1, 0);
+  conns_.resize(n_workers_ + 1);
+  start_ = std::chrono::steady_clock::now();
+  rendezvous_deadline_ =
+      start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(opts_.rendezvous_timeout_s));
+}
+
+std::unique_ptr<TcpNetwork> TcpNetwork::serve(std::uint16_t port,
+                                              std::size_t n_workers,
+                                              Options opts) {
+  auto net = std::unique_ptr<TcpNetwork>(
+      new TcpNetwork(kServerId, n_workers, opts));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("TcpNetwork: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpNetwork: bind() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, static_cast<int>(n_workers) + 8) != 0) {
+    ::close(fd);
+    throw std::runtime_error("TcpNetwork: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  net->port_ = ntohs(addr.sin_port);
+
+  net->acceptor_ = std::thread([raw = net.get(), fd] {
+    raw->accept_loop(fd);
+  });
+  return net;
+}
+
+std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
+                                                std::uint16_t port,
+                                                int worker_id,
+                                                std::size_t n_workers,
+                                                Options opts) {
+  if (worker_id < 1 || worker_id > static_cast<int>(n_workers)) {
+    throw std::invalid_argument("TcpNetwork: worker id " +
+                                std::to_string(worker_id) +
+                                " outside [1, " + std::to_string(n_workers) +
+                                "]");
+  }
+  auto net =
+      std::unique_ptr<TcpNetwork>(new TcpNetwork(worker_id, n_workers, opts));
+  net->port_ = port;
+
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                    &res) != 0 ||
+      res == nullptr) {
+    throw std::runtime_error("TcpNetwork: cannot resolve host " + host);
+  }
+
+  // The server may not be up yet (processes race at launch): retry the
+  // dial until the rendezvous deadline.
+  int fd = -1;
+  while (fd < 0) {
+    fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd >= 0 &&
+        ::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
+      break;
+    }
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= net->rendezvous_deadline_) {
+      ::freeaddrinfo(res);
+      throw std::runtime_error("TcpNetwork: cannot reach " + host + ":" +
+                               std::to_string(port) + " before the "
+                               "rendezvous deadline");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ::freeaddrinfo(res);
+  set_nodelay(fd);
+
+  // Introduce ourselves; the server maps this connection to our id.
+  ByteBuffer hello;
+  hello.write_pod<std::uint32_t>(static_cast<std::uint32_t>(worker_id));
+  hello.write_pod<std::uint64_t>(n_workers);
+  const auto wire = encode_frame(worker_id, kServerId, kHelloTag, hello);
+  if (!write_exact(fd, wire.data(), wire.size())) {
+    ::close(fd);
+    throw std::runtime_error("TcpNetwork: rendezvous hello failed");
+  }
+
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  net->conns_[kServerId] = std::move(conn);
+  net->conns_[kServerId]->reader =
+      std::thread([raw = net.get()] { raw->reader_loop(kServerId); });
+  return net;
+}
+
+TcpNetwork::~TcpNetwork() { close_all(); }
+
+void TcpNetwork::close_all() {
+  closing_.store(true);
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& conn : conns_) {
+    if (!conn) continue;
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+void TcpNetwork::accept_loop(int listen_fd) {
+  std::size_t joined = 0;
+  while (!closing_.load() && joined < n_workers_) {
+    if (std::chrono::steady_clock::now() >= rendezvous_deadline_) break;
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200 /*ms*/);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_nodelay(fd);
+    // A connector that never completes its hello must not stall the
+    // rendezvous forever.
+    set_recv_timeout(fd, 5.0);
+    Frame hello;
+    int id = -1;
+    if (read_frame(fd, hello) && hello.tag == kHelloTag &&
+        hello.payload.size() >= 12) {
+      const auto claimed = hello.payload.read_pod<std::uint32_t>();
+      const auto n = hello.payload.read_pod<std::uint64_t>();
+      if (claimed >= 1 && claimed <= n_workers_ && n == n_workers_ &&
+          hello.src == static_cast<int>(claimed)) {
+        id = static_cast<int>(claimed);
+      }
+    }
+    // The acceptor is the only writer of worker conn slots, so the
+    // duplicate check needs no lock.
+    if (id <= 0 || conns_[static_cast<std::size_t>(id)] != nullptr) {
+      MDGAN_LOG_WARN << "TcpNetwork: rejecting connection with bad or "
+                        "duplicate hello";
+      ::close(fd);
+      continue;
+    }
+    set_recv_timeout(fd, 0.0);  // back to fully blocking
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    // Publish the connection BEFORE flagging the worker registered
+    // (both under mu_): senders gate on registered_ under the same
+    // mutex, so they can never observe a registered worker whose conn
+    // slot is still being written.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_[static_cast<std::size_t>(id)] = std::move(conn);
+      registered_[static_cast<std::size_t>(id)] = true;
+    }
+    conns_[static_cast<std::size_t>(id)]->reader =
+        std::thread([this, id] { reader_loop(id); });
+    ++joined;
+    cv_.notify_all();
+  }
+  ::close(listen_fd);
+}
+
+bool TcpNetwork::wait_ready() {
+  if (local_ != kServerId) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_until(lock, rendezvous_deadline_, [&] {
+    if (closing_.load()) return true;
+    for (std::size_t w = 1; w <= n_workers_; ++w) {
+      if (!registered_[w]) return false;
+    }
+    return true;
+  });
+}
+
+void TcpNetwork::check_node(int node) const {
+  if (node < 0 || node > static_cast<int>(n_workers_)) {
+    throw std::out_of_range("TcpNetwork: node id " + std::to_string(node) +
+                            " outside [0, " + std::to_string(n_workers_) +
+                            "]");
+  }
+}
+
+void TcpNetwork::check_local(int node, const char* what) const {
+  check_node(node);
+  if (node != local_) {
+    throw std::logic_error(std::string("TcpNetwork: ") + what +
+                           " addresses node " + std::to_string(node) +
+                           ", but this endpoint is node " +
+                           std::to_string(local_));
+  }
+}
+
+double TcpNetwork::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void TcpNetwork::charge(int src, int dst, std::size_t bytes) {
+  auto& t = totals_[static_cast<std::size_t>(link_kind(src, dst))];
+  t.bytes += bytes;
+  t.messages += 1;
+}
+
+void TcpNetwork::mark_dead(int peer) {
+  Conn* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!alive_[static_cast<std::size_t>(peer)]) return;
+    alive_[static_cast<std::size_t>(peer)] = false;
+    conn = conns_[static_cast<std::size_t>(peer)].get();
+  }
+  if (!closing_.load()) {
+    MDGAN_LOG_INFO << "TcpNetwork: node " << peer
+                   << " disconnected (fail-stop)";
+  }
+  if (conn && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  cv_.notify_all();
+}
+
+bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
+                             const std::string& tag,
+                             const ByteBuffer& payload) {
+  const auto wire = encode_frame(src, dst, tag, payload);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  if (conn.fd < 0 || !write_exact(conn.fd, wire.data(), wire.size())) {
+    mark_dead(peer);
+    return false;
+  }
+  return true;
+}
+
+void TcpNetwork::enqueue_local(int src, const std::string& tag,
+                               ByteBuffer&& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  charge(src, local_, payload.size());
+  ingress_window_ += payload.size();
+  Stored s;
+  s.seq = recv_seq_[static_cast<std::size_t>(src)]++;
+  s.msg.from = src;
+  s.msg.tag = tag;
+  s.msg.payload = std::move(payload);
+  s.msg.arrival_s = elapsed_s();
+  mailbox_.push_back(std::move(s));
+  cv_.notify_all();
+}
+
+void TcpNetwork::reader_loop(int peer) {
+  Conn* conn = conns_[static_cast<std::size_t>(peer)].get();
+  Frame f;
+  while (!closing_.load() && read_frame(conn->fd, f)) {
+    if (is_control_tag(f.tag)) continue;
+    if (local_ == kServerId) {
+      if (f.src != peer) continue;  // a worker may only speak as itself
+      if (f.dst == kServerId) {
+        enqueue_local(f.src, f.tag, std::move(f.payload));
+      } else if (f.dst >= 1 && f.dst <= static_cast<int>(n_workers_) &&
+                 f.dst != peer) {
+        // Relay W->W through the star. Charged on the logical
+        // worker->worker link by payload size, exactly like the
+        // simulator charges a direct send.
+        Conn* dst_conn = nullptr;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (alive_[static_cast<std::size_t>(f.dst)] &&
+              registered_[static_cast<std::size_t>(f.dst)]) {
+            dst_conn = conns_[static_cast<std::size_t>(f.dst)].get();
+            charge(f.src, f.dst, f.payload.size());
+          }
+        }
+        if (dst_conn != nullptr) {
+          write_frame(*dst_conn, f.dst, f.src, f.dst, f.tag, f.payload);
+        }
+      }
+    } else {
+      if (f.dst == local_) {
+        enqueue_local(f.src, f.tag, std::move(f.payload));
+      }
+    }
+  }
+  mark_dead(peer);
+}
+
+void TcpNetwork::begin_iteration(std::int64_t /*iter*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ingress_max_ = std::max(ingress_max_, ingress_window_);
+  ingress_window_ = 0;
+}
+
+void TcpNetwork::send(int from, int to, const std::string& tag,
+                      ByteBuffer&& payload) {
+  check_node(to);
+  check_local(from, "send(from)");
+  if (to == local_) {
+    throw std::logic_error("TcpNetwork: send to self");
+  }
+  if (is_control_tag(tag)) {
+    throw std::invalid_argument("TcpNetwork: '!' tags are reserved for "
+                                "transport control frames");
+  }
+
+  int route = to;  // which connection carries the frame
+  Conn* conn = nullptr;
+  if (local_ == kServerId) {
+    // Wait out the rendezvous if this worker has not dialed in yet.
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool up = cv_.wait_until(lock, rendezvous_deadline_, [&] {
+      return closing_.load() || registered_[static_cast<std::size_t>(to)] ||
+             !alive_[static_cast<std::size_t>(to)];
+    });
+    if (closing_.load()) return;
+    if (!alive_[static_cast<std::size_t>(to)]) return;  // fail-stop drop
+    if (!up || !registered_[static_cast<std::size_t>(to)]) {
+      throw std::runtime_error("TcpNetwork: worker " + std::to_string(to) +
+                               " never joined the rendezvous");
+    }
+    conn = conns_[static_cast<std::size_t>(to)].get();
+  } else {
+    route = kServerId;  // star topology: everything goes via the server
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!alive_[kServerId] || !alive_[static_cast<std::size_t>(to)]) {
+      return;  // fail-stop: a dead endpoint moves no bytes
+    }
+    conn = conns_[kServerId].get();
+  }
+
+  if (conn == nullptr) return;
+  if (!write_frame(*conn, route, local_, to, tag, payload)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  charge(local_, to, payload.size());
+}
+
+std::optional<Message> TcpNetwork::receive_tagged(int node,
+                                                  const std::string& tag) {
+  check_local(node, "receive_tagged");
+  std::unique_lock<std::mutex> lock(mu_);
+  auto find_best = [&] {
+    auto best = mailbox_.end();
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (it->msg.tag != tag) continue;
+      if (best == mailbox_.end() || it->msg.from < best->msg.from ||
+          (it->msg.from == best->msg.from && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    return best;
+  };
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts_.receive_timeout_s));
+  // True when nothing can ever arrive anymore: on a worker endpoint
+  // every frame comes via the server; on the server, from the workers.
+  auto peers_gone = [&] {
+    if (local_ != kServerId) return !alive_[kServerId];
+    for (std::size_t w = 1; w <= n_workers_; ++w) {
+      if (alive_[w]) return false;
+    }
+    return true;
+  };
+  for (;;) {
+    if (!alive_[static_cast<std::size_t>(local_)]) return std::nullopt;
+    auto best = find_best();
+    if (best != mailbox_.end()) {
+      Message out = std::move(best->msg);
+      mailbox_.erase(best);
+      return out;
+    }
+    if (closing_.load() || peers_gone()) return std::nullopt;
+    // Block: the sender runs in another process. nullopt only on
+    // timeout or a dead cluster.
+    if (opts_.receive_timeout_s <= 0.0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return std::nullopt;
+    }
+  }
+}
+
+std::size_t TcpNetwork::pending(int node) const {
+  check_local(node, "pending");
+  std::lock_guard<std::mutex> lock(mu_);
+  return mailbox_.size();
+}
+
+LinkTotals TcpNetwork::totals(LinkKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t TcpNetwork::message_count(LinkKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_[static_cast<std::size_t>(kind)].messages;
+}
+
+std::uint64_t TcpNetwork::max_ingress_per_iteration(int node) const {
+  check_node(node);
+  // Each endpoint observes only its own ingress; remote nodes report 0.
+  if (node != local_) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::max(ingress_max_, ingress_window_);
+}
+
+double TcpNetwork::sim_time(int node) const {
+  check_node(node);
+  // Measured time: one wall clock for the whole endpoint.
+  return elapsed_s();
+}
+
+void TcpNetwork::advance_time(int node, double seconds) {
+  check_node(node);
+  if (seconds < 0.0) {
+    throw std::invalid_argument("TcpNetwork: cannot advance time backwards");
+  }
+  // No-op: local compute takes real time on a real cluster.
+}
+
+double TcpNetwork::max_sim_time() const { return elapsed_s(); }
+
+void TcpNetwork::crash(int worker) {
+  check_node(worker);
+  if (worker == kServerId) {
+    throw std::invalid_argument("TcpNetwork: the server cannot crash");
+  }
+  // Server endpoint: actively sever the connection (the worker sees EOF
+  // and fail-stops). Worker endpoint: record the death locally so sends
+  // to the victim are dropped.
+  mark_dead(worker);
+}
+
+bool TcpNetwork::is_alive(int node) const {
+  check_node(node);
+  std::lock_guard<std::mutex> lock(mu_);
+  return alive_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> TcpNetwork::alive_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.reserve(n_workers_);
+  for (std::size_t w = 1; w <= n_workers_; ++w) {
+    if (alive_[w]) out.push_back(static_cast<int>(w));
+  }
+  return out;
+}
+
+std::size_t TcpNetwork::alive_worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (std::size_t w = 1; w <= n_workers_; ++w) {
+    if (alive_[w]) ++n;
+  }
+  return n;
+}
+
+}  // namespace mdgan::dist

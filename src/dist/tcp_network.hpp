@@ -1,0 +1,169 @@
+// Real TCP transport: the dist::Transport contract over POSIX sockets,
+// so the MD-GAN protocol runs as actual processes on one machine or
+// many instead of inside the SimNetwork test double.
+//
+// Topology: a star. The server (node 0) listens; each worker dials in
+// and introduces itself with a control frame carrying its 1-based id
+// (the rendezvous). Worker->worker traffic (discriminator swaps) is
+// relayed through the server, which makes the server endpoint's traffic
+// accountant *global*: it observes every S->W send, every W->S arrival
+// and every W->W relay, so its totals(LinkKind) match the SimNetwork's
+// for the same protocol run — the property the loopback equivalence
+// test pins. Relayed frames are charged by payload size on the logical
+// W->W link, exactly like SimNetwork charges them; transport framing
+// overhead and control frames are never charged.
+//
+// Ordering: each endpoint feeds arriving frames into the same
+// (sender, per-sender sequence)-ordered mailbox the simulator uses.
+// Per-sender FIFO is inherited from TCP's in-order delivery (one
+// connection per worker; relayed frames from one source are forwarded
+// by a single reader thread in arrival order), and receive_tagged pops
+// the lowest (sender, seq) key among queued matches. Unlike SimNetwork
+// it BLOCKS until a match arrives — the sender lives in another
+// process — returning std::nullopt only when the local node is dead or
+// the configured receive timeout expires.
+//
+// Liveness: fail-stop, detected. A dropped connection (EOF or a socket
+// error on read/write) marks the peer dead exactly like
+// SimNetwork::crash: it leaves alive_workers(), and future sends to it
+// are silently dropped. crash(w) on the server endpoint actively severs
+// the connection. Crashed peers never come back.
+//
+// Time: sim_time()/max_sim_time() report *measured* wall-clock seconds
+// since the endpoint finished construction — the same API the PR 2
+// virtual clock defined, so MdGan::round_sim_seconds() becomes measured
+// round time on a real cluster. advance_time() is a no-op: local
+// compute takes actual time here.
+//
+// Each endpoint is ONE node: send()/receive_tagged()/pending() only
+// accept the local node id (plus any destination for send). Use
+// core::NodeRole to run MdGan against an endpoint.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace mdgan::dist {
+
+struct TcpOptions {
+  // Deadline for the rendezvous: the server waits this long for all
+  // workers to dial in; a worker retries its connect until it.
+  double rendezvous_timeout_s = 30.0;
+  // Blocking receive deadline; 0 waits forever.
+  double receive_timeout_s = 120.0;
+};
+
+class TcpNetwork final : public Transport {
+ public:
+  using Options = TcpOptions;
+
+  // Server endpoint: binds 0.0.0.0:`port` (0 picks an ephemeral port,
+  // see port()) and accepts `n_workers` registrations in the
+  // background. Returns immediately after listen; sends to a worker
+  // that has not yet registered block until it does (or the rendezvous
+  // deadline passes). Throws std::runtime_error on socket failure.
+  static std::unique_ptr<TcpNetwork> serve(std::uint16_t port,
+                                           std::size_t n_workers,
+                                           Options opts = {});
+
+  // Worker endpoint `worker_id` in [1, n_workers]: dials host:port,
+  // retrying until the rendezvous deadline. Throws std::runtime_error
+  // if the server cannot be reached.
+  static std::unique_ptr<TcpNetwork> connect(const std::string& host,
+                                             std::uint16_t port,
+                                             int worker_id,
+                                             std::size_t n_workers,
+                                             Options opts = {});
+
+  ~TcpNetwork() override;
+
+  int local_node() const { return local_; }
+  // The actually-bound listen port (server endpoint only).
+  std::uint16_t port() const { return port_; }
+  // Blocks until every worker has registered (server) or trivially
+  // returns (worker). Returns false if the rendezvous deadline passed
+  // with workers missing.
+  bool wait_ready();
+
+  std::size_t n_workers() const override { return n_workers_; }
+  void begin_iteration(std::int64_t iter) override;
+  void send(int from, int to, const std::string& tag,
+            ByteBuffer&& payload) override;
+  std::optional<Message> receive_tagged(int node,
+                                        const std::string& tag) override;
+  std::size_t pending(int node) const override;
+
+  LinkTotals totals(LinkKind kind) const override;
+  std::uint64_t message_count(LinkKind kind) const override;
+  std::uint64_t max_ingress_per_iteration(int node) const override;
+
+  double sim_time(int node) const override;
+  void advance_time(int node, double seconds) override;
+  double max_sim_time() const override;
+
+  void crash(int worker) override;
+  bool is_alive(int node) const override;
+  std::vector<int> alive_workers() const override;
+  std::size_t alive_worker_count() const override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+  struct Stored {
+    std::uint64_t seq = 0;
+    Message msg;
+  };
+
+  TcpNetwork(int local, std::size_t n_workers, Options opts);
+
+  void check_node(int node) const;
+  void check_local(int node, const char* what) const;
+  double elapsed_s() const;
+  // Frames + writes one message to `conn`; returns false (and marks
+  // `peer` dead) when the connection is gone.
+  bool write_frame(Conn& conn, int peer, int src, int dst,
+                   const std::string& tag, const ByteBuffer& payload);
+  void reader_loop(int peer);
+  void accept_loop(int listen_fd);
+  void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload);
+  void charge(int src, int dst, std::size_t bytes);
+  void mark_dead(int peer);
+  void close_all();
+
+  const int local_;  // kServerId for the server endpoint, else worker id
+  const std::size_t n_workers_;
+  const Options opts_;
+  std::uint16_t port_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point rendezvous_deadline_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // mailbox / liveness / rendezvous events
+  std::vector<bool> alive_;     // index 0 = server
+  std::vector<bool> registered_;  // per worker id; server endpoint only
+  std::vector<Stored> mailbox_;   // the local node's mailbox
+  std::vector<std::uint64_t> recv_seq_;  // per sender, assigned at enqueue
+  LinkTotals totals_[3];
+  std::uint64_t ingress_window_ = 0;  // the local node's open window
+  std::uint64_t ingress_max_ = 0;
+  std::atomic<bool> closing_{false};
+
+  // conns_[w] is the server's connection to worker w; a worker endpoint
+  // uses conns_[0] for its single connection to the server.
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::thread acceptor_;
+};
+
+}  // namespace mdgan::dist

@@ -1,0 +1,18 @@
+#include "dist/transport.hpp"
+
+#include <stdexcept>
+
+namespace mdgan::dist {
+
+Transport::~Transport() = default;
+
+LinkKind link_kind(int from, int to) {
+  if (from == kServerId && to == kServerId) {
+    throw std::invalid_argument("link_kind: server->server has no link");
+  }
+  if (from == kServerId) return LinkKind::kServerToWorker;
+  if (to == kServerId) return LinkKind::kWorkerToServer;
+  return LinkKind::kWorkerToWorker;
+}
+
+}  // namespace mdgan::dist

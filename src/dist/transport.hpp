@@ -1,0 +1,129 @@
+// The transport seam of the cluster: one server (dist::kServerId) and N
+// workers (ids 1..N) exchange tagged ByteBuffer messages through a
+// dist::Transport. Two interchangeable backends implement it:
+//
+//  * SimNetwork (dist/sim_network.hpp) — the in-process deterministic
+//    test double with a virtual clock driven by a LinkModel. Every
+//    result in the repo's tables/figures is produced against it.
+//  * TcpNetwork (dist/tcp_network.hpp) — length-prefixed frames over
+//    POSIX TCP sockets, one endpoint per real process; sim_time() is
+//    measured wall-clock instead of the modeled clock.
+//
+// The contract both keep:
+//  * send(from, to, tag, payload) charges the per-link byte/message
+//    accountants with payload.size() — the Table III/IV and Figure 2
+//    numbers are measured off the wire for either backend.
+//  * receive_tagged(node, tag) pops the queued message with the lowest
+//    (sender id, per-sender sequence) key, never physical arrival
+//    order; two sends issued by one sender in program order are always
+//    observed in that order (per-sender FIFO). SimNetwork returns
+//    std::nullopt when nothing matching is queued; TcpNetwork blocks
+//    until a matching frame arrives (the peer runs in another process)
+//    and returns std::nullopt only on timeout or a dead endpoint.
+//  * Liveness is fail-stop (paper §V, Figure 5): a crashed worker's
+//    sends/receives become no-ops and it leaves alive_workers()
+//    forever. SimNetwork crashes via crash(); TcpNetwork additionally
+//    maps a dropped connection onto the same semantics.
+//  * sim_time()/advance_time()/max_sim_time() expose per-node elapsed
+//    seconds: modeled (LinkModel virtual clock) on SimNetwork, measured
+//    (wall clock since the endpoint came up; advance_time is a no-op)
+//    on TcpNetwork. Either way MdGan's round_sim_seconds() reads the
+//    same API, so modeled and measured time-to-score series line up.
+//
+// All methods are thread-safe on both backends.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace mdgan::dist {
+
+// Node id of the central server; workers are 1-based (1..N).
+inline constexpr int kServerId = 0;
+
+// Link direction classes of the paper's Table III.
+enum class LinkKind { kServerToWorker, kWorkerToServer, kWorkerToWorker };
+
+// Classify a (from, to) pair. Throws std::invalid_argument on
+// server->server, which no protocol produces.
+LinkKind link_kind(int from, int to);
+
+struct LinkTotals {
+  std::uint64_t bytes = 0;
+  std::uint64_t messages = 0;
+};
+
+struct Message {
+  int from = kServerId;
+  std::string tag;
+  ByteBuffer payload;
+  // Arrival time (seconds) on the receiver's clock: simulated under
+  // SimNetwork's link model (0 under the zero model), measured wall
+  // clock under TcpNetwork.
+  double arrival_s = 0.0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  virtual std::size_t n_workers() const = 0;
+
+  // Marks the start of global iteration `iter`: closes the current
+  // per-node ingress window (for max_ingress_per_iteration).
+  virtual void begin_iteration(std::int64_t iter) = 0;
+
+  // Serialized hand-off from -> to. Charges the link counters and the
+  // destination's ingress window, then enqueues/transmits. Messages to
+  // or from a crashed node are silently dropped (fail-stop: the bytes
+  // never make it onto the wire). Throws on out-of-range ids.
+  virtual void send(int from, int to, const std::string& tag,
+                    ByteBuffer&& payload) = 0;
+
+  // Pops the queued message for `node` with tag `tag` that has the
+  // smallest (sender id, sender sequence) key. See the header comment
+  // for the per-backend blocking/nullopt semantics.
+  virtual std::optional<Message> receive_tagged(int node,
+                                                const std::string& tag) = 0;
+
+  // Number of messages currently queued at `node` (any tag).
+  virtual std::size_t pending(int node) const = 0;
+
+  // --- traffic accounting ---------------------------------------------
+  virtual LinkTotals totals(LinkKind kind) const = 0;
+  virtual std::uint64_t message_count(LinkKind kind) const = 0;
+  // Largest number of bytes `node` received within any single iteration
+  // window (the quantity plotted in Figure 2). The currently open
+  // window participates, so the value is usable mid-run.
+  virtual std::uint64_t max_ingress_per_iteration(int node) const = 0;
+
+  // --- time ------------------------------------------------------------
+  // Node's clock, seconds: simulated (SimNetwork) or measured
+  // (TcpNetwork).
+  virtual double sim_time(int node) const = 0;
+  // Models local compute at `node` (>= 0; throws std::invalid_argument
+  // on negative). No-op on TcpNetwork, where compute takes real time.
+  virtual void advance_time(int node, double seconds) = 0;
+  // Critical path so far: max clock over the *alive* nodes.
+  virtual double max_sim_time() const = 0;
+
+  // --- liveness --------------------------------------------------------
+  // Fail-stop crash. The server cannot crash. Idempotent.
+  virtual void crash(int worker) = 0;
+  virtual bool is_alive(int node) const = 0;
+  virtual std::vector<int> alive_workers() const = 0;
+  virtual std::size_t alive_worker_count() const = 0;
+
+ protected:
+  Transport() = default;
+};
+
+}  // namespace mdgan::dist

@@ -8,7 +8,7 @@ namespace mdgan::gan {
 
 FlGan::FlGan(GanArch arch, FlGanConfig cfg,
              std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-             dist::Network& net)
+             dist::Transport& net)
     : arch_(arch),
       cfg_(cfg),
       codes_(arch.image.num_classes, arch.latent_dim),

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
-#include "dist/network.hpp"
+#include "dist/transport.hpp"
 #include "gan/trainer.hpp"
 
 namespace mdgan::gan {
@@ -29,7 +29,7 @@ class FlGan {
   // The Network must have been constructed with shards.size() workers.
   FlGan(GanArch arch, FlGanConfig cfg,
         std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-        dist::Network& net);
+        dist::Transport& net);
 
   // Runs `iters` local iterations on every worker (one generator update
   // each), synchronizing every round. Hook receives the server-averaged
@@ -61,7 +61,7 @@ class FlGan {
   GanArch arch_;
   FlGanConfig cfg_;
   ClassCodes codes_;
-  dist::Network& net_;
+  dist::Transport& net_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::uint64_t seed_;
 };

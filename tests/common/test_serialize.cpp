@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 namespace mdgan {
@@ -73,6 +74,59 @@ TEST(ByteBuffer, ClearResets) {
   buf.clear();
   EXPECT_EQ(buf.size(), 0u);
   EXPECT_THROW(buf.read_pod<int>(), std::out_of_range);
+}
+
+TEST(ByteBuffer, WireFormatIsLittleEndian) {
+  // The exact bytes are pinned, not just the round trip: a frame
+  // produced on this host must parse on any other, so integers and
+  // floats go least-significant byte first regardless of the machine.
+  ByteBuffer buf;
+  buf.write_pod<std::uint32_t>(0x11223344u);
+  buf.write_pod<std::int32_t>(-2);
+  buf.write_pod<float>(1.0f);  // IEEE-754 0x3f800000
+  ASSERT_EQ(buf.size(), 12u);
+  const std::uint8_t expect[12] = {0x44, 0x33, 0x22, 0x11,   // u32
+                                   0xfe, 0xff, 0xff, 0xff,   // i32 -2
+                                   0x00, 0x00, 0x80, 0x3f};  // float 1.0
+  EXPECT_EQ(std::memcmp(buf.data(), expect, sizeof(expect)), 0);
+  // And the reader agrees with the pinned encoding.
+  EXPECT_EQ(buf.read_pod<std::uint32_t>(), 0x11223344u);
+  EXPECT_EQ(buf.read_pod<std::int32_t>(), -2);
+  EXPECT_EQ(buf.read_pod<float>(), 1.0f);
+}
+
+TEST(ByteBuffer, LengthHeadersAreLittleEndian) {
+  ByteBuffer buf;
+  std::vector<float> v{2.0f};
+  buf.write_floats(v.data(), v.size());
+  // u64 length 1, LSB first, then the float's four bytes.
+  const std::uint8_t expect[12] = {0x01, 0, 0, 0, 0, 0, 0, 0,
+                                   0x00, 0x00, 0x00, 0x40};
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(std::memcmp(buf.data(), expect, sizeof(expect)), 0);
+  EXPECT_EQ(buf.read_floats(), v);
+}
+
+TEST(ByteBuffer, WrapAndAppendRawRoundTrip) {
+  // The TCP receive path rebuilds a ByteBuffer from raw frame bytes;
+  // the reconstruction must parse exactly like the original.
+  ByteBuffer original;
+  original.write_pod<std::uint32_t>(7);
+  std::vector<float> v{1.f, -2.5f, 3.75f};
+  original.write_floats(v.data(), v.size());
+  original.write_string("swap");
+
+  ByteBuffer wrapped = ByteBuffer::wrap(original.data(), original.size());
+  EXPECT_EQ(wrapped.size(), original.size());
+  EXPECT_EQ(wrapped.read_pod<std::uint32_t>(), 7u);
+  EXPECT_EQ(wrapped.read_floats(), v);
+  EXPECT_EQ(wrapped.read_string(), "swap");
+  EXPECT_EQ(wrapped.remaining(), 0u);
+
+  ByteBuffer appended;
+  appended.append_raw(original.data(), original.size());
+  EXPECT_EQ(appended.read_pod<std::uint32_t>(), 7u);
+  EXPECT_EQ(appended.read_floats(), v);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 
 namespace mdgan::core {
 namespace {

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 
 namespace mdgan::core {
 namespace {

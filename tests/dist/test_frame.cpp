@@ -1,0 +1,96 @@
+// The TCP backend's wire framing: pinned header bytes, round trips,
+// and rejection of malformed streams (a corrupt peer must fail the
+// connection, never crash the node or allocate unboundedly).
+#include "dist/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+ByteBuffer payload_of(std::size_t n_floats, float fill = 1.f) {
+  std::vector<float> v(n_floats, fill);
+  ByteBuffer buf;
+  buf.write_floats(v.data(), v.size());
+  return buf;
+}
+
+TEST(Frame, RoundTripPreservesEverything) {
+  ByteBuffer payload = payload_of(5, 2.5f);
+  const auto wire = encode_frame(3, kServerId, "feedback", payload);
+  ASSERT_GT(wire.size(), kFrameHeaderBytes);
+
+  const auto body_len = decode_frame_header(wire.data());
+  EXPECT_EQ(body_len, wire.size() - kFrameHeaderBytes);
+  Frame f = decode_frame_body(wire.data() + kFrameHeaderBytes, body_len);
+  EXPECT_EQ(f.src, 3);
+  EXPECT_EQ(f.dst, kServerId);
+  EXPECT_EQ(f.tag, "feedback");
+  EXPECT_EQ(f.payload.size(), payload.size());
+  EXPECT_EQ(f.payload.read_floats(), std::vector<float>(5, 2.5f));
+}
+
+TEST(Frame, EmptyTagAndEmptyPayload) {
+  const auto wire = encode_frame(1, 2, "", ByteBuffer{});
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + kFrameBodyFixedBytes);
+  const auto body_len = decode_frame_header(wire.data());
+  Frame f = decode_frame_body(wire.data() + kFrameHeaderBytes, body_len);
+  EXPECT_EQ(f.src, 1);
+  EXPECT_EQ(f.dst, 2);
+  EXPECT_TRUE(f.tag.empty());
+  EXPECT_EQ(f.payload.size(), 0u);
+}
+
+TEST(Frame, HeaderBytesArePinnedLittleEndian) {
+  // magic "MDG1" (0x4d444731) then body_len, both LSB-first; then
+  // src=1, dst=0, tag_len=1, 't'.
+  const auto wire = encode_frame(1, 0, "t", ByteBuffer{});
+  const std::uint8_t expect[] = {0x31, 0x47, 0x44, 0x4d,  // magic
+                                 0x0d, 0x00, 0x00, 0x00,  // body_len 13
+                                 0x01, 0x00, 0x00, 0x00,  // src
+                                 0x00, 0x00, 0x00, 0x00,  // dst
+                                 0x01, 0x00, 0x00, 0x00,  // tag_len
+                                 't'};
+  ASSERT_EQ(wire.size(), sizeof(expect));
+  EXPECT_EQ(std::memcmp(wire.data(), expect, sizeof(expect)), 0);
+}
+
+TEST(Frame, BadMagicAndBadLengthsThrow) {
+  auto wire = encode_frame(1, 0, "t", payload_of(1));
+  wire[0] ^= 0xff;
+  EXPECT_THROW(decode_frame_header(wire.data()), std::runtime_error);
+
+  // body_len below the fixed body minimum.
+  std::uint8_t tiny[kFrameHeaderBytes] = {0x31, 0x47, 0x44, 0x4d,
+                                          0x02, 0x00, 0x00, 0x00};
+  EXPECT_THROW(decode_frame_header(tiny), std::runtime_error);
+
+  // body_len past the sanity ceiling (a corrupt stream must not drive
+  // a giant allocation).
+  std::uint8_t huge[kFrameHeaderBytes] = {0x31, 0x47, 0x44, 0x4d,
+                                          0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(decode_frame_header(huge), std::runtime_error);
+}
+
+TEST(Frame, TagOverrunningBodyThrows) {
+  auto wire = encode_frame(1, 0, "tag", ByteBuffer{});
+  const auto body_len = decode_frame_header(wire.data());
+  // Corrupt tag_len to claim more bytes than the body holds.
+  wire[kFrameHeaderBytes + 8] = 0xff;
+  EXPECT_THROW(decode_frame_body(wire.data() + kFrameHeaderBytes, body_len),
+               std::runtime_error);
+}
+
+TEST(Frame, ControlTagClassification) {
+  EXPECT_TRUE(is_control_tag("!hello"));
+  EXPECT_FALSE(is_control_tag("feedback"));
+  EXPECT_FALSE(is_control_tag(""));
+}
+
+}  // namespace
+}  // namespace mdgan::dist

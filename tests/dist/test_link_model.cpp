@@ -236,5 +236,100 @@ TEST(LinkModel, CrashedWorkerFreezesOutOfCriticalPath) {
   EXPECT_DOUBLE_EQ(net.max_sim_time(), 1.0);
 }
 
+TEST(LinkModel, NicCapMakesModelNonZeroAndIsQueryable) {
+  LinkModel m;
+  EXPECT_TRUE(m.zero());
+  EXPECT_EQ(m.nic_bytes_per_s(kServerId), 0.0);
+  m.set_nic(kServerId, 100.0);
+  EXPECT_FALSE(m.zero());
+  EXPECT_EQ(m.nic_bytes_per_s(kServerId), 100.0);
+  EXPECT_EQ(m.nic_bytes_per_s(1), 0.0);  // other nodes uncapped
+  m.set_nic(kServerId, 0.0);  // 0 removes the cap
+  EXPECT_TRUE(m.zero());
+  EXPECT_THROW(m.set_nic(1, -1.0), std::invalid_argument);
+}
+
+TEST(LinkModel, ConcurrentInboundTransfersShareTheServerNic) {
+  // Four workers each push 100 B at t=0. Per-link capacity is infinite
+  // (no LinkParams bandwidth), so without a NIC cap every transfer
+  // would land instantly. With the server NIC capped at 100 B/s the
+  // four inbound transfers serialize through the shared interface:
+  // arrivals at 1, 2, 3, 4 seconds in send order.
+  const std::size_t n = 4, bytes = 100;
+  Network net(n);
+  LinkModel m;
+  m.set_nic(kServerId, 100.0);
+  net.set_link_model(m);
+  for (std::size_t w = 1; w <= n; ++w) {
+    net.send(static_cast<int>(w), kServerId, "fb", raw_bytes(bytes));
+  }
+  for (std::size_t w = 1; w <= n; ++w) {
+    auto msg = net.receive_tagged(kServerId, "fb");
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_DOUBLE_EQ(msg->arrival_s, static_cast<double>(w));
+  }
+  EXPECT_DOUBLE_EQ(net.sim_time(kServerId), 4.0);
+
+  // Control: same traffic with independent links only (per-link
+  // bandwidth 100 B/s, no NIC cap) — everybody arrives at 1 s because
+  // each directed link has its own capacity.
+  Network independent(n);
+  independent.set_link_model(LinkModel(LinkParams{0.0, 100.0, 0.0}));
+  for (std::size_t w = 1; w <= n; ++w) {
+    independent.send(static_cast<int>(w), kServerId, "fb",
+                     raw_bytes(bytes));
+  }
+  for (std::size_t w = 1; w <= n; ++w) {
+    EXPECT_DOUBLE_EQ(independent.receive_tagged(kServerId, "fb")->arrival_s,
+                     1.0);
+  }
+}
+
+TEST(LinkModel, NicCapSharesTheServerEgressAcrossBroadcast) {
+  // The server pushing k batches to 3 workers over infinite links but a
+  // 1000 B/s NIC: the three sends serialize on the way *out*.
+  Network net(3);
+  LinkModel m;
+  m.set_nic(kServerId, 1000.0);
+  net.set_link_model(m);
+  for (int w = 1; w <= 3; ++w) {
+    net.send(kServerId, w, "gen", raw_bytes(500));
+  }
+  for (int w = 1; w <= 3; ++w) {
+    EXPECT_DOUBLE_EQ(net.receive_tagged(w, "gen")->arrival_s, 0.5 * w);
+  }
+}
+
+TEST(LinkModel, NicCapComposesWithLinkBandwidth) {
+  // The slowest resource on the path governs the transmit time: a
+  // 100 B/s link under a 1000 B/s receiver NIC still takes bytes/100.
+  Network net(2);
+  LinkModel m(LinkParams{0.0, 100.0, 0.0});
+  m.set_nic(kServerId, 1000.0);
+  net.set_link_model(m);
+  net.send(1, kServerId, "t", raw_bytes(200));
+  EXPECT_DOUBLE_EQ(net.receive_tagged(kServerId, "t")->arrival_s, 2.0);
+  // And the reverse: a fast link throttled by the receiver NIC.
+  Network net2(2);
+  LinkModel m2(LinkParams{0.0, 1000.0, 0.0});
+  m2.set_nic(kServerId, 100.0);
+  net2.set_link_model(m2);
+  net2.send(1, kServerId, "t", raw_bytes(200));
+  EXPECT_DOUBLE_EQ(net2.receive_tagged(kServerId, "t")->arrival_s, 2.0);
+}
+
+TEST(LinkModel, UncappedNodesKeepIndependentLinkBehavior) {
+  // A NIC cap on the server must not change worker<->worker timing.
+  Network net(3);
+  LinkModel m(LinkParams{0.0, 100.0, 0.0});
+  m.set_nic(kServerId, 50.0);
+  net.set_link_model(m);
+  net.send(1, 2, "t", raw_bytes(100));
+  net.send(3, 2, "t", raw_bytes(100));
+  // Two different links into worker 2: independent, both arrive at 1 s.
+  EXPECT_DOUBLE_EQ(net.receive_tagged(2, "t")->arrival_s, 1.0);
+  EXPECT_DOUBLE_EQ(net.receive_tagged(2, "t")->arrival_s, 1.0);
+}
+
 }  // namespace
 }  // namespace mdgan::dist

@@ -1,0 +1,270 @@
+// The real TCP backend, over 127.0.0.1: routing/ordering/accounting
+// semantics of the Transport contract, fail-stop detection on a dropped
+// connection, and the acceptance property of the whole subsystem — a
+// loopback MD-GAN run (server + 2 workers as real endpoints) is
+// bit-identical in generator weights and per-link traffic totals to the
+// in-process SimNetwork run with the same seeds.
+#include "dist/tcp_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/md_gan.hpp"
+#include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+ByteBuffer payload_of(std::size_t n_floats, float fill = 1.f) {
+  std::vector<float> v(n_floats, fill);
+  ByteBuffer buf;
+  buf.write_floats(v.data(), v.size());
+  return buf;
+}
+
+TcpOptions fast_opts() {
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  return opts;
+}
+
+// Polls `pred` until true or the deadline; returns its final value.
+bool eventually(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(TcpNetwork, LoopbackRoutingOrderingAndAccounting) {
+  auto server = TcpNetwork::serve(0, 2, fast_opts());
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 2,
+                                fast_opts());
+  auto w2 = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                fast_opts());
+  ASSERT_TRUE(server->wait_ready());
+  EXPECT_EQ(server->alive_worker_count(), 2u);
+
+  // Worker -> server, with a blocking receive on the other side.
+  w1->send(1, kServerId, "fb", payload_of(3, 1.f));
+  auto m = server->receive_tagged(kServerId, "fb");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, 1);
+  EXPECT_EQ(m->payload.read_floats(), std::vector<float>(3, 1.f));
+
+  // Per-sender FIFO: two sends from one worker drain in send order.
+  w1->send(1, kServerId, "fb", payload_of(1, 10.f));
+  w1->send(1, kServerId, "fb", payload_of(1, 11.f));
+  EXPECT_EQ(server->receive_tagged(kServerId, "fb")->payload.read_floats()[0],
+            10.f);
+  EXPECT_EQ(server->receive_tagged(kServerId, "fb")->payload.read_floats()[0],
+            11.f);
+
+  // Deterministic pop: with both senders' mail queued, the lower sender
+  // id pops first regardless of arrival order.
+  w2->send(2, kServerId, "fb", payload_of(1, 2.f));
+  w1->send(1, kServerId, "fb", payload_of(1, 1.f));
+  ASSERT_TRUE(eventually([&] { return server->pending(kServerId) == 2; }));
+  EXPECT_EQ(server->receive_tagged(kServerId, "fb")->from, 1);
+  EXPECT_EQ(server->receive_tagged(kServerId, "fb")->from, 2);
+
+  // Worker -> worker relays through the star and keeps the sender id.
+  w1->send(1, 2, "swap", payload_of(1, 7.f));
+  auto s = w2->receive_tagged(2, "swap");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->from, 1);
+  EXPECT_EQ(s->payload.read_floats()[0], 7.f);
+
+  // Server -> worker.
+  server->send(kServerId, 1, "gen", payload_of(1, 5.f));
+  auto g = w1->receive_tagged(1, "gen");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->from, kServerId);
+
+  // The server endpoint's accountant saw every class of traffic,
+  // charged by payload size (payload_of(n) is 8 + 4n wire bytes).
+  const std::uint64_t sz1 = 8 + 4, sz3 = 8 + 12;
+  EXPECT_EQ(server->totals(LinkKind::kWorkerToServer).bytes, sz3 + 4 * sz1);
+  EXPECT_EQ(server->message_count(LinkKind::kWorkerToServer), 5u);
+  EXPECT_EQ(server->totals(LinkKind::kWorkerToWorker).bytes, sz1);
+  EXPECT_EQ(server->message_count(LinkKind::kWorkerToWorker), 1u);
+  EXPECT_EQ(server->totals(LinkKind::kServerToWorker).bytes, sz1);
+  // Each endpoint sees its own side of the same ledger.
+  EXPECT_EQ(w1->totals(LinkKind::kServerToWorker).bytes, sz1);
+  EXPECT_EQ(w2->totals(LinkKind::kWorkerToWorker).bytes, sz1);
+
+  // Endpoints speak only as their own node.
+  EXPECT_THROW(server->receive_tagged(1, "t"), std::logic_error);
+  EXPECT_THROW(w1->send(2, kServerId, "t", payload_of(1)),
+               std::logic_error);
+  EXPECT_THROW(w1->pending(kServerId), std::logic_error);
+  // '!' tags are transport-internal.
+  EXPECT_THROW(w1->send(1, kServerId, "!hello", payload_of(1)),
+               std::invalid_argument);
+  // Measured time is monotone and nonzero by now.
+  EXPECT_GT(server->max_sim_time(), 0.0);
+  server->advance_time(kServerId, 1.0);  // no-op, but negative still throws
+  EXPECT_THROW(server->advance_time(kServerId, -1.0),
+               std::invalid_argument);
+}
+
+TEST(TcpNetwork, ReceiveTimesOutWithNullopt) {
+  TcpOptions opts = fast_opts();
+  opts.receive_timeout_s = 0.3;
+  auto server = TcpNetwork::serve(0, 1, opts);
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 1, opts);
+  ASSERT_TRUE(server->wait_ready());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(server->receive_tagged(kServerId, "never").has_value());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(waited, 0.25);
+}
+
+TEST(TcpNetwork, RendezvousTimesOutWithoutWorkers) {
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 0.3;
+  auto server = TcpNetwork::serve(0, 2, opts);
+  EXPECT_FALSE(server->wait_ready());
+}
+
+TEST(TcpNetwork, ConnectionDropIsFailStopCrash) {
+  auto server = TcpNetwork::serve(0, 2, fast_opts());
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 2,
+                                fast_opts());
+  auto w2 = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                fast_opts());
+  ASSERT_TRUE(server->wait_ready());
+  ASSERT_EQ(server->alive_workers(), (std::vector<int>{1, 2}));
+
+  // Worker 2's process dies: the server detects EOF and fail-stops it.
+  w2.reset();
+  ASSERT_TRUE(eventually([&] { return !server->is_alive(2); }));
+  EXPECT_EQ(server->alive_workers(), (std::vector<int>{1}));
+  EXPECT_EQ(server->alive_worker_count(), 1u);
+
+  // Sends to the dead worker are dropped silently, charging nothing —
+  // the same fail-stop semantics SimNetwork::crash gives.
+  const auto before = server->totals(LinkKind::kServerToWorker).bytes;
+  server->send(kServerId, 2, "t", payload_of(4));
+  EXPECT_EQ(server->totals(LinkKind::kServerToWorker).bytes, before);
+
+  // The survivor is unaffected.
+  server->send(kServerId, 1, "t", payload_of(4));
+  EXPECT_TRUE(w1->receive_tagged(1, "t").has_value());
+
+  // An explicit crash() severs the connection; the worker endpoint
+  // observes the drop as the server's death.
+  server->crash(1);
+  EXPECT_FALSE(server->is_alive(1));
+  EXPECT_EQ(server->alive_worker_count(), 0u);
+  ASSERT_TRUE(eventually([&] { return !w1->is_alive(kServerId); }));
+  EXPECT_THROW(server->crash(kServerId), std::invalid_argument);
+
+  // With every peer dead, a blocking receive must give up promptly
+  // (nullopt for "dead cluster") instead of sitting out the timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(server->receive_tagged(kServerId, "never").has_value());
+  EXPECT_FALSE(w1->receive_tagged(1, "never").has_value());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 5.0);  // well under the 20 s receive timeout
+}
+
+// The subsystem's acceptance criterion: one tiny MD-GAN training run,
+// executed twice — in-process over the SimNetwork, and as three real
+// TCP endpoints (server + 2 worker roles on their own threads) over
+// 127.0.0.1 — lands on bit-identical generator weights and identical
+// per-link byte/message totals. Four iterations with swap period 2, so
+// the discriminator swap (relayed worker->worker) is exercised twice.
+TEST(TcpMdGan, LoopbackRunMatchesSimulatorBitForBit) {
+  const std::uint64_t seed = 29;
+  const std::size_t n_workers = 2, per_shard = 16;
+  const std::int64_t iters = 4;
+  const auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  core::MdGanConfig cfg;
+  cfg.hp.batch = 8;
+  cfg.hp.disc_steps = 1;
+  cfg.k = 2;
+  cfg.epochs_per_swap = 1;
+  cfg.parallel_workers = false;
+
+  auto full = data::make_synthetic_digits(n_workers * per_shard, seed);
+  Rng split_rng(seed);
+  const auto shards = data::split_iid(full, n_workers, split_rng);
+
+  // Reference: the deterministic in-process simulation.
+  SimNetwork sim(n_workers);
+  core::MdGan reference(arch, cfg, shards, seed, sim);
+  reference.train(iters);
+  const auto want = reference.generator().flatten_parameters();
+
+  // Real thing: three endpoints, three roles, one loopback.
+  auto server = TcpNetwork::serve(0, n_workers, fast_opts());
+  const auto port = server->port();
+  std::vector<float> got;
+  std::vector<std::string> errors(3);
+  std::thread server_thread([&] {
+    try {
+      core::MdGanConfig scfg = cfg;
+      scfg.shard_size = per_shard;  // no shard to derive it from
+      core::MdGan md(arch, scfg, {}, seed, *server, nullptr,
+                     core::NodeRole::server());
+      md.train(iters);
+      got = md.generator().flatten_parameters();
+    } catch (const std::exception& e) {
+      errors[0] = e.what();
+    }
+  });
+  std::vector<std::thread> worker_threads;
+  for (std::size_t w = 1; w <= n_workers; ++w) {
+    worker_threads.emplace_back([&, w] {
+      try {
+        auto net = TcpNetwork::connect("127.0.0.1", port,
+                                       static_cast<int>(w), n_workers,
+                                       fast_opts());
+        core::MdGan md(arch, cfg, {shards[w - 1]}, seed, *net, nullptr,
+                       core::NodeRole::worker(static_cast<int>(w)));
+        md.train(iters);
+      } catch (const std::exception& e) {
+        errors[w] = e.what();
+      }
+    });
+  }
+  server_thread.join();
+  for (auto& t : worker_threads) t.join();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "role " << i << ": " << errors[i];
+  }
+
+  // Bit-identical generator weights...
+  EXPECT_EQ(got, want);
+
+  // ...and an identical wire ledger: the server endpoint observes all
+  // three link classes (it relays worker->worker), so its totals must
+  // equal the simulator's global ones, message for message.
+  for (auto kind : {LinkKind::kServerToWorker, LinkKind::kWorkerToServer,
+                    LinkKind::kWorkerToWorker}) {
+    EXPECT_EQ(server->totals(kind).bytes, sim.totals(kind).bytes);
+    EXPECT_EQ(server->totals(kind).messages, sim.totals(kind).messages);
+  }
+  EXPECT_EQ(server->max_ingress_per_iteration(kServerId),
+            sim.max_ingress_per_iteration(kServerId));
+  EXPECT_GT(server->totals(LinkKind::kWorkerToWorker).bytes, 0u)
+      << "the run should have exercised the relayed discriminator swap";
+}
+
+}  // namespace
+}  // namespace mdgan::dist

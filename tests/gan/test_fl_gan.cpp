@@ -1,3 +1,4 @@
+#include "dist/sim_network.hpp"
 #include "gan/fl_gan.hpp"
 
 #include <gtest/gtest.h>

@@ -9,6 +9,7 @@
 
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
 #include "gan/fl_gan.hpp"
 #include "metrics/evaluator.hpp"
 
