@@ -182,8 +182,12 @@ inline Series run_fl_gan(const RunContext& ctx, gan::GanHyperParams hp,
 struct MdGanRunOptions {
   std::size_t k = 1;
   bool swap_enabled = true;
-  const dist::CrashSchedule* crashes = nullptr;
+  // Membership schedule: leave/rejoin intervals, or a plain
+  // CrashSchedule for fail-stop-only runs (Figure 5).
+  const dist::AvailabilitySchedule* availability = nullptr;
   dist::CompressionConfig feedback_compression{};
+  // §VII-1 async server: one Adam step per feedback, on arrival.
+  bool async = false;
 };
 
 inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
@@ -199,8 +203,9 @@ inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
   cfg.k = opts.k;
   cfg.swap_enabled = opts.swap_enabled;
   cfg.feedback_compression = opts.feedback_compression;
+  cfg.async = opts.async;
   core::MdGan md(ctx.arch, cfg, std::move(shards), ctx.seed, net,
-                 opts.crashes);
+                 opts.availability);
   out.points.push_back(
       {0, ctx.evaluator.evaluate(md.generator(), ctx.arch, md.codes())});
   out.sim_at.push_back(md.sim_seconds());

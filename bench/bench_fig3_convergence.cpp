@@ -91,6 +91,18 @@ int main(int argc, char** argv) {
                        std::to_string(small_b)));
     print_series(all.back());
   }
+  // §VII-1 async server: one Adam step per feedback, no round barrier.
+  // Under a link model its series rows become the async time-to-score
+  // curve next to the synchronous ones above.
+  {
+    MdGanRunOptions opts;
+    opts.k = klog;
+    opts.async = true;
+    all.push_back(run_md_gan(ctx, hp_small, workers, opts,
+                             "md-gan async k=" + std::to_string(klog) +
+                                 " b=" + std::to_string(small_b)));
+    print_series(all.back());
+  }
 
   print_final_table(all);
   std::printf(

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   // Same setup with the paper's crash schedule.
   auto crashes = dist::CrashSchedule::evenly_spaced(iters, workers);
   all.push_back(run_md_gan(ctx, hp10, workers,
-                           {.k = k, .crashes = &crashes},
+                           {.k = k, .availability = &crashes},
                            "md-gan crashes"));
   print_series(all.back());
 

@@ -12,15 +12,24 @@
 //           straggler setup: compression trades score fidelity for
 //           simulated W->C time, and the round time must drop
 //           monotonically with the wire size;
-//   part C  (skipped with --tiny) final IS/FID next to the simulated
-//           time, i.e. the time-to-score rows of the two sweeps.
+//   part C  sync vs async server (§VII-1) under the same slow_node
+//           throttle: the synchronous barrier waits for the straggler
+//           before the one update of the round, while the async
+//           receive loop applies one Adam step per feedback as it
+//           arrives — so async buys more generator updates per
+//           simulated second, the "async hides stragglers" claim made
+//           measurable (mode rows report sim seconds per update);
+//   part D  (skipped with --tiny) final IS/FID next to the simulated
+//           time, i.e. the time-to-score rows of the sweeps, sync and
+//           async.
 //
 // --tiny runs a seconds-scale smoke configuration (CI runs it so the
-// simulated-time path cannot silently rot).
+// simulated-time and async-engine paths cannot silently rot).
 //
 // CSV rows:
 //   straggler,<slowdown>,<sim_total_s>,<mean_round_s>,<max_round_s>
 //   codec,<name>,<w2c_bytes>,<sim_total_s>,<mean_round_s>
+//   mode,<sync|async>,<slowdown>,<sim_total_s>,<updates>,<s_per_update>
 //   time2score,<variant>,<sim_total_s>,<IS>,<FID>
 #include <cstdio>
 #include <numeric>
@@ -40,6 +49,7 @@ struct TimedRun {
   double mean_round = 0.0;
   double max_round = 0.0;
   std::uint64_t w_to_c_bytes = 0;
+  std::int64_t updates = 0;
   dist::SimTimes clocks;
 };
 
@@ -51,6 +61,10 @@ struct TimedRunConfig {
   std::uint64_t seed = 42;
   dist::LinkModel link;
   dist::CompressionConfig codec;
+  bool async = false;
+  // Modeled compute (seconds), so the async server's per-feedback
+  // updates cost simulated time like the sync barrier's one does.
+  double server_update_s = 0.0;
 };
 
 // Trains MD-GAN without any evaluation (the evaluator dominates tiny
@@ -65,11 +79,14 @@ TimedRun timed_run(const data::InMemoryDataset& train,
   cfg.hp.batch = rc.batch;
   cfg.k = core::k_log_n(rc.workers);
   cfg.feedback_compression = rc.codec;
+  cfg.async = rc.async;
+  cfg.sim_server_update_seconds = rc.server_update_s;
   core::MdGan md(rc.arch, cfg, std::move(shards), rc.seed, net);
   md.train(rc.iters);
 
   TimedRun out;
   out.sim_total = md.sim_seconds();
+  out.updates = md.generator_updates();
   const auto& rounds = md.round_sim_seconds();
   for (double r : rounds) out.max_round = std::max(out.max_round, r);
   if (!rounds.empty()) {
@@ -165,7 +182,38 @@ int main(int argc, char** argv) {
   std::printf("sim time strictly drops none -> int8 -> top-k: %s\n",
               monotone ? "yes" : "NO (unexpected)");
 
-  // --- part C: time-to-score (needs the evaluator; skipped in --tiny) ---
+  // --- part C: sync vs async server under the slow_node throttle --------
+  // The async engine applies one generator update per feedback arrival
+  // instead of one per round barrier, so at equal rounds it lands N
+  // times more updates in (nearly) the same simulated span: simulated
+  // seconds *per update* must come out well below sync's.
+  std::printf("\ncsv: mode,<sync|async>,<slowdown>,<sim_total_s>,"
+              "<updates>,<s_per_update>\n");
+  rc.codec = {};
+  rc.server_update_s = 1e-4;  // make the server's applies cost sim time
+  double sync_spu = 0.0, async_spu = 0.0;
+  for (double slowdown : {1.0, slowdowns.back()}) {
+    rc.link = straggler_link_model(latency_ms, mbps, straggler, slowdown,
+                                   rc.seed);
+    for (const bool async : {false, true}) {
+      rc.async = async;
+      const auto r = timed_run(train, rc);
+      const double spu =
+          r.updates > 0 ? r.sim_total / static_cast<double>(r.updates)
+                        : 0.0;
+      std::printf("mode,%s,%.0f,%.4f,%lld,%.6f\n",
+                  async ? "async" : "sync", slowdown, r.sim_total,
+                  static_cast<long long>(r.updates), spu);
+      if (slowdown > 1.0) (async ? async_spu : sync_spu) = spu;
+    }
+  }
+  rc.async = false;
+  rc.server_update_s = 0.0;
+  std::printf("async spends less sim time per generator update under the "
+              "straggler: %s\n",
+              async_spu < sync_spu ? "yes" : "NO (unexpected)");
+
+  // --- part D: time-to-score (needs the evaluator; skipped in --tiny) ---
   if (!tiny) {
     std::printf("\ncsv: time2score,<variant>,<sim_total_s>,<IS>,<FID>\n");
     auto test = data::make_synthetic_digits(512, rc.seed + 1);
@@ -173,19 +221,23 @@ int main(int argc, char** argv) {
                                  rc.seed);
     gan::GanHyperParams hp;
     hp.batch = rc.batch;
-    for (double slowdown : {1.0, slowdowns.back()}) {
-      RunContext ctx{train, evaluator, rc.arch, rc.iters,
-                     /*eval_every=*/rc.iters, rc.seed};
-      ctx.link = straggler_link_model(latency_ms, mbps, straggler,
-                                      slowdown, rc.seed);
-      MdGanRunOptions opts;
-      opts.k = core::k_log_n(rc.workers);
-      auto s = run_md_gan(ctx, hp, rc.workers, opts,
-                          "slowdown=" + std::to_string(slowdown));
-      const auto& last = s.points.back();
-      std::printf("time2score,slowdown=%.0f,%.4f,%.4f,%.4f\n", slowdown,
-                  s.sim_total, last.scores.inception_score,
-                  last.scores.fid);
+    for (const bool async : {false, true}) {
+      for (double slowdown : {1.0, slowdowns.back()}) {
+        RunContext ctx{train, evaluator, rc.arch, rc.iters,
+                       /*eval_every=*/rc.iters, rc.seed};
+        ctx.link = straggler_link_model(latency_ms, mbps, straggler,
+                                        slowdown, rc.seed);
+        MdGanRunOptions opts;
+        opts.k = core::k_log_n(rc.workers);
+        opts.async = async;
+        const std::string label = std::string(async ? "async" : "sync") +
+                                  " slowdown=" + std::to_string(slowdown);
+        auto s = run_md_gan(ctx, hp, rc.workers, opts, label);
+        const auto& last = s.points.back();
+        std::printf("time2score,%s-slowdown=%.0f,%.4f,%.4f,%.4f\n",
+                    async ? "async" : "sync", slowdown, s.sim_total,
+                    last.scores.inception_score, last.scores.fid);
+      }
     }
   }
   return 0;

@@ -19,15 +19,31 @@
 // training flags.
 //
 // Shared training flags: --iters, --batch, --k, --shard (samples per
-// worker), --seed, --swap=0|1, --compress=none|int8|topk.
+// worker), --seed, --swap=0|1, --compress=none|int8|topk,
+// --server-mode=sync|async (the §VII-1 server policy; async applies one
+// Adam step per feedback as it arrives, with --max-staleness capping
+// how stale an applied feedback may be and --staleness-damping scaling
+// its learning rate by 1/(1 + damping * staleness)).
+//
+// Elastic workers: --absent=W@FROM-UNTIL[,W@FROM-UNTIL...] schedules
+// worker W away for iterations [FROM, UNTIL) — it rejoins at UNTIL; an
+// empty UNTIL ("2@3-") is a permanent leave, i.e. a fail-stop crash.
+// The schedule is SPMD shared knowledge: pass the identical --absent to
+// every role, and each process replays the same membership transitions
+// (the swap replay skips absent workers deterministically), e.g.
+//
+//   --absent=2@2-4   worker 2 misses iterations 2 and 3, then rejoins.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "common/cli.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
 #include "dist/compression.hpp"
+#include "dist/fault.hpp"
 #include "dist/sim_network.hpp"
 #include "dist/tcp_network.hpp"
 
@@ -53,7 +69,41 @@ struct NodeConfig {
   std::size_t shard = 16;
   std::uint64_t seed = 42;
   core::MdGanConfig cfg;
+  // Scheduled leave/rejoin membership, replayed SPMD by every role.
+  std::optional<dist::AvailabilitySchedule> availability;
+
+  const dist::AvailabilitySchedule* schedule() const {
+    return availability.has_value() ? &*availability : nullptr;
+  }
 };
+
+// "W@FROM-UNTIL[,...]" with empty UNTIL = never returns.
+dist::AvailabilitySchedule parse_absences(const std::string& spec) {
+  dist::AvailabilitySchedule sched;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(at, comma - at);
+    const auto at_sign = item.find('@');
+    const auto dash = item.find('-', at_sign == std::string::npos
+                                          ? 0
+                                          : at_sign + 1);
+    if (at_sign == std::string::npos || dash == std::string::npos) {
+      throw std::invalid_argument("--absent wants W@FROM-UNTIL, got '" +
+                                  item + "'");
+    }
+    const int worker = std::stoi(item.substr(0, at_sign));
+    const std::int64_t from =
+        std::stoll(item.substr(at_sign + 1, dash - at_sign - 1));
+    const std::string until_str = item.substr(dash + 1);
+    const std::int64_t until =
+        until_str.empty() ? 0 : std::stoll(until_str);
+    sched.add_absence(worker, from, until);
+    at = comma + 1;
+  }
+  return sched;
+}
 
 NodeConfig parse_training_flags(const CliFlags& flags) {
   NodeConfig nc;
@@ -68,6 +118,14 @@ NodeConfig parse_training_flags(const CliFlags& flags) {
                              std::min<std::size_t>(2, nc.workers))));
   nc.cfg.swap_enabled = flags.get_bool("swap", true);
   nc.cfg.parallel_workers = false;
+  nc.cfg.async = core::server_mode_from_name(flags.get(
+                     "server-mode", "sync")) == core::ServerMode::kAsync;
+  if (flags.has("max-staleness")) {
+    nc.cfg.async_max_staleness =
+        static_cast<std::size_t>(flags.get_int("max-staleness", -1));
+  }
+  nc.cfg.async_staleness_damping =
+      static_cast<float>(flags.get_double("staleness-damping", 0.0));
   const std::string codec = flags.get("compress", "none");
   if (codec == "int8") {
     nc.cfg.feedback_compression.kind = dist::CompressionKind::kQuantizeInt8;
@@ -78,6 +136,8 @@ NodeConfig parse_training_flags(const CliFlags& flags) {
                  codec.c_str());
     std::exit(2);
   }
+  const std::string absent = flags.get("absent", "");
+  if (!absent.empty()) nc.availability = parse_absences(absent);
   return nc;
 }
 
@@ -92,7 +152,13 @@ std::vector<data::InMemoryDataset> shards_of(const NodeConfig& nc) {
 void print_summary(const char* role, core::MdGan& md,
                    const dist::Transport& net) {
   const auto params = md.generator().flatten_parameters();
-  std::printf("%s: generator_fnv1a=%016llx\n", role,
+  bool finite = true;
+  for (float v : params) finite = finite && std::isfinite(v);
+  std::printf("%s: mode=%s updates=%lld finite=%s "
+              "generator_fnv1a=%016llx\n",
+              role, core::server_mode_name(md.server_mode()),
+              static_cast<long long>(md.generator_updates()),
+              finite ? "yes" : "NO",
               static_cast<unsigned long long>(fnv1a(params)));
   std::printf("%s: traffic c2w=%llu w2c=%llu w2w=%llu bytes, elapsed=%.3fs\n",
               role,
@@ -108,7 +174,7 @@ void print_summary(const char* role, core::MdGan& md,
 int run_sim(const NodeConfig& nc) {
   dist::SimNetwork net(nc.workers);
   core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), nc.cfg,
-                 shards_of(nc), nc.seed, net);
+                 shards_of(nc), nc.seed, net, nc.schedule());
   md.train(nc.iters);
   print_summary("sim", md, net);
   return 0;
@@ -130,7 +196,7 @@ int run_server(const NodeConfig& nc, std::uint16_t port) {
   core::MdGanConfig cfg = nc.cfg;
   cfg.shard_size = nc.shard;  // the server holds no shard to derive it
   core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg, {},
-                 nc.seed, *net, nullptr, core::NodeRole::server());
+                 nc.seed, *net, nc.schedule(), core::NodeRole::server());
   md.train(nc.iters);
   print_summary("server", md, *net);
   return 0;
@@ -151,7 +217,7 @@ int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
   auto shards = shards_of(nc);
   core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), nc.cfg,
                  {shards[static_cast<std::size_t>(id) - 1]}, nc.seed, *net,
-                 nullptr, core::NodeRole::worker(id));
+                 nc.schedule(), core::NodeRole::worker(id));
   md.train(nc.iters);
   std::printf("worker %d: done, %lld iterations\n", id,
               static_cast<long long>(md.iterations_run()));

@@ -18,13 +18,13 @@ std::size_t k_log_n(std::size_t n_workers) {
 
 MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
              std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-             dist::Transport& net, const dist::CrashSchedule* crashes,
-             NodeRole role)
+             dist::Transport& net,
+             const dist::AvailabilitySchedule* availability, NodeRole role)
     : arch_(arch),
       cfg_(cfg),
       codes_(arch.image.num_classes, arch.latent_dim),
       net_(net),
-      crashes_(crashes),
+      availability_(availability),
       seed_(seed),
       role_(role),
       server_rng_(Rng(seed).split(0x5e1)),
@@ -62,12 +62,6 @@ MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
             "MdGan: the worker role holds exactly its own shard");
       }
       break;
-  }
-  if (crashes_ != nullptr && role_.kind != NodeRole::Kind::kInProcess) {
-    // The swap schedule is replayed SPMD-style across role-split
-    // processes and cannot see injected crashes consistently.
-    throw std::invalid_argument(
-        "MdGan: CrashSchedule is only supported in-process");
   }
   if (cfg_.k == 0 || cfg_.k > n_workers) {
     throw std::invalid_argument("MdGan: need 1 <= k <= N");
@@ -158,18 +152,27 @@ std::int64_t MdGan::swap_period() const {
   return period > 0 ? period : 1;
 }
 
-std::vector<std::size_t> MdGan::live_discs() {
-  // Fail-stop: a discriminator on a crashed worker is gone. Prune it so
-  // its parameters can never re-enter the game.
-  std::vector<std::size_t> alive_discs;
+std::vector<std::size_t> MdGan::participating_discs(
+    const std::vector<int>& present_workers) {
+  std::vector<std::size_t> out;
   for (std::size_t j = 0; j < discs_.size(); ++j) {
-    if (discs_[j].holder > 0 && net_.is_alive(discs_[j].holder)) {
-      alive_discs.push_back(j);
-    } else {
+    const int holder = discs_[j].holder;
+    if (holder <= 0) continue;
+    if (!net_.is_alive(holder)) {
+      // Fail-stop: a discriminator on a crashed worker is gone. Prune
+      // it so its parameters can never re-enter the game.
       discs_[j].holder = -1;
+      continue;
     }
+    // `present_workers` is ascending; a holder missing from it is
+    // scheduled absent — its discriminator lies dormant this round.
+    if (!std::binary_search(present_workers.begin(), present_workers.end(),
+                            holder)) {
+      continue;
+    }
+    out.push_back(j);
   }
-  return alive_discs;
+  return out;
 }
 
 void MdGan::server_generate_and_send(const std::vector<std::size_t>& discs,
@@ -207,6 +210,36 @@ void MdGan::server_generate_and_send(const std::vector<std::size_t>& discs,
     for (int y : latent_labels_[di]) buf.write_pod<std::int32_t>(y);
     net_.send(dist::kServerId, discs_[discs[p]].holder, "gen_batches",
               std::move(buf));
+  }
+}
+
+void MdGan::local_work(const std::vector<std::size_t>& discs) {
+  switch (role_.kind) {
+    case NodeRole::Kind::kInProcess: {
+      std::vector<int> ids(discs.size());
+      for (std::size_t p = 0; p < discs.size(); ++p) {
+        ids[p] = static_cast<int>(p);
+      }
+      dist::for_each_worker(
+          ids,
+          [this, &discs](int p) {
+            worker_iteration(discs[static_cast<std::size_t>(p)]);
+          },
+          cfg_.parallel_workers);
+      break;
+    }
+    case NodeRole::Kind::kServer:
+      break;
+    case NodeRole::Kind::kWorker:
+      // This process embodies one worker: run only the discriminators
+      // it currently hosts (receive_tagged blocks until the server's
+      // batches arrive over the wire).
+      for (std::size_t p = 0; p < discs.size(); ++p) {
+        if (discs_[discs[p]].holder == role_.worker_id) {
+          worker_iteration(discs[p]);
+        }
+      }
+      break;
   }
 }
 
@@ -259,28 +292,27 @@ void MdGan::worker_iteration(std::size_t disc_index) {
   net_.send(disc.holder, dist::kServerId, "feedback", std::move(buf));
 }
 
-void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
+void MdGan::server_fold_sync(std::vector<dist::Message>&& feedbacks,
+                             std::size_t k_eff) {
   const std::size_t b = cfg_.hp.batch;
   const std::size_t d = arch_.image_dim();
 
-  // Collect every feedback first, then fold in ascending sender order:
-  // SimNetwork already pops that way, but TCP frames arrive in racy
-  // wall-clock order, and the float accumulation order must not depend
-  // on which transport carried them.
+  // The engine collected every feedback of the round; fold in ascending
+  // sender order: SimNetwork already pops that way, but TCP frames
+  // arrive in racy wall-clock order, and the float accumulation order
+  // must not depend on which transport carried them.
   struct Feedback {
     int from;
     std::uint32_t batch;
     Tensor grad;
   };
   std::vector<Feedback> received;
-  received.reserve(n_feedbacks);
-  for (std::size_t i = 0; i < n_feedbacks; ++i) {
-    auto msg = net_.receive_tagged(dist::kServerId, "feedback");
-    if (!msg) throw std::logic_error("MdGan server: missing feedback");
-    const auto j = msg->payload.read_pod<std::uint32_t>();
+  received.reserve(feedbacks.size());
+  for (auto& msg : feedbacks) {
+    const auto j = msg.payload.read_pod<std::uint32_t>();
     if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
     received.push_back(
-        {msg->from, j, Tensor({b, d}, dist::decompress(msg->payload))});
+        {msg.from, j, Tensor({b, d}, dist::decompress(msg.payload))});
   }
   std::sort(received.begin(), received.end(),
             [](const Feedback& a, const Feedback& b2) {
@@ -303,7 +335,7 @@ void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
   // ∆w = (1/N) Σ_n backprop(F_n) — equivalently, per batch j, backprop
   // the summed feedback scaled by 1/N (paper §IV-B2; the 1/b factor is
   // already inside each F_n).
-  const float inv_n = 1.f / static_cast<float>(n_feedbacks);
+  const float inv_n = 1.f / static_cast<float>(received.size());
   g_opt_->zero_grad();
   for (std::size_t j = 0; j < k_eff; ++j) {
     if (counts[j] == 0) continue;  // batch unused by the SPLIT this round
@@ -317,57 +349,61 @@ void MdGan::server_update_sync(std::size_t n_feedbacks, std::size_t k_eff) {
   g_opt_->step();
   ++gen_updates_;
   // Server apply: the server's clock is already at the arrival of the
-  // slowest feedback (receive_tagged advanced it); the update's modeled
-  // compute lands on top of that.
+  // slowest feedback (the engine's receive loop advanced it); the
+  // update's modeled compute lands on top of that.
   if (cfg_.sim_server_update_seconds > 0.0) {
     net_.advance_time(dist::kServerId, cfg_.sim_server_update_seconds);
   }
 }
 
-void MdGan::server_update_async(const std::vector<std::size_t>& discs,
-                                std::size_t k_eff) {
+void MdGan::server_apply_async(dist::Message&& feedback,
+                               std::size_t staleness, std::size_t k_eff) {
   const std::size_t b = cfg_.hp.batch;
   const std::size_t d = arch_.image_dim();
-  // One Adam update per feedback, in arrival order. The re-forward uses
+  // One Adam update for this feedback, on arrival. The re-forward uses
   // the *current* generator parameters, which already moved since the
   // batch was generated — the inconsistent-update regime of §VII-1.
-  for (std::size_t i = 0; i < discs.size(); ++i) {
-    auto msg = net_.receive_tagged(dist::kServerId, "feedback");
-    if (!msg) throw std::logic_error("MdGan server: missing feedback");
-    const auto j = msg->payload.read_pod<std::uint32_t>();
-    if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
-    Tensor fb({b, d}, dist::decompress(msg->payload));
-    g_opt_->zero_grad();
-    g_.forward(latent_batches_[j], /*train=*/true);
-    g_.backward(fb);
-    g_opt_->step();
-    ++gen_updates_;
-    // One modeled update cost per applied feedback: in the async regime
-    // the server is busy for every arrival, not once per round.
-    if (cfg_.sim_server_update_seconds > 0.0) {
-      net_.advance_time(dist::kServerId, cfg_.sim_server_update_seconds);
-    }
+  const auto j = feedback.payload.read_pod<std::uint32_t>();
+  if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
+  Tensor fb({b, d}, dist::decompress(feedback.payload));
+  g_opt_->zero_grad();
+  g_.forward(latent_batches_[j], /*train=*/true);
+  g_.backward(fb);
+  // Staleness-aware step: damping shrinks the learning rate of updates
+  // computed against an old generator. Damping 0 is a plain step.
+  const float scale =
+      cfg_.async_staleness_damping > 0.f
+          ? 1.f / (1.f + cfg_.async_staleness_damping *
+                             static_cast<float>(staleness))
+          : 1.f;
+  g_opt_->step_scaled(scale);
+  ++gen_updates_;
+  // One modeled update cost per applied feedback: in the async regime
+  // the server is busy for every arrival, not once per round.
+  if (cfg_.sim_server_update_seconds > 0.0) {
+    net_.advance_time(dist::kServerId, cfg_.sim_server_update_seconds);
   }
 }
 
-void MdGan::swap_discriminators() {
-  auto alive_discs = live_discs();
-  const auto alive_workers = net_.alive_workers();
-  if (alive_discs.empty() || alive_workers.size() < 2) return;
+void MdGan::swap_discriminators(const std::vector<int>& present_workers) {
+  auto alive_discs = participating_discs(present_workers);
+  if (alive_discs.empty() || present_workers.size() < 2) return;
 
-  // New holders: a uniform injection of discriminators into alive
+  // New holders: a uniform injection of discriminators into present
   // workers with no discriminator staying put (gossip SWAP of §IV-C1;
   // with n_discs == N this is exactly a derangement, and with
   // n_discs < N it relocates the discriminators to a fresh subset so
-  // the whole dataset is visited over time — §VII-4).
+  // the whole dataset is visited over time — §VII-4). Absent workers
+  // are skipped deterministically: `present_workers` comes from the
+  // engine's membership view, which every role replays identically.
   const std::size_t nd = alive_discs.size();
   std::vector<int> targets;
   for (int attempt = 0; attempt < 64; ++attempt) {
-    auto perm = swap_rng_.permutation(alive_workers.size());
+    auto perm = swap_rng_.permutation(present_workers.size());
     targets.clear();
     bool ok = true;
     for (std::size_t p = 0; p < nd; ++p) {
-      const int target = alive_workers[perm[p]];
+      const int target = present_workers[perm[p]];
       if (target == discs_[alive_discs[p]].holder) {
         ok = false;
         break;
@@ -377,7 +413,7 @@ void MdGan::swap_discriminators() {
     if (ok) break;
     targets.clear();
   }
-  if (targets.empty()) return;  // e.g. one worker alive hosting the disc
+  if (targets.empty()) return;  // e.g. one worker present hosting the disc
 
   // Ship parameters old holder -> new holder (W->W traffic), then
   // adopt. The wire carries θ only — the paper's swap cost — so the
@@ -444,78 +480,76 @@ void MdGan::swap_discriminators() {
   }
 }
 
-void MdGan::train(std::int64_t iters, std::int64_t eval_every,
-                  const gan::EvalHook& hook) {
-  const std::int64_t period = swap_period();
-  for (std::int64_t i = 1; i <= iters; ++i) {
-    // Simulated round time = critical-path delta across the iteration
-    // (max over workers' paths into the server, + server apply + swap).
-    const double round_start_s = net_.max_sim_time();
-    net_.begin_iteration(i);
-    if (crashes_) {
-      for (int w : crashes_->crashes_at(i)) {
-        if (net_.is_alive(w)) {
-          net_.crash(w);
-          MDGAN_LOG_INFO << "iteration " << i << ": worker " << w
-                         << " crashed (fail-stop), "
-                         << net_.alive_worker_count() << " left";
-        }
-      }
-    }
-    const auto participants = live_discs();
-    if (participants.empty()) {
-      MDGAN_LOG_WARN << "iteration " << i
-                     << ": no live discriminators; stopping training";
-      break;
-    }
-    const std::size_t k_eff = std::min(cfg_.k, participants.size());
+// Binds the engine's phase callbacks to the trainer plus the train()
+// call's eval context.
+struct MdGan::EngineBridge final : RoundDelegate {
+  MdGan& md;
+  std::int64_t total_iters;
+  std::int64_t eval_every;
+  const gan::EvalHook& hook;
 
-    if (runs_server()) server_generate_and_send(participants, k_eff);
-    if (role_.kind == NodeRole::Kind::kInProcess) {
-      dist::for_each_worker(
-          [&] {
-            std::vector<int> ids(participants.size());
-            for (std::size_t p = 0; p < participants.size(); ++p) {
-              ids[p] = static_cast<int>(p);
-            }
-            return ids;
-          }(),
-          [this, &participants](int p) {
-            worker_iteration(participants[static_cast<std::size_t>(p)]);
-          },
-          cfg_.parallel_workers);
-    } else if (role_.kind == NodeRole::Kind::kWorker) {
-      // This process embodies one worker: run only the discriminators
-      // it currently hosts (receive_tagged blocks until the server's
-      // batches arrive over the wire).
-      for (std::size_t p = 0; p < participants.size(); ++p) {
-        if (discs_[participants[p]].holder == role_.worker_id) {
-          worker_iteration(participants[p]);
-        }
-      }
-    }
-    if (runs_server()) {
-      if (cfg_.async) {
-        server_update_async(participants, k_eff);
-      } else {
-        server_update_sync(participants.size(), k_eff);
-      }
-    }
+  EngineBridge(MdGan& m, std::int64_t iters, std::int64_t every,
+               const gan::EvalHook& h)
+      : md(m), total_iters(iters), eval_every(every), hook(h) {}
 
-    if (cfg_.swap_enabled && i % period == 0) {
-      swap_discriminators();
-    }
-    // Clamped at 0: a crash can remove the node that held the max clock
-    // from the alive set, which must not read as negative elapsed time.
-    round_sim_s_.push_back(std::max(0.0, net_.max_sim_time() - round_start_s));
-    iters_run_ = i;
-    // The hook observes the server generator; worker roles hold only
-    // the stale initial copy, so they never fire it.
-    if (runs_server() && hook && eval_every > 0 &&
-        (i % eval_every == 0 || i == iters)) {
-      hook(i, g_);
+  void on_leave(int worker, bool permanent, std::int64_t /*iter*/) override {
+    if (!permanent) return;  // dormant discs stay with their host
+    for (auto& d : md.discs_) {
+      if (d.holder == worker) d.holder = -1;  // died with its host
     }
   }
+  void on_join(int /*worker*/, std::int64_t /*iter*/) override {
+    // Nothing to restore: a rejoining worker kept its shard, RNG stream
+    // and any dormant discriminator; participants() picks them back up.
+  }
+  std::vector<std::size_t> participants(
+      const std::vector<int>& present_workers) override {
+    return md.participating_discs(present_workers);
+  }
+  void broadcast(const std::vector<std::size_t>& discs,
+                 std::size_t k_eff) override {
+    md.server_generate_and_send(discs, k_eff);
+  }
+  void local_work(const std::vector<std::size_t>& discs) override {
+    md.local_work(discs);
+  }
+  void fold_sync(std::vector<dist::Message>&& feedbacks,
+                 std::size_t k_eff) override {
+    md.server_fold_sync(std::move(feedbacks), k_eff);
+  }
+  void apply_async(dist::Message&& feedback, std::size_t staleness,
+                   std::size_t k_eff) override {
+    md.server_apply_async(std::move(feedback), staleness, k_eff);
+  }
+  void swap(std::int64_t /*iter*/,
+            const std::vector<int>& present_workers) override {
+    md.swap_discriminators(present_workers);
+  }
+  void end_round(std::int64_t iter, double round_seconds) override {
+    md.round_sim_s_.push_back(round_seconds);
+    md.iters_run_ = iter;
+    // The hook observes the server generator; worker roles hold only
+    // the stale initial copy, so they never fire it.
+    if (md.runs_server() && hook && eval_every > 0 &&
+        (iter % eval_every == 0 || iter == total_iters)) {
+      hook(iter, md.g_);
+    }
+  }
+};
+
+void MdGan::train(std::int64_t iters, std::int64_t eval_every,
+                  const gan::EvalHook& hook) {
+  RoundEngineConfig ec;
+  ec.role = role_;
+  ec.mode = server_mode();
+  ec.k = cfg_.k;
+  ec.swap_enabled = cfg_.swap_enabled;
+  ec.swap_period = swap_period();
+  ec.max_staleness = cfg_.async_max_staleness;
+  EngineBridge bridge(*this, iters, eval_every, hook);
+  RoundEngine engine(net_, ec, bridge, availability_);
+  engine.run(/*first_iter=*/1, iters);
+  stale_dropped_ += engine.stale_dropped();
 }
 
 }  // namespace mdgan::core

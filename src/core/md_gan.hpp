@@ -13,12 +13,27 @@
 // random derangement (§IV-C1); disabling that exchange is the no-swap
 // ablation of Figure 4.
 //
-// Beyond the paper's evaluated configuration, the implementation covers
-// three §VII "perspectives" as config switches:
-//  * async (§VII-1): the server applies one Adam update per received
-//    feedback instead of waiting for all of them; feedbacks late in the
-//    round are stale with respect to the already-updated generator —
-//    the inconsistency regime the paper describes.
+// The round mechanics — membership, sequencing, the server-side receive
+// loop, swap scheduling, timing — live in core::RoundEngine
+// (round_engine.hpp); MdGan implements the engine's RoundDelegate with
+// the GAN math and drives it from train(). The engine's ServerMode
+// policy selects between the paper's evaluated configuration and the
+// §VII-1 variant:
+//  * ServerMode::kSync (cfg.async = false): the server collects every
+//    feedback of the round at the barrier and folds them in ascending
+//    sender order into one Adam step — bit-identical to the historical
+//    monolithic trainer on either transport.
+//  * ServerMode::kAsync (cfg.async = true): one Adam step per feedback,
+//    on arrival, no barrier; feedbacks late in the round are stale with
+//    respect to the already-updated generator — the inconsistency
+//    regime the paper describes. A bounded-staleness guard
+//    (cfg.async_max_staleness) drops feedbacks that arrive too many
+//    applied steps after their batch was generated, and
+//    cfg.async_staleness_damping scales the Adam learning rate by
+//    1/(1 + damping * staleness) through the optimizer's
+//    staleness-aware step entry point (opt::Adam::step_scaled).
+//
+// Two further §VII "perspectives" remain config switches:
 //  * feedback_compression (§VII-2, the Adacomp direction): int8
 //    quantization or top-k sparsification of F_n at the serialization
 //    boundary (traffic numbers stay measured, now smaller).
@@ -26,9 +41,13 @@
 //    the swap relocates them to a fresh random subset of workers each
 //    period, so the whole distributed dataset is leveraged over time.
 //
-// Fail-stop crashes (Figure 5) are injected through a CrashSchedule: a
-// crashed worker stops participating, its shard is lost, and any
-// discriminator it hosted dies with it.
+// Worker availability: a dist::AvailabilitySchedule injects membership
+// changes at iteration boundaries. A leave with no later rejoin is a
+// fail-stop crash (Figure 5): the worker's shard is lost and any
+// discriminator it hosted dies with it. A temporary leave (elastic
+// workers, Qu et al. 2020) parks the hosted discriminator dormant on
+// the absent worker — it skips rounds, is skipped by swaps, and
+// resumes where it left off on rejoin.
 //
 // Transport and roles: MdGan speaks to the cluster only through
 // dist::Transport. The default NodeRole (kInProcess) drives every node
@@ -37,17 +56,18 @@
 // node of the SAME protocol against a per-process endpoint (a
 // dist::TcpNetwork), so a real deployment is N+1 processes each holding
 // an MdGan in its role. Cross-role coordination that the wire does not
-// carry (who hosts which discriminator after a swap) is derived SPMD
-// style: every role replays the identical seeded swap_rng stream, so no
+// carry (who hosts which discriminator after a swap, who is present
+// this round) is derived SPMD style: every role replays the identical
+// seeded swap_rng stream AND the identical availability schedule, so no
 // control traffic is needed and the wire carries exactly the bytes the
 // in-process run accounts. A consequence the loopback equivalence test
 // pins: a TCP run (server + workers as real endpoints) produces
 // bit-identical generator weights and identical per-link traffic totals
-// to the in-process SimNetwork run with the same seeds. Role-split runs
-// assume fail-stop-free execution (a CrashSchedule is rejected): a real
-// crash surfaces as a dropped connection through
-// Transport::alive_workers, but the swap-schedule replay cannot see it,
-// so distributed runs are for healthy clusters.
+// to the in-process SimNetwork run with the same seeds and schedule —
+// scheduled absences included, because the swap replay skips absent
+// workers deterministically on every node. An *unscheduled* crash (a
+// dropped connection) remains visible only to the server endpoint, so
+// role-split runs should prefer scheduled availability.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +75,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/round_engine.hpp"
 #include "data/dataset.hpp"
 #include "dist/compression.hpp"
 #include "dist/fault.hpp"
@@ -62,21 +83,6 @@
 #include "gan/trainer.hpp"
 
 namespace mdgan::core {
-
-// Which node(s) of the protocol this MdGan instance embodies.
-struct NodeRole {
-  enum class Kind {
-    kInProcess,  // every node, in one process (simulation; the default)
-    kServer,     // node 0 only: generate, send, fold feedbacks, update G
-    kWorker,     // one worker: receive batches, train D, ship feedback
-  };
-  Kind kind = Kind::kInProcess;
-  int worker_id = 0;  // 1-based; meaningful for kWorker only
-
-  static NodeRole in_process() { return {}; }
-  static NodeRole server() { return {Kind::kServer, 0}; }
-  static NodeRole worker(int id) { return {Kind::kWorker, id}; }
-};
 
 struct MdGanConfig {
   gan::GanHyperParams hp;
@@ -87,8 +93,16 @@ struct MdGanConfig {
   // 0 = one discriminator per worker (the paper's evaluated setup);
   // any value in [1, N] enables the §VII-4 sparse-discriminator mode.
   std::size_t n_discriminators = 0;
-  // §VII-1 asynchronous server: one Adam update per feedback.
+  // §VII-1 asynchronous server (ServerMode::kAsync): one Adam update
+  // per feedback, on arrival.
   bool async = false;
+  // Async bounded-staleness guard: drop a feedback whose batch is older
+  // than this many applied steps. SIZE_MAX (default) applies them all.
+  std::size_t async_max_staleness = static_cast<std::size_t>(-1);
+  // Async staleness damping: scale the Adam learning rate of a stale
+  // step by 1/(1 + damping * staleness). 0 (default) disables damping,
+  // which keeps the async trajectory identical to the pre-engine one.
+  float async_staleness_damping = 0.f;
   // §VII-2 feedback compression on the W->C link.
   dist::CompressionConfig feedback_compression;
   // Simulated compute costs (seconds), layered on the Network's link
@@ -113,17 +127,20 @@ class MdGan {
   // kInProcess: shards[n] is worker n+1's local dataset and must match
   // net.n_workers(). kServer: shards must be empty (the server holds no
   // data; set cfg.shard_size). kWorker: shards holds exactly the one
-  // local shard. `crashes` (optional, kInProcess only) injects
-  // fail-stop faults at iteration boundaries.
+  // local shard. `availability` (optional) injects membership changes
+  // at iteration boundaries — a plain CrashSchedule is the fail-stop
+  // special case. The schedule is SPMD shared knowledge: role-split
+  // runs must hand every process the identical schedule.
   MdGan(gan::GanArch arch, MdGanConfig cfg,
         std::vector<data::InMemoryDataset> shards, std::uint64_t seed,
-        dist::Transport& net, const dist::CrashSchedule* crashes = nullptr,
+        dist::Transport& net,
+        const dist::AvailabilitySchedule* availability = nullptr,
         NodeRole role = NodeRole::in_process());
 
   // Runs `iters` global iterations (= generator updates in sync mode;
   // in async mode one iteration still processes every participant but
   // applies one generator update per feedback). Stops early if every
-  // worker has crashed. Hook receives the server generator.
+  // worker is gone for good. Hook receives the server generator.
   void train(std::int64_t iters, std::int64_t eval_every = 0,
              const gan::EvalHook& hook = nullptr);
 
@@ -131,7 +148,9 @@ class MdGan {
   // Discriminator hosted by this worker (throws if the worker currently
   // hosts none — possible in sparse-discriminator mode).
   nn::Sequential& discriminator_of(std::size_t worker_1based);
-  // Worker currently hosting discriminator `disc_index` (0-based).
+  // Worker currently hosting discriminator `disc_index` (0-based). -1
+  // once the discriminator died with a permanently-departed host; a
+  // temporarily absent host keeps it (dormant).
   int holder_of(std::size_t disc_index) const;
   std::size_t discriminator_count() const { return discs_.size(); }
 
@@ -139,12 +158,18 @@ class MdGan {
   const gan::ClassCodes& codes() const { return codes_; }
   const dist::Transport& network() const { return net_; }
   const NodeRole& role() const { return role_; }
+  ServerMode server_mode() const {
+    return cfg_.async ? ServerMode::kAsync : ServerMode::kSync;
+  }
   // Global iterations between two swaps: E * m / b.
   std::int64_t swap_period() const;
   std::int64_t iterations_run() const { return iters_run_; }
   // Total generator updates applied (== iterations in sync mode,
   // ~participants-per-iteration times more in async mode).
   std::int64_t generator_updates() const { return gen_updates_; }
+  // Async feedbacks dropped by the bounded-staleness guard, over all
+  // train() calls.
+  std::int64_t stale_feedbacks_dropped() const { return stale_dropped_; }
 
   // --- simulated time --------------------------------------------------
   // Simulated elapsed seconds of each completed round: the critical
@@ -170,34 +195,44 @@ class MdGan {
     data::InMemoryDataset shard;
     Rng rng;
   };
+  // RoundDelegate implementation binding the engine to this trainer,
+  // plus the train() call's eval context.
+  struct EngineBridge;
 
-  bool runs_server() const {
-    return role_.kind != NodeRole::Kind::kWorker;
-  }
+  bool runs_server() const { return role_.runs_server(); }
 
-  // Discriminators whose holders are still alive; prunes the others
-  // (fail-stop: a disc dies with its host).
-  std::vector<std::size_t> live_discs();
+  // Discriminators participating this round: hosted by a present
+  // worker. A discriminator whose host the transport lost is pruned
+  // (fail-stop: it dies with its host); one whose host is merely
+  // scheduled absent stays dormant and is skipped.
+  std::vector<std::size_t> participating_discs(
+      const std::vector<int>& present_workers);
 
   void server_generate_and_send(const std::vector<std::size_t>& discs,
                                 std::size_t k_eff);
+  // Worker-side phase of one round for the participants this process
+  // embodies (in-process: all of them, fanned out over the cluster
+  // pool; kWorker: the ones this worker hosts; kServer: none).
+  void local_work(const std::vector<std::size_t>& discs);
   void worker_iteration(std::size_t disc_index);
   // Sync server reduce: averages all feedbacks per batch, one Adam
   // step. Feedbacks are folded in sender order regardless of arrival
   // order, so the float accumulation is identical whether the transport
   // delivered them deterministically (SimNetwork) or raced over real
   // sockets (TcpNetwork).
-  void server_update_sync(std::size_t n_feedbacks, std::size_t k_eff);
-  // Async server: one Adam step per feedback, in arrival order.
-  void server_update_async(const std::vector<std::size_t>& discs,
-                           std::size_t k_eff);
-  void swap_discriminators();
+  void server_fold_sync(std::vector<dist::Message>&& feedbacks,
+                        std::size_t k_eff);
+  // Async server: one Adam step for this feedback, scaled by the
+  // staleness damping.
+  void server_apply_async(dist::Message&& feedback, std::size_t staleness,
+                          std::size_t k_eff);
+  void swap_discriminators(const std::vector<int>& present_workers);
 
   gan::GanArch arch_;
   MdGanConfig cfg_;
   gan::ClassCodes codes_;
   dist::Transport& net_;
-  const dist::CrashSchedule* crashes_;
+  const dist::AvailabilitySchedule* availability_;
   std::uint64_t seed_;
   NodeRole role_;
   std::size_t shard_size_ = 0;  // m, fixes the swap period
@@ -216,6 +251,7 @@ class MdGan {
   std::vector<Disc> discs_;
   std::int64_t iters_run_ = 0;
   std::int64_t gen_updates_ = 0;
+  std::int64_t stale_dropped_ = 0;
   std::vector<double> round_sim_s_;  // per completed round, seconds
 };
 

@@ -1,0 +1,193 @@
+#include "core/round_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace mdgan::core {
+
+ServerMode server_mode_from_name(const std::string& name) {
+  if (name == "sync") return ServerMode::kSync;
+  if (name == "async") return ServerMode::kAsync;
+  throw std::invalid_argument("server mode must be sync or async, got '" +
+                              name + "'");
+}
+
+const char* server_mode_name(ServerMode mode) {
+  return mode == ServerMode::kSync ? "sync" : "async";
+}
+
+RoundEngine::RoundEngine(dist::Transport& net, RoundEngineConfig cfg,
+                         RoundDelegate& delegate,
+                         const dist::AvailabilitySchedule* availability)
+    : net_(net),
+      cfg_(std::move(cfg)),
+      delegate_(delegate),
+      availability_(availability) {
+  if (cfg_.k == 0) {
+    throw std::invalid_argument("RoundEngine: k must be >= 1");
+  }
+  if (cfg_.swap_period < 1) {
+    throw std::invalid_argument("RoundEngine: swap period must be >= 1");
+  }
+  // Initial membership: whatever the transport reports (workers dead
+  // before the run started stay out); the schedule's first transitions
+  // land at iteration >= 1 and are processed by the first round.
+  present_.assign(net_.n_workers() + 1, true);
+  for (std::size_t w = 1; w <= net_.n_workers(); ++w) {
+    present_[w] = net_.is_alive(static_cast<int>(w));
+  }
+}
+
+bool RoundEngine::is_present(int worker) const {
+  if (worker < 0 || worker >= static_cast<int>(present_.size())) {
+    throw std::out_of_range("RoundEngine: worker id out of range");
+  }
+  return present_[static_cast<std::size_t>(worker)];
+}
+
+std::vector<int> RoundEngine::present_workers() const {
+  std::vector<int> out;
+  out.reserve(net_.n_workers());
+  for (std::size_t w = 1; w < present_.size(); ++w) {
+    if (present_[w]) out.push_back(static_cast<int>(w));
+  }
+  return out;
+}
+
+std::size_t RoundEngine::present_count() const {
+  return static_cast<std::size_t>(
+      std::count(present_.begin() + 1, present_.end(), true));
+}
+
+bool RoundEngine::process_membership(std::int64_t iter) {
+  for (int w = 1; w <= static_cast<int>(net_.n_workers()); ++w) {
+    const bool alive = net_.is_alive(w);
+    const bool scheduled =
+        availability_ == nullptr || availability_->present(w, iter);
+    const bool now = alive && scheduled;
+    const auto wi = static_cast<std::size_t>(w);
+    if (now == present_[wi]) continue;
+    present_[wi] = now;
+    if (now) {
+      MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
+                     << " rejoined, " << present_count() << " present";
+      delegate_.on_join(w, iter);
+      continue;
+    }
+    // A leave is permanent when the transport lost the worker (a real
+    // fail-stop) or the schedule never brings it back.
+    bool permanent = !alive;
+    if (!permanent) permanent = !availability_->returns_after(w, iter);
+    if (permanent && alive && cfg_.role.kind == NodeRole::Kind::kInProcess) {
+      // Scheduled fail-stop, in-process: the transport itself crashes
+      // the worker — the old CrashSchedule path, reproduced exactly.
+      net_.crash(w);
+      MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
+                     << " crashed (fail-stop), "
+                     << net_.alive_worker_count() << " left";
+    } else {
+      MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
+                     << (permanent ? " left permanently, "
+                                   : " left temporarily, ")
+                     << present_count() << " present";
+    }
+    delegate_.on_leave(w, permanent, iter);
+  }
+  if (cfg_.role.kind == NodeRole::Kind::kWorker) {
+    const auto me = static_cast<std::size_t>(cfg_.role.worker_id);
+    if (!present_[me] &&
+        (availability_ == nullptr ||
+         !availability_->returns_after(cfg_.role.worker_id, iter))) {
+      return false;  // this worker's run is over
+    }
+  }
+  return true;
+}
+
+bool RoundEngine::anyone_returns_after(std::int64_t iter) const {
+  if (availability_ == nullptr) return false;
+  for (int w = 1; w <= static_cast<int>(net_.n_workers()); ++w) {
+    if (present_[static_cast<std::size_t>(w)]) continue;
+    if (!net_.is_alive(w)) continue;  // transport-dead: gone for good
+    if (availability_->returns_after(w, iter)) return true;
+  }
+  return false;
+}
+
+void RoundEngine::collect_sync(std::size_t n_expected, std::size_t k_eff) {
+  std::vector<dist::Message> batch;
+  batch.reserve(n_expected);
+  for (std::size_t i = 0; i < n_expected; ++i) {
+    auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag);
+    if (!msg) throw std::logic_error("RoundEngine: missing feedback");
+    batch.push_back(std::move(*msg));
+  }
+  delegate_.fold_sync(std::move(batch), k_eff);
+}
+
+void RoundEngine::collect_async(std::size_t n_expected, std::size_t k_eff) {
+  // One optimizer step per arrival, no barrier. `applied` doubles as
+  // the staleness of the next message: every applied step moved the
+  // generator away from the parameters that produced this round's
+  // batches.
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < n_expected; ++i) {
+    auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag);
+    if (!msg) throw std::logic_error("RoundEngine: missing feedback");
+    if (applied > cfg_.max_staleness) {
+      ++stale_dropped_;  // bounded staleness: too old to apply safely
+      continue;
+    }
+    delegate_.apply_async(std::move(*msg), applied, k_eff);
+    ++applied;
+  }
+}
+
+std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
+  std::int64_t last_completed = first_iter - 1;
+  for (std::int64_t i = first_iter; i < first_iter + rounds; ++i) {
+    // Simulated round time = critical-path delta across the round (max
+    // over workers' paths into the server, + server apply + swap).
+    const double round_start_s = net_.max_sim_time();
+    net_.begin_iteration(i);
+    if (!process_membership(i)) break;
+    const auto discs = delegate_.participants(present_workers());
+    if (discs.empty()) {
+      if (!anyone_returns_after(i)) {
+        MDGAN_LOG_WARN << "iteration " << i
+                       << ": no live discriminators; stopping training";
+        break;
+      }
+      // Idle round: nobody is here, but somebody is scheduled back.
+      delegate_.end_round(
+          i, std::max(0.0, net_.max_sim_time() - round_start_s));
+      last_completed = i;
+      continue;
+    }
+    const std::size_t k_eff = std::min(cfg_.k, discs.size());
+
+    if (cfg_.role.runs_server()) delegate_.broadcast(discs, k_eff);
+    delegate_.local_work(discs);
+    if (cfg_.role.runs_server()) {
+      if (cfg_.mode == ServerMode::kSync) {
+        collect_sync(discs.size(), k_eff);
+      } else {
+        collect_async(discs.size(), k_eff);
+      }
+    }
+
+    if (cfg_.swap_enabled && i % cfg_.swap_period == 0) {
+      delegate_.swap(i, present_workers());
+    }
+    // Clamped at 0: a crash can remove the node that held the max clock
+    // from the alive set, which must not read as negative elapsed time.
+    delegate_.end_round(i,
+                        std::max(0.0, net_.max_sim_time() - round_start_s));
+    last_completed = i;
+  }
+  return last_completed;
+}
+
+}  // namespace mdgan::core

@@ -1,0 +1,190 @@
+// Event-driven round engine: the availability-aware state machine that
+// used to live inline in the MdGan::train monolith. The engine owns the
+// *mechanics* of a distributed round — membership, sequencing, the
+// server-side receive loop, swap scheduling, round timing — while the
+// GAN protocol itself (what a broadcast, a feedback fold, an async step
+// or a swap actually computes) stays behind the RoundDelegate interface
+// the trainer implements.
+//
+// One round moves through a fixed phase sequence:
+//
+//   kMembership  Transport::begin_iteration, then membership events:
+//                scheduled leave/rejoin transitions from the
+//                AvailabilitySchedule (a leave with no later rejoin is
+//                fail-stop and, in-process, calls Transport::crash so a
+//                pure-crash schedule reproduces the old CrashSchedule
+//                path bit-for-bit) and transport-level goodbyes (a
+//                dropped TCP connection). Each transition is handed to
+//                the delegate (on_join / on_leave).
+//   kBroadcast   server roles hand the round's participants to the
+//                delegate, which generates and sends the batches.
+//   kLocal       worker-side work: every participating discriminator
+//                trains and ships its feedback (in-process: fanned out
+//                over the cluster pool; a worker role runs only the
+//                discriminators it hosts).
+//   kCollect     the server-side receive loop. It consumes the round's
+//                (sender, seq)-ordered feedback messages and dispatches
+//                by ServerMode policy:
+//                  kSync   collect every expected feedback, then hand
+//                          the whole batch to fold_sync — the delegate
+//                          folds by sender at the barrier, reproducing
+//                          the synchronous trainer bit-identically;
+//                  kAsync  hand each message to apply_async on arrival
+//                          (one optimizer step per feedback, no
+//                          barrier), guarded by bounded staleness: a
+//                          feedback whose batch is older than
+//                          max_staleness applied steps is dropped, not
+//                          applied.
+//   kSwap        when the swap period divides the round index, the
+//                delegate replays the swap schedule over the *present*
+//                workers only — absent workers are skipped
+//                deterministically, because the availability schedule
+//                is SPMD shared knowledge (every role replays the same
+//                one).
+//   kEndRound    timing is recorded and the delegate observes the
+//                completed round (eval hooks, counters).
+//
+// The engine stops early when nobody is present and nobody is
+// scheduled to return, or — on a worker role — when this worker itself
+// departs permanently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/fault.hpp"
+#include "dist/transport.hpp"
+
+namespace mdgan::core {
+
+// Which node(s) of the protocol an engine (and its trainer) embodies.
+struct NodeRole {
+  enum class Kind {
+    kInProcess,  // every node, in one process (simulation; the default)
+    kServer,     // node 0 only: generate, send, fold feedbacks, update G
+    kWorker,     // one worker: receive batches, train D, ship feedback
+  };
+  Kind kind = Kind::kInProcess;
+  int worker_id = 0;  // 1-based; meaningful for kWorker only
+
+  static NodeRole in_process() { return {}; }
+  static NodeRole server() { return {Kind::kServer, 0}; }
+  static NodeRole worker(int id) { return {Kind::kWorker, id}; }
+
+  bool runs_server() const { return kind != Kind::kWorker; }
+};
+
+// Server policy for the collect phase (§VII-1 of the paper).
+enum class ServerMode {
+  kSync,   // barrier: fold every feedback of the round into one step
+  kAsync,  // one optimizer step per feedback, on arrival
+};
+
+// "sync" / "async" (CLI surface); throws std::invalid_argument else.
+ServerMode server_mode_from_name(const std::string& name);
+const char* server_mode_name(ServerMode mode);
+
+// The protocol the engine drives. All methods are called from the
+// engine's run loop, in phase order; `iter` is the 1-based global
+// iteration (round) number.
+class RoundDelegate {
+ public:
+  virtual ~RoundDelegate() = default;
+
+  // Membership transitions, fired before the round's participants are
+  // computed. `permanent` means the worker never returns (fail-stop or
+  // a scheduled leave with no rejoin): its hosted state is lost.
+  virtual void on_leave(int worker, bool permanent, std::int64_t iter) = 0;
+  virtual void on_join(int worker, std::int64_t iter) = 0;
+
+  // The round's participants: indices of the discriminators hosted by
+  // the given present workers, in a deterministic order.
+  virtual std::vector<std::size_t> participants(
+      const std::vector<int>& present_workers) = 0;
+
+  // kBroadcast (server roles only): generate and send this round's
+  // batches to the participants.
+  virtual void broadcast(const std::vector<std::size_t>& discs,
+                         std::size_t k_eff) = 0;
+  // kLocal: run the worker-side iteration for every participant this
+  // process embodies.
+  virtual void local_work(const std::vector<std::size_t>& discs) = 0;
+
+  // kCollect, ServerMode::kSync: every feedback of the round, in the
+  // (sender, seq) order the receive loop popped them.
+  virtual void fold_sync(std::vector<dist::Message>&& feedbacks,
+                         std::size_t k_eff) = 0;
+  // kCollect, ServerMode::kAsync: one message on arrival. `staleness`
+  // is the number of optimizer steps applied since the message's batch
+  // was generated (0 for the first feedback of a round).
+  virtual void apply_async(dist::Message&& feedback, std::size_t staleness,
+                           std::size_t k_eff) = 0;
+
+  // kSwap: replay the swap schedule over the present workers.
+  virtual void swap(std::int64_t iter,
+                    const std::vector<int>& present_workers) = 0;
+
+  // kEndRound: the round completed; `round_seconds` is its simulated
+  // (or measured) critical-path duration.
+  virtual void end_round(std::int64_t iter, double round_seconds) = 0;
+};
+
+struct RoundEngineConfig {
+  NodeRole role{};
+  ServerMode mode = ServerMode::kSync;
+  // Effective k is min(k, participants) each round.
+  std::size_t k = 1;
+  bool swap_enabled = true;
+  std::int64_t swap_period = 1;
+  // Async bounded-staleness guard: drop (do not apply) a feedback whose
+  // staleness exceeds this many applied steps. SIZE_MAX disables the
+  // guard — every feedback is applied, the pre-engine §VII-1 behavior.
+  std::size_t max_staleness = static_cast<std::size_t>(-1);
+  // Tag of the worker->server feedback messages the collect loop pops.
+  std::string feedback_tag = "feedback";
+};
+
+class RoundEngine {
+ public:
+  // `availability` may be null (everyone present until the transport
+  // says otherwise). The schedule must outlive the engine.
+  RoundEngine(dist::Transport& net, RoundEngineConfig cfg,
+              RoundDelegate& delegate,
+              const dist::AvailabilitySchedule* availability = nullptr);
+
+  // Drives rounds first_iter .. first_iter + rounds - 1. Returns the
+  // index of the last *completed* round (first_iter - 1 if it stopped
+  // immediately).
+  std::int64_t run(std::int64_t first_iter, std::int64_t rounds);
+
+  // Membership view after the last processed round.
+  bool is_present(int worker) const;
+  std::vector<int> present_workers() const;
+  std::size_t present_count() const;
+
+  // Async feedbacks dropped by the bounded-staleness guard.
+  std::int64_t stale_dropped() const { return stale_dropped_; }
+
+ private:
+  // Applies the iteration's scheduled and transport-observed membership
+  // transitions. Returns false when this engine's own worker departed
+  // permanently (worker roles stop there).
+  bool process_membership(std::int64_t iter);
+  // Anyone scheduled present at some iteration > iter (and not already
+  // transport-dead)?
+  bool anyone_returns_after(std::int64_t iter) const;
+
+  void collect_sync(std::size_t n_expected, std::size_t k_eff);
+  void collect_async(std::size_t n_expected, std::size_t k_eff);
+
+  dist::Transport& net_;
+  RoundEngineConfig cfg_;
+  RoundDelegate& delegate_;
+  const dist::AvailabilitySchedule* availability_;
+  std::vector<bool> present_;  // index 0 = server (always true)
+  std::int64_t stale_dropped_ = 0;
+};
+
+}  // namespace mdgan::core

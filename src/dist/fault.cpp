@@ -5,21 +5,101 @@
 
 namespace mdgan::dist {
 
-void CrashSchedule::add(std::int64_t iter, int worker) {
-  if (iter < 1) throw std::invalid_argument("CrashSchedule: iter < 1");
-  if (worker < 1) throw std::invalid_argument("CrashSchedule: worker < 1");
-  by_iter_[iter].push_back(worker);
+namespace {
+
+void check_transition(std::int64_t iter, int worker) {
+  if (iter < 1) {
+    throw std::invalid_argument("AvailabilitySchedule: iter < 1");
+  }
+  if (worker < 1) {
+    throw std::invalid_argument("AvailabilitySchedule: worker < 1");
+  }
+}
+
+}  // namespace
+
+void AvailabilitySchedule::add_leave(std::int64_t iter, int worker) {
+  check_transition(iter, worker);
+  transitions_[worker][iter] = false;
+}
+
+void AvailabilitySchedule::add_rejoin(std::int64_t iter, int worker) {
+  check_transition(iter, worker);
+  transitions_[worker][iter] = true;
+}
+
+void AvailabilitySchedule::add_absence(int worker, std::int64_t from,
+                                       std::int64_t until) {
+  if (until > 0 && until <= from) {
+    throw std::invalid_argument(
+        "AvailabilitySchedule: empty absence interval");
+  }
+  add_leave(from, worker);
+  if (until > 0) add_rejoin(until, worker);
+}
+
+bool AvailabilitySchedule::present(int worker, std::int64_t iter) const {
+  const auto it = transitions_.find(worker);
+  if (it == transitions_.end()) return true;
+  // State = value of the greatest transition at or before `iter`;
+  // workers start present.
+  const auto& t = it->second;
+  auto after = t.upper_bound(iter);
+  if (after == t.begin()) return true;
+  return std::prev(after)->second;
+}
+
+bool AvailabilitySchedule::returns_after(int worker,
+                                         std::int64_t iter) const {
+  const auto it = transitions_.find(worker);
+  if (it == transitions_.end()) return true;  // always present
+  const auto& t = it->second;
+  bool state = present(worker, iter);
+  std::int64_t prev = iter;
+  for (auto next = t.upper_bound(iter); next != t.end(); ++next) {
+    // Present across the gap (prev, next) — i.e. at some iteration
+    // strictly between the two transition points?
+    if (state && next->first > prev + 1) return true;
+    state = next->second;
+    if (state) return true;  // present from next->first on
+    prev = next->first;
+  }
+  return state;  // final state holds for every iteration > prev
+}
+
+std::vector<AvailabilitySchedule::Event> AvailabilitySchedule::events_at(
+    std::int64_t iter) const {
+  std::vector<Event> out;
+  for (const auto& [worker, t] : transitions_) {
+    const auto at = t.find(iter);
+    if (at == t.end()) continue;
+    if (present(worker, iter - 1) == at->second) continue;  // no change
+    out.push_back({worker, at->second});
+  }
+  return out;  // transitions_ is ordered by worker id
+}
+
+std::size_t AvailabilitySchedule::size() const {
+  std::size_t n = 0;
+  for (const auto& [worker, t] : transitions_) n += t.size();
+  return n;
+}
+
+bool AvailabilitySchedule::fail_stop_only() const {
+  for (const auto& [worker, t] : transitions_) {
+    for (const auto& [iter, join] : t) {
+      if (join) return false;
+    }
+  }
+  return true;
 }
 
 std::vector<int> CrashSchedule::crashes_at(std::int64_t iter) const {
-  auto it = by_iter_.find(iter);
-  return it == by_iter_.end() ? std::vector<int>{} : it->second;
-}
-
-std::size_t CrashSchedule::size() const {
-  std::size_t n = 0;
-  for (const auto& [iter, workers] : by_iter_) n += workers.size();
-  return n;
+  std::vector<int> out;
+  for (const Event& e : events_at(iter)) {
+    if (!e.join) out.push_back(e.worker);
+  }
+  return out;
 }
 
 CrashSchedule CrashSchedule::evenly_spaced(std::int64_t total_iters,

@@ -1,10 +1,27 @@
-// Fail-stop fault injection (paper §V, Figure 5). A CrashSchedule maps
-// global iteration numbers to the workers that die at that iteration's
-// boundary; the training loop queries it via crashes_at() right after
-// Network::begin_iteration and calls Network::crash on each victim.
-// Crashes are permanent — the paper's model has no recovery — and a
-// crashed worker takes its data shard and any hosted discriminator
-// with it.
+// Worker availability over the course of a run. An AvailabilitySchedule
+// maps global iteration numbers to membership transitions: a worker can
+// leave at one iteration boundary and rejoin at a later one (the
+// temporary/elastic discriminators of Qu et al., 2020), or leave and
+// never return — which is exactly a fail-stop crash (paper §V,
+// Figure 5). CrashSchedule below is that special case, kept as a
+// subclass so crash-only call sites read as before.
+//
+// The schedule is *deterministic shared knowledge*: every node of a
+// role-split run constructs the identical schedule from its flags and
+// replays it SPMD-style, exactly like the swap schedule. That is what
+// lets the swap-schedule replay skip absent workers consistently across
+// processes — scheduled absences are visible to every replayer, unlike
+// an unscheduled connection drop, which only the server endpoint
+// observes.
+//
+// Semantics of a transition at iteration i: it takes effect at the
+// *start* of i (the engine queries the schedule right after
+// Transport::begin_iteration). A worker absent during [a, b) misses
+// iterations a..b-1 and participates again from b. A leave with no
+// later rejoin is permanent: the worker's shard is lost and any
+// discriminator it hosts dies with it; a temporary leave keeps both —
+// the discriminator lies dormant on the absent worker and resumes on
+// rejoin.
 #pragma once
 
 #include <cstddef>
@@ -14,18 +31,64 @@
 
 namespace mdgan::dist {
 
-class CrashSchedule {
+class AvailabilitySchedule {
+ public:
+  // A membership transition at an iteration boundary.
+  struct Event {
+    int worker = 0;
+    bool join = false;  // false: the worker leaves at this iteration
+  };
+
+  AvailabilitySchedule() = default;
+  virtual ~AvailabilitySchedule() = default;
+
+  // Worker `worker` (1-based) is absent from the start of iteration
+  // `iter` on (until a later rejoin, if any).
+  void add_leave(std::int64_t iter, int worker);
+  // Worker `worker` participates again from the start of `iter`.
+  void add_rejoin(std::int64_t iter, int worker);
+  // Convenience: absent during [from, until). until <= 0 means the
+  // worker never returns (fail-stop).
+  void add_absence(int worker, std::int64_t from, std::int64_t until = 0);
+
+  // Is the worker scheduled present at iteration `iter`? (Workers start
+  // present; iter < 1 is the initial state.)
+  bool present(int worker, std::int64_t iter) const;
+  // Is the worker scheduled present at any iteration > `iter`? False
+  // for a permanently-departed worker — the fail-stop test.
+  bool returns_after(int worker, std::int64_t iter) const;
+  // Transitions that take effect at `iter` (ascending worker id). Only
+  // actual state changes are reported: a rejoin of a present worker or
+  // a second leave of an absent one is not an event.
+  std::vector<Event> events_at(std::int64_t iter) const;
+
+  bool empty() const { return transitions_.empty(); }
+  // Number of scheduled transitions.
+  std::size_t size() const;
+  // True when no worker ever rejoins — the schedule is pure fail-stop
+  // and equivalent to a CrashSchedule.
+  bool fail_stop_only() const;
+
+ private:
+  // Per worker: iteration -> present from that iteration on. Absent
+  // keys inherit the previous state; before the first key a worker is
+  // present.
+  std::map<int, std::map<std::int64_t, bool>> transitions_;
+};
+
+// Fail-stop fault injection (paper §V, Figure 5): every departure is
+// permanent — the paper's model has no recovery. Kept as the crash-only
+// view of an AvailabilitySchedule so existing call sites (and the
+// Figure 5 bench) read unchanged.
+class CrashSchedule : public AvailabilitySchedule {
  public:
   CrashSchedule() = default;
 
   // Worker `worker` (1-based) dies at the start of iteration `iter`.
-  void add(std::int64_t iter, int worker);
+  void add(std::int64_t iter, int worker) { add_leave(iter, worker); }
 
   // Workers scheduled to die at `iter` (empty if none).
   std::vector<int> crashes_at(std::int64_t iter) const;
-
-  bool empty() const { return by_iter_.empty(); }
-  std::size_t size() const;
 
   // The Figure 5 schedule: one crash every total_iters / n_workers
   // iterations (period clamped to >= 1), workers dying in id order at
@@ -36,9 +99,6 @@ class CrashSchedule {
   // alive.
   static CrashSchedule evenly_spaced(std::int64_t total_iters,
                                      std::size_t n_workers);
-
- private:
-  std::map<std::int64_t, std::vector<int>> by_iter_;
 };
 
 }  // namespace mdgan::dist

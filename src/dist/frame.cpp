@@ -23,22 +23,30 @@ std::uint32_t read_le32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
-std::vector<std::uint8_t> encode_frame(int src, int dst,
-                                       const std::string& tag,
-                                       const ByteBuffer& payload) {
+std::vector<std::uint8_t> encode_frame_head(int src, int dst,
+                                            const std::string& tag,
+                                            std::size_t payload_size) {
   const std::size_t body_len =
-      kFrameBodyFixedBytes + tag.size() + payload.size();
+      kFrameBodyFixedBytes + tag.size() + payload_size;
   if (body_len > kMaxFrameBodyBytes) {
     throw std::runtime_error("encode_frame: frame too large");
   }
   std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderBytes + body_len);
+  out.reserve(kFrameHeaderBytes + kFrameBodyFixedBytes + tag.size());
   put_le32(out, kFrameMagic);
   put_le32(out, static_cast<std::uint32_t>(body_len));
   put_le32(out, static_cast<std::uint32_t>(src));
   put_le32(out, static_cast<std::uint32_t>(dst));
   put_le32(out, static_cast<std::uint32_t>(tag.size()));
   out.insert(out.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_frame(int src, int dst,
+                                       const std::string& tag,
+                                       const ByteBuffer& payload) {
+  std::vector<std::uint8_t> out =
+      encode_frame_head(src, dst, tag, payload.size());
   out.insert(out.end(), payload.data(), payload.data() + payload.size());
   return out;
 }

@@ -55,10 +55,20 @@ struct Frame {
 std::uint32_t read_le32(const std::uint8_t* p);
 
 // Serializes header + body into one contiguous buffer, ready for a
-// single write(2).
+// single write(2). Copies the payload; the scatter-gather send path
+// uses encode_frame_head + an iovec over the payload instead.
 std::vector<std::uint8_t> encode_frame(int src, int dst,
                                        const std::string& tag,
                                        const ByteBuffer& payload);
+
+// Everything of the frame *before* the payload bytes — header, fixed
+// body fields and tag — announcing a payload of `payload_size` bytes.
+// Pairing this head with the payload buffer itself in a gathered write
+// (writev/sendmsg) produces the identical byte stream encode_frame
+// would, without ever copying the payload into a wire buffer.
+std::vector<std::uint8_t> encode_frame_head(int src, int dst,
+                                            const std::string& tag,
+                                            std::size_t payload_size);
 
 // Parses the 8-byte header. Returns the body length; throws
 // std::runtime_error on a bad magic or an oversized body.

@@ -1,8 +1,13 @@
-// Compatibility shim: the in-process transport moved to
-// dist/sim_network.hpp when the abstract dist::Transport seam was
-// extracted (dist/transport.hpp) and the TCP backend added
-// (dist/tcp_network.hpp). `dist::Network` remains an alias of
-// `dist::SimNetwork` there.
+// DEPRECATED compatibility shim — do not include in new code.
+//
+// The in-process transport moved to dist/sim_network.hpp when the
+// abstract dist::Transport seam was extracted (dist/transport.hpp) and
+// the TCP backend added (dist/tcp_network.hpp). Include
+// dist/sim_network.hpp for the concrete simulator (`dist::SimNetwork`,
+// with `dist::Network` kept there as a deprecated alias) or
+// dist/transport.hpp to program against the seam. This header only
+// forwards and will be removed once out-of-tree users have migrated;
+// everything in-tree includes the real headers.
 #pragma once
 
 #include "dist/sim_network.hpp"

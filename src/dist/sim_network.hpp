@@ -131,9 +131,12 @@ class SimNetwork final : public Transport {
   std::vector<double> nic_in_busy_;    // per node, shared ingress NIC
 };
 
-// The historical name of the in-process backend; kept as an alias so
+// DEPRECATED: the historical name of the in-process backend, kept so
 // the many tests/benches that construct the concrete simulator read
-// naturally.
+// naturally. Prefer SimNetwork (explicit about being the test double)
+// or the abstract Transport seam in new code; the alias — and the
+// dist/network.hpp shim that forwards here — will be removed once
+// nothing spells the old name.
 using Network = SimNetwork;
 
 }  // namespace mdgan::dist

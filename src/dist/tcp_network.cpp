@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -47,6 +48,32 @@ bool write_exact(int fd, const std::uint8_t* src, std::size_t n) {
     }
     if (r < 0 && errno == EINTR) continue;
     return false;
+  }
+  return true;
+}
+
+// Gathered write of `iov[0..n)` via sendmsg(2), resuming after partial
+// writes by advancing the iovec cursor in place.
+bool write_iovecs(int fd, iovec* iov, std::size_t n) {
+  std::size_t at = 0;  // first iovec with bytes left
+  while (at < n) {
+    msghdr msg{};
+    msg.msg_iov = iov + at;
+    msg.msg_iovlen = n - at;
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    auto left = static_cast<std::size_t>(r);
+    while (at < n && left >= iov[at].iov_len) {
+      left -= iov[at].iov_len;
+      ++at;
+    }
+    if (at < n && left > 0) {
+      iov[at].iov_base = static_cast<std::uint8_t*>(iov[at].iov_base) + left;
+      iov[at].iov_len -= left;
+    }
   }
   return true;
 }
@@ -345,6 +372,22 @@ void TcpNetwork::mark_dead(int peer) {
 bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
                              const std::string& tag,
                              const ByteBuffer& payload) {
+  if (opts_.scatter_gather) {
+    // Two iovecs — frame head, payload — gathered by the kernel: the
+    // payload bytes go from the ByteBuffer straight onto the socket,
+    // never through a contiguous wire buffer.
+    auto head = encode_frame_head(src, dst, tag, payload.size());
+    iovec iov[2];
+    iov[0] = {head.data(), head.size()};
+    iov[1] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
+    const std::size_t n_iov = payload.size() > 0 ? 2 : 1;
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    if (conn.fd < 0 || !write_iovecs(conn.fd, iov, n_iov)) {
+      mark_dead(peer);
+      return false;
+    }
+    return true;
+  }
   const auto wire = encode_frame(src, dst, tag, payload);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   if (conn.fd < 0 || !write_exact(conn.fd, wire.data(), wire.size())) {

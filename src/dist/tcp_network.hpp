@@ -60,6 +60,12 @@ struct TcpOptions {
   double rendezvous_timeout_s = 30.0;
   // Blocking receive deadline; 0 waits forever.
   double receive_timeout_s = 120.0;
+  // Scatter-gather sends: frame head and payload go out as two iovecs
+  // of one sendmsg(2), so the payload (the bulk of a swap frame, which
+  // the relay pays twice) is never copied into a contiguous wire
+  // buffer. Off = the legacy encode-then-write path; the wire bytes are
+  // identical either way (BM_TcpLoopbackSendRecv benches the delta).
+  bool scatter_gather = true;
 };
 
 class TcpNetwork final : public Transport {

@@ -15,11 +15,12 @@ Adam::Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
   }
 }
 
-void Adam::step() {
+void Adam::step_scaled(float lr_scale) {
   ++t_;
   const float b1 = config_.beta1, b2 = config_.beta2;
   const float bias1 = 1.f - std::pow(b1, static_cast<float>(t_));
   const float bias2 = 1.f - std::pow(b2, static_cast<float>(t_));
+  const float lr = config_.lr * lr_scale;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     float* p = params_[i]->data();
     const float* g = grads_[i]->data();
@@ -31,7 +32,7 @@ void Adam::step() {
       v[j] = b2 * v[j] + (1.f - b2) * g[j] * g[j];
       const float mhat = m[j] / bias1;
       const float vhat = v[j] / bias2;
-      p[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+      p[j] -= lr * mhat / (std::sqrt(vhat) + config_.eps);
     }
   }
 }

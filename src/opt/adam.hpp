@@ -20,7 +20,13 @@ class Adam : public Optimizer {
   Adam(std::vector<Tensor*> params, std::vector<Tensor*> grads,
        AdamConfig config = {});
 
-  void step() override;
+  void step() override { step_scaled(1.f); }
+  // Staleness-aware entry point for the async MD-GAN server: one Adam
+  // update whose learning rate is scaled by `lr_scale` (the moments and
+  // bias correction advance exactly as in a plain step, so damped and
+  // undamped steps share one trajectory of optimizer state). A scale of
+  // 1 is bit-identical to step().
+  void step_scaled(float lr_scale);
   void reset() override;
   std::string name() const override { return "Adam"; }
 

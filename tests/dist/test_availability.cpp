@@ -1,0 +1,216 @@
+// AvailabilitySchedule semantics (join/leave/rejoin intervals,
+// fail-stop as the no-rejoin special case) and their effect on MD-GAN
+// training: CrashSchedule equivalence, deterministic leave/rejoin runs,
+// dormant discriminators, and the swap replay skipping absent workers.
+#include "dist/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/md_gan.hpp"
+#include "data/synthetic.hpp"
+#include "dist/sim_network.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+using Event = AvailabilitySchedule::Event;
+
+TEST(AvailabilitySchedule, PresenceFollowsLeaveAndRejoin) {
+  AvailabilitySchedule s;
+  EXPECT_TRUE(s.empty());
+  s.add_absence(/*worker=*/2, /*from=*/3, /*until=*/5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.present(2, 1));
+  EXPECT_TRUE(s.present(2, 2));
+  EXPECT_FALSE(s.present(2, 3));
+  EXPECT_FALSE(s.present(2, 4));
+  EXPECT_TRUE(s.present(2, 5));
+  EXPECT_TRUE(s.present(2, 100));
+  // Untouched workers are always present.
+  EXPECT_TRUE(s.present(1, 3));
+}
+
+TEST(AvailabilitySchedule, PermanentLeaveNeverReturns) {
+  AvailabilitySchedule s;
+  s.add_leave(4, 1);
+  EXPECT_TRUE(s.present(1, 3));
+  EXPECT_FALSE(s.present(1, 4));
+  EXPECT_FALSE(s.returns_after(1, 4));
+  EXPECT_TRUE(s.returns_after(1, 2));  // still present at iteration 3
+  EXPECT_TRUE(s.fail_stop_only());
+
+  s.add_rejoin(9, 1);
+  EXPECT_TRUE(s.returns_after(1, 4));
+  EXPECT_FALSE(s.fail_stop_only());
+}
+
+TEST(AvailabilitySchedule, ReturnsAfterSeesGapsBetweenAbsences) {
+  AvailabilitySchedule s;
+  s.add_absence(1, 2, 4);
+  s.add_leave(6, 1);
+  // Absent at 2-3, present at 4-5, gone from 6 on.
+  EXPECT_TRUE(s.returns_after(1, 3));   // iteration 4 and 5 are present
+  EXPECT_TRUE(s.returns_after(1, 4));   // iteration 5 is present
+  EXPECT_FALSE(s.returns_after(1, 5));  // 6 on: absent forever
+  // Back-to-back leave/rejoin at adjacent iterations leaves no gap.
+  AvailabilitySchedule tight;
+  tight.add_absence(1, 2, 3);
+  tight.add_leave(3, 1);  // rejoin at 3 overridden by leave at 3
+  EXPECT_FALSE(tight.returns_after(1, 1));
+}
+
+TEST(AvailabilitySchedule, EventsReportOnlyRealTransitions) {
+  AvailabilitySchedule s;
+  s.add_absence(1, 2, 4);
+  s.add_leave(/*iter=*/3, /*worker=*/2);
+  EXPECT_EQ(s.events_at(2).size(), 1u);
+  EXPECT_EQ(s.events_at(2)[0].worker, 1);
+  EXPECT_FALSE(s.events_at(2)[0].join);
+  EXPECT_EQ(s.events_at(4).size(), 1u);
+  EXPECT_TRUE(s.events_at(4)[0].join);
+  EXPECT_EQ(s.events_at(3).size(), 1u);  // worker 2's leave
+  EXPECT_TRUE(s.events_at(5).empty());
+  // A rejoin of a never-absent worker is not a transition.
+  AvailabilitySchedule noop;
+  noop.add_rejoin(3, 1);
+  EXPECT_TRUE(noop.events_at(3).empty());
+}
+
+TEST(AvailabilitySchedule, ValidatesArguments) {
+  AvailabilitySchedule s;
+  EXPECT_THROW(s.add_leave(0, 1), std::invalid_argument);
+  EXPECT_THROW(s.add_leave(1, 0), std::invalid_argument);
+  EXPECT_THROW(s.add_absence(1, 3, 3), std::invalid_argument);
+}
+
+TEST(AvailabilitySchedule, CrashScheduleIsTheFailStopSpecialCase) {
+  CrashSchedule crashes;
+  crashes.add(3, 1);
+  crashes.add(5, 2);
+  EXPECT_TRUE(crashes.fail_stop_only());
+  EXPECT_FALSE(crashes.present(1, 3));
+  EXPECT_FALSE(crashes.returns_after(1, 3));
+  EXPECT_EQ(crashes.crashes_at(3), (std::vector<int>{1}));
+  // The base-class view is identical: a CrashSchedule *is* an
+  // AvailabilitySchedule whose every leave is permanent.
+  const AvailabilitySchedule& base = crashes;
+  EXPECT_EQ(base.events_at(5).size(), 1u);
+  EXPECT_FALSE(base.events_at(5)[0].join);
+}
+
+// --- MD-GAN under availability schedules --------------------------------
+
+core::MdGanConfig tiny_cfg() {
+  core::MdGanConfig cfg;
+  cfg.hp.batch = 8;
+  cfg.hp.disc_steps = 1;
+  cfg.k = 1;
+  cfg.parallel_workers = false;
+  return cfg;
+}
+
+std::vector<data::InMemoryDataset> shards_for(std::size_t n_workers,
+                                              std::size_t per_shard,
+                                              std::uint64_t seed) {
+  auto full = data::make_synthetic_digits(n_workers * per_shard, seed);
+  Rng rng(seed);
+  return data::split_iid(full, n_workers, rng);
+}
+
+TEST(MdGanAvailability, FailStopScheduleMatchesCrashScheduleBitForBit) {
+  auto run = [](const AvailabilitySchedule& sched) {
+    dist::Network net(3);
+    core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), tiny_cfg(),
+                   shards_for(3, 16, 8), 29, net, &sched);
+    md.train(4);
+    return std::make_tuple(md.generator().flatten_parameters(),
+                           net.totals(LinkKind::kServerToWorker).bytes,
+                           net.totals(LinkKind::kWorkerToServer).bytes,
+                           net.totals(LinkKind::kWorkerToWorker).bytes,
+                           net.alive_worker_count());
+  };
+  CrashSchedule crashes;
+  crashes.add(2, 1);
+  AvailabilitySchedule leaves;
+  leaves.add_leave(2, 1);  // no rejoin: the same fail-stop
+  EXPECT_EQ(run(crashes), run(leaves));
+  EXPECT_EQ(std::get<4>(run(crashes)), 2u);
+}
+
+TEST(MdGanAvailability, LeaveRejoinIsDeterministicAndFinite) {
+  auto run = [] {
+    dist::Network net(3);
+    AvailabilitySchedule sched;
+    sched.add_absence(2, 2, 4);  // away for rounds 2 and 3
+    core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), tiny_cfg(),
+                   shards_for(3, 16, 9), 31, net, &sched);
+    md.train(5);
+    EXPECT_EQ(md.iterations_run(), 5);
+    EXPECT_TRUE(net.is_alive(2));  // it left, it did not crash
+    return md.generator().flatten_parameters();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  for (float v : a) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(MdGanAvailability, AbsentWorkerShipsNothingWhileAway) {
+  dist::Network net(2);
+  AvailabilitySchedule sched;
+  sched.add_absence(2, 2, 3);  // away for round 2 only
+  core::MdGanConfig cfg = tiny_cfg();
+  cfg.swap_enabled = false;
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg,
+                 shards_for(2, 16, 10), 37, net, &sched);
+  md.train(3);
+  // 2 feedbacks in rounds 1 and 3, 1 in round 2.
+  EXPECT_EQ(net.message_count(LinkKind::kWorkerToServer), 5u);
+  EXPECT_EQ(net.message_count(LinkKind::kServerToWorker), 5u);
+  // The dormant discriminator stayed with its absent host.
+  EXPECT_EQ(md.holder_of(1), 2);
+}
+
+TEST(MdGanAvailability, SwapSkipsAbsentWorkerInOneRun) {
+  dist::Network net(3);
+  AvailabilitySchedule sched;
+  sched.add_absence(3, 2, 3);  // away exactly for round 2
+  core::MdGanConfig cfg = tiny_cfg();
+  cfg.hp.batch = 16;  // swap every round
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg,
+                 shards_for(3, 16, 13), 43, net, &sched);
+  md.train(2);
+  EXPECT_EQ(md.iterations_run(), 2);
+  // After round 1's 3-way swap somebody's discriminator sits on worker
+  // 3; round 2's swap runs over present workers {1, 2} only, so that
+  // discriminator must still be there, and the other two must have
+  // traded places (the only derangement of two elements).
+  int on_3 = 0;
+  for (std::size_t j = 0; j < 3; ++j) {
+    if (md.holder_of(j) == 3) ++on_3;
+  }
+  EXPECT_EQ(on_3, 1);
+  std::set<int> holders{md.holder_of(0), md.holder_of(1), md.holder_of(2)};
+  EXPECT_EQ(holders, (std::set<int>{1, 2, 3}));  // nothing lost
+}
+
+TEST(MdGanAvailability, AllAwayRoundsIdleThenResume) {
+  dist::Network net(1);
+  AvailabilitySchedule sched;
+  sched.add_absence(1, 2, 4);  // the only worker is away for 2 rounds
+  core::MdGanConfig cfg = tiny_cfg();
+  cfg.swap_enabled = false;
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg,
+                 shards_for(1, 16, 14), 47, net, &sched);
+  md.train(5);
+  EXPECT_EQ(md.iterations_run(), 5);         // idle rounds still count
+  EXPECT_EQ(md.generator_updates(), 3);      // rounds 1, 4, 5
+  EXPECT_EQ(md.round_sim_seconds().size(), 5u);
+}
+
+}  // namespace
+}  // namespace mdgan::dist

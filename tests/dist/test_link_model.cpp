@@ -9,7 +9,7 @@
 #include <cstring>
 #include <vector>
 
-#include "dist/network.hpp"
+#include "dist/sim_network.hpp"
 
 namespace mdgan::dist {
 namespace {

@@ -1,4 +1,4 @@
-#include "dist/network.hpp"
+#include "dist/sim_network.hpp"
 
 #include <gtest/gtest.h>
 
