@@ -24,6 +24,7 @@
 #include "dist/sim_network.hpp"
 #include "gan/fl_gan.hpp"
 #include "metrics/evaluator.hpp"
+#include "obs/sink.hpp"
 
 namespace mdgan::bench {
 
@@ -46,6 +47,20 @@ struct TrafficSummary {
     }
     t.max_server_ingress_per_iter =
         net.max_ingress_per_iteration(dist::kServerId);
+    return t;
+  }
+
+  // Same summary, but the per-link byte totals come out of a telemetry
+  // registry (the bytes_total{link} counters the transport charges on
+  // the same guarded path as its accountant) — the two agree exactly,
+  // pinned by tests/obs. Ingress peaks still come from the transport,
+  // which is their only source.
+  static TrafficSummary of(const dist::Transport& net,
+                           const obs::Registry& reg) {
+    TrafficSummary t = of(net);
+    t.c_to_w = reg.counter_value("bytes_total{link=c2w}");
+    t.w_to_c = reg.counter_value("bytes_total{link=w2c}");
+    t.w_to_w = reg.counter_value("bytes_total{link=w2w}");
     return t;
   }
 };
@@ -196,6 +211,11 @@ inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
   Series out{label, {}, {}, {}, 0.0};
   Rng split_rng(ctx.seed);
   auto shards = data::split_iid(ctx.train, workers, split_rng);
+  // Metrics-only sink (no trace/metrics paths => tracing off, registry
+  // counting on): the bench's traffic columns are read back out of the
+  // registry, exercising the same counters ci.sh validates. Declared
+  // before the network so it outlives the transport that charges it.
+  obs::Sink sink;
   dist::Network net(workers);
   net.set_link_model(ctx.link);
   core::MdGanConfig cfg;
@@ -204,6 +224,7 @@ inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
   cfg.swap_enabled = opts.swap_enabled;
   cfg.feedback_compression = opts.feedback_compression;
   cfg.async = opts.async;
+  cfg.sink = &sink;
   core::MdGan md(ctx.arch, cfg, std::move(shards), ctx.seed, net,
                  opts.availability);
   out.points.push_back(
@@ -215,7 +236,7 @@ inline Series run_md_gan(const RunContext& ctx, gan::GanHyperParams hp,
                  {it, ctx.evaluator.evaluate(g, ctx.arch, md.codes())});
              out.sim_at.push_back(md.sim_seconds());
            });
-  out.traffic = TrafficSummary::of(net);
+  out.traffic = TrafficSummary::of(net, sink.registry());
   out.sim_total = md.sim_seconds();
   return out;
 }

@@ -35,6 +35,7 @@
 #include "gan/trainer.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/init.hpp"
+#include "obs/sink.hpp"
 #include "opt/adam.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -350,6 +351,39 @@ void bench_derangement(Harness& h) {
   }
 }
 
+void bench_obs(Harness& h) {
+  // The telemetry layer's hot-path costs. Enabled span: two clock reads
+  // plus a per-thread buffer push (target < 100 ns). Disabled span: the
+  // null/enabled branch only, ~0 ns and zero allocations — the
+  // zero-overhead-when-off contract the obs tests pin. Counter inc: one
+  // relaxed atomic RMW through a cached pointer.
+  obs::SinkConfig sc;
+  sc.force_trace = true;
+  obs::Sink enabled_sink(sc);
+  // The per-thread buffer cap bounds memory: once the bench saturates
+  // it, a span degrades to the (cheaper) overflow-drop path, so the
+  // figure blends push and drop — both are live-tracer costs.
+  h.run("BM_SpanStartStop", 0, [&] {
+    obs::Span s(&enabled_sink.tracer(), "bench", obs::Cat::kPhase, 0);
+    volatile bool sink = s.active();
+    (void)sink;
+  });
+
+  obs::Sink disabled_sink;  // no trace path, no force_trace => disabled
+  h.run("BM_SpanStartStopDisabled", 0, [&] {
+    obs::Span s(&disabled_sink.tracer(), "bench", obs::Cat::kPhase, 0);
+    volatile bool sink = s.active();
+    (void)sink;
+  });
+
+  obs::Counter& c = enabled_sink.registry().counter("bench_total");
+  h.run("BM_RegistryCounterInc", 0, [&] {
+    c.inc(3);
+    volatile std::uint64_t sink = c.value();
+    (void)sink;
+  });
+}
+
 void bench_adam_step(Harness& h) {
   Rng rng(10);
   auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
@@ -382,6 +416,7 @@ int main(int argc, char** argv) {
   bench_feedback_compression(h);
   bench_wire_path(h);
   bench_derangement(h);
+  bench_obs(h);
   bench_adam_step(h);
 
   if (flags.has("json")) {

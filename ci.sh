@@ -19,8 +19,14 @@ echo "--- smoke: bench_micro_ops --tiny"
 ./bench_micro_ops --tiny --json=BENCH_micro_ops.json
 
 echo "--- smoke: mdgan_node loopback TCP (server + 2 workers vs sim)"
-./mdgan_node --role=sim --workers=2 --iters=2 | tee mdgan_node_sim.log
+# Both the sim and the TCP server run with telemetry on: the checksum
+# comparison below then also proves tracing/metrics do not perturb
+# training, and the python3 block validates the emitted files.
+./mdgan_node --role=sim --workers=2 --iters=2 \
+  --trace-out=trace_sim.json --metrics-out=metrics_sim.jsonl \
+  | tee mdgan_node_sim.log
 ./mdgan_node --role=server --workers=2 --port=0 --iters=2 \
+  --trace-out=trace_tcp.json --metrics-out=metrics_tcp.jsonl \
   > mdgan_node_server.log 2>&1 &
 SERVER_PID=$!
 PORT=""
@@ -49,6 +55,62 @@ TCP_SUM=$(grep -oE 'generator_fnv1a=[0-9a-f]+' mdgan_node_server.log)
   exit 1
 }
 echo "loopback TCP run matches the simulator: ${TCP_SUM#*=}"
+
+echo "--- verify: telemetry artifacts (Chrome trace JSON + metrics JSONL)"
+python3 - <<'PY'
+import json, re
+
+ITERS = 2
+PHASES = {"round", "phase:membership", "phase:broadcast", "phase:local",
+          "phase:collect", "phase:swap"}
+
+for label, trace_path, metrics_path, extra_spans in [
+    # The sim node runs all workers inline, so worker-side spans
+    # (local_step, send:feedback) appear in the same trace.
+    ("sim", "trace_sim.json", "metrics_sim.jsonl",
+     {"local_step", "send:gen_batches", "send:feedback",
+      "recv:gen_batches", "recv:feedback"}),
+    # The TCP server only sees its own side of the wire.
+    ("tcp", "trace_tcp.json", "metrics_tcp.jsonl",
+     {"send:gen_batches", "recv:feedback"}),
+]:
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    names = {e.get("name") for e in events}
+    missing = (PHASES | extra_spans) - names
+    assert not missing, f"{label}: trace missing spans {sorted(missing)}"
+    rounds = [e for e in events if e.get("name") == "round"]
+    assert len(rounds) == ITERS, \
+        f"{label}: want {ITERS} round spans, got {len(rounds)}"
+    sims = [e for e in events
+            if e.get("ph") == "X" and "sim_t0_s" in e.get("args", {})]
+    assert sims, f"{label}: no span carries a virtual timestamp"
+
+    with open(metrics_path) as f:
+        lines = [json.loads(line) for line in f]
+    assert len(lines) >= 2, f"{label}: want snapshot + final metrics lines"
+    final = lines[-1]
+    assert final["kind"] == "final", f"{label}: last line must be final"
+    c = final["counters"]
+    assert c["rounds_total"] == ITERS, \
+        f"{label}: rounds_total={c['rounds_total']}, want {ITERS}"
+
+# Registry-vs-accountant cross-check: the sim node's traffic summary
+# line comes from the transport accountant; the JSONL counters must
+# agree byte-for-byte.
+log = open("mdgan_node_sim.log").read()
+m = re.search(r"traffic c2w=(\d+) w2c=(\d+) w2w=(\d+) bytes", log)
+assert m, "sim log lost its traffic summary line"
+final = [json.loads(line) for line in open("metrics_sim.jsonl")][-1]
+c = final["counters"]
+for link, want in zip(("c2w", "w2c", "w2w"), m.groups()):
+    got = c[f"bytes_total{{link={link}}}"]
+    assert got == int(want), f"bytes_total{{link={link}}}={got}, want {want}"
+assert c["feedback_bytes_total{link=w2c}"] == c["bytes_total{link=w2c}"], \
+    "W->C must carry only feedback bytes"
+print("telemetry OK: traces + metrics parse, spans/rounds/bytes all match")
+PY
 
 echo "--- smoke: mdgan_node async loopback (server receive loop, 2 workers)"
 ASYNC_FLAGS="--workers=2 --iters=3 --server-mode=async"

@@ -25,6 +25,17 @@
 // how stale an applied feedback may be and --staleness-damping scaling
 // its learning rate by 1/(1 + damping * staleness)).
 //
+// Observability: --trace-out=PATH writes a Chrome trace-event JSON
+// (load in Perfetto / chrome://tracing: one track per node, spans for
+// every round phase, local step and wire frame, stamped with wall AND
+// sim time); --metrics-out=PATH appends JSONL metric snapshots every
+// --metrics-interval rounds plus a final summary line whose per-link
+// byte counters equal the printed traffic totals exactly;
+// --trace-compute additionally records the high-frequency GEMM /
+// thread-pool spans. --log-level=debug|info|warn|error (also the
+// MDGAN_LOG_LEVEL env var) sets the stderr log threshold, and every
+// line is prefixed with elapsed seconds, level and this node's id.
+//
 // Elastic workers: --absent=W@FROM-UNTIL[,W@FROM-UNTIL...] schedules
 // worker W away for iterations [FROM, UNTIL) — it rejoins at UNTIL; an
 // empty UNTIL ("2@3-") is a permanent leave, i.e. a fail-stop crash.
@@ -36,16 +47,19 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "core/md_gan.hpp"
 #include "data/synthetic.hpp"
 #include "dist/compression.hpp"
 #include "dist/fault.hpp"
 #include "dist/sim_network.hpp"
 #include "dist/tcp_network.hpp"
+#include "obs/sink.hpp"
 
 namespace {
 
@@ -229,22 +243,46 @@ int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
 int main(int argc, char** argv) {
   CliFlags flags(argc, argv);
   const std::string role = flags.get("role", "sim");
-  const NodeConfig nc = parse_training_flags(flags);
   try {
-    if (role == "sim") return run_sim(nc);
-    if (role == "server") {
-      return run_server(
+    const std::string level = flags.get("log-level", "");
+    if (!level.empty()) set_log_level(log_level_from_name(level));
+    const int id = static_cast<int>(flags.get_int("id", 0));
+    set_log_node(role == "worker" ? "w" + std::to_string(id) : role);
+
+    NodeConfig nc = parse_training_flags(flags);
+    obs::SinkConfig sc;
+    sc.trace_path = flags.get("trace-out", "");
+    sc.metrics_path = flags.get("metrics-out", "");
+    sc.metrics_interval = flags.get_int("metrics-interval", 1);
+    sc.compute_spans = flags.get_bool("trace-compute", false);
+    std::unique_ptr<obs::Sink> sink;
+    if (!sc.trace_path.empty() || !sc.metrics_path.empty()) {
+      sink = std::make_unique<obs::Sink>(sc);
+      nc.cfg.sink = sink.get();
+      // Serves the unwired instrumentation points (GEMM, pool fan-out);
+      // their kCompute spans stay off unless --trace-compute asked.
+      obs::install_global_sink(sink.get());
+    }
+
+    int rc = 2;
+    if (role == "sim") {
+      rc = run_sim(nc);
+    } else if (role == "server") {
+      rc = run_server(
           nc, static_cast<std::uint16_t>(flags.get_int("port", 29471)));
+    } else if (role == "worker") {
+      rc = run_worker(nc, flags.get("connect", "127.0.0.1:29471"), id);
+    } else {
+      std::fprintf(stderr,
+                   "mdgan_node: --role must be sim, server or worker\n");
     }
-    if (role == "worker") {
-      const int id = static_cast<int>(flags.get_int("id", 0));
-      return run_worker(nc, flags.get("connect", "127.0.0.1:29471"), id);
+    if (sink) {
+      obs::install_global_sink(nullptr);
+      sink->finish();  // final metrics line + the Chrome trace file
     }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mdgan_node(%s): %s\n", role.c_str(), e.what());
     return 1;
   }
-  std::fprintf(stderr,
-               "mdgan_node: --role must be sim, server or worker\n");
-  return 2;
 }

@@ -1,13 +1,37 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
 
 namespace mdgan {
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+int initial_level() {
+  const char* env = std::getenv("MDGAN_LOG_LEVEL");
+  if (env != nullptr) {
+    try {
+      return static_cast<int>(log_level_from_name(env));
+    } catch (const std::invalid_argument&) {
+      // Fall through to the default; warn once logging is up.
+      std::fprintf(stderr,
+                   "[mdgan] ignoring MDGAN_LOG_LEVEL='%s' (want "
+                   "debug|info|warn|error)\n",
+                   env);
+    }
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_mu;
+std::string g_node;  // guarded by g_mu
+
+const auto g_start = std::chrono::steady_clock::now();
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,10 +52,31 @@ void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
+LogLevel log_level_from_name(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw std::invalid_argument(
+      "log level must be debug, info, warn or error, got '" + name + "'");
+}
+
+void set_log_node(const std::string& node) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_node = node;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < g_level.load()) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    g_start)
+          .count();
   std::lock_guard<std::mutex> lock(g_mu);
-  std::cerr << "[mdgan " << level_name(level) << "] " << msg << "\n";
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%8.3f %-5s %s] ", elapsed,
+                level_name(level), g_node.empty() ? "-" : g_node.c_str());
+  std::cerr << prefix << msg << "\n";
 }
 
 }  // namespace mdgan

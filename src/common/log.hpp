@@ -1,5 +1,14 @@
 // Leveled logging to stderr. Benches print their data tables to stdout;
 // everything diagnostic goes through here so stdout stays machine-parsable.
+//
+// Every line is prefixed with a monotonic timestamp (seconds since
+// process start), the level, and the node id set by set_log_node — e.g.
+//   [   3.142 WARN  w2] TcpNetwork: node 0 disconnected
+// so interleaved multi-process logs (a server and N workers) can be
+// merged and attributed. The threshold defaults to kInfo and is
+// overridable by the MDGAN_LOG_LEVEL environment variable
+// (debug|info|warn|error, read once at startup) or set_log_level
+// (mdgan_node exposes it as --log-level).
 #pragma once
 
 #include <sstream>
@@ -9,9 +18,19 @@ namespace mdgan {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global threshold; messages below it are dropped. Default: kInfo.
+// Global threshold; messages below it are dropped. Default: kInfo,
+// unless MDGAN_LOG_LEVEL names another level.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// "debug" / "info" / "warn" / "error" (the CLI and env-var surface);
+// throws std::invalid_argument on anything else.
+LogLevel log_level_from_name(const std::string& name);
+
+// Node identity printed in every line's prefix ("server", "w1", "sim",
+// ...). Empty (the default) prints "-". Set once at startup, before
+// threads log.
+void set_log_node(const std::string& node);
 
 void log_message(LogLevel level, const std::string& msg);
 

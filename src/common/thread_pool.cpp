@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/sink.hpp"
+
 namespace mdgan {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -62,6 +64,10 @@ void ThreadPool::parallel_for(
     fn(0, n);
     return;
   }
+  // kCompute span (off unless a global sink opted into compute spans):
+  // the whole fan-out, submit through the last chunk's completion.
+  obs::Span span(obs::global_tracer(), "pool_dispatch", obs::Cat::kCompute,
+                 /*node=*/-1);
   const std::size_t chunk = (n + n_chunks - 1) / n_chunks;
   std::vector<std::future<void>> futs;
   futs.reserve(n_chunks);

@@ -132,6 +132,13 @@ MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
     disc.holder = static_cast<int>(j + 1);  // D_j starts on worker j+1
     discs_.push_back(std::move(disc));
   }
+
+  if (cfg_.sink != nullptr) {
+    obs::Registry& r = cfg_.sink->registry();
+    gen_updates_total_ = &r.counter("gen_updates_total");
+    swap_skipped_total_ = &r.counter("swap_skipped_total");
+    local_steps_total_ = &r.counter("local_steps_total");
+  }
 }
 
 nn::Sequential& MdGan::discriminator_of(std::size_t worker_1based) {
@@ -248,6 +255,9 @@ void MdGan::worker_iteration(std::size_t disc_index) {
   Worker& w = *workers_[disc.holder - 1];
   const std::size_t b = cfg_.hp.batch;
   const std::size_t d = arch_.image_dim();
+  obs::Span span(trace(), "local_step", obs::Cat::kPhase, disc.holder,
+                 iters_run_ + 1);
+  if (local_steps_total_ != nullptr) local_steps_total_->inc();
 
   auto msg = net_.receive_tagged(disc.holder, "gen_batches");
   if (!msg) {
@@ -348,6 +358,7 @@ void MdGan::server_fold_sync(std::vector<dist::Message>&& feedbacks,
   }
   g_opt_->step();
   ++gen_updates_;
+  if (gen_updates_total_ != nullptr) gen_updates_total_->inc();
   // Server apply: the server's clock is already at the arrival of the
   // slowest feedback (the engine's receive loop advanced it); the
   // update's modeled compute lands on top of that.
@@ -378,6 +389,7 @@ void MdGan::server_apply_async(dist::Message&& feedback,
           : 1.f;
   g_opt_->step_scaled(scale);
   ++gen_updates_;
+  if (gen_updates_total_ != nullptr) gen_updates_total_->inc();
   // One modeled update cost per applied feedback: in the async regime
   // the server is busy for every arrival, not once per round.
   if (cfg_.sim_server_update_seconds > 0.0) {
@@ -387,7 +399,10 @@ void MdGan::server_apply_async(dist::Message&& feedback,
 
 void MdGan::swap_discriminators(const std::vector<int>& present_workers) {
   auto alive_discs = participating_discs(present_workers);
-  if (alive_discs.empty() || present_workers.size() < 2) return;
+  if (alive_discs.empty() || present_workers.size() < 2) {
+    if (swap_skipped_total_ != nullptr) swap_skipped_total_->inc();
+    return;
+  }
 
   // New holders: a uniform injection of discriminators into present
   // workers with no discriminator staying put (gossip SWAP of §IV-C1;
@@ -413,7 +428,11 @@ void MdGan::swap_discriminators(const std::vector<int>& present_workers) {
     if (ok) break;
     targets.clear();
   }
-  if (targets.empty()) return;  // e.g. one worker present hosting the disc
+  if (targets.empty()) {
+    // e.g. one worker present hosting the disc: no derangement exists.
+    if (swap_skipped_total_ != nullptr) swap_skipped_total_->inc();
+    return;
+  }
 
   // Ship parameters old holder -> new holder (W->W traffic), then
   // adopt. The wire carries θ only — the paper's swap cost — so the
@@ -546,6 +565,12 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
   ec.swap_enabled = cfg_.swap_enabled;
   ec.swap_period = swap_period();
   ec.max_staleness = cfg_.async_max_staleness;
+  ec.sink = cfg_.sink;
+  // Per-link wire accounting rides the transport; leave an externally
+  // attached sink alone.
+  if (cfg_.sink != nullptr && net_.sink() == nullptr) {
+    net_.set_sink(cfg_.sink);
+  }
   EngineBridge bridge(*this, iters, eval_every, hook);
   RoundEngine engine(net_, ec, bridge, availability_);
   engine.run(/*first_iter=*/1, iters);

@@ -116,6 +116,12 @@ struct MdGanConfig {
   // the constructor; the kServer role holds no shard, so it must be set
   // explicitly there (it fixes the swap period E * m / b).
   std::size_t shard_size = 0;
+  // Optional telemetry sink (not owned; null = off). train() hands it to
+  // the round engine (phase spans + round metrics), attaches it to the
+  // transport (per-link byte counters, wire events) unless the transport
+  // already carries one, and the trainer itself emits per-worker
+  // local_step spans plus gen_updates_total / swap_skipped_total.
+  obs::Sink* sink = nullptr;
 };
 
 // Helper for the paper's k = floor(log N) configuration (natural log,
@@ -201,6 +207,13 @@ class MdGan {
 
   bool runs_server() const { return role_.runs_server(); }
 
+  // The sink's tracer when span recording is on, else nullptr.
+  obs::Tracer* trace() const {
+    if (cfg_.sink == nullptr) return nullptr;
+    obs::Tracer& t = cfg_.sink->tracer();
+    return t.enabled() ? &t : nullptr;
+  }
+
   // Discriminators participating this round: hosted by a present
   // worker. A discriminator whose host the transport lost is pruned
   // (fail-stop: it dies with its host); one whose host is merely
@@ -253,6 +266,11 @@ class MdGan {
   std::int64_t gen_updates_ = 0;
   std::int64_t stale_dropped_ = 0;
   std::vector<double> round_sim_s_;  // per completed round, seconds
+
+  // Cached instruments (null when cfg_.sink is null).
+  obs::Counter* gen_updates_total_ = nullptr;
+  obs::Counter* swap_skipped_total_ = nullptr;
+  obs::Counter* local_steps_total_ = nullptr;
 };
 
 }  // namespace mdgan::core

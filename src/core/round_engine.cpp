@@ -38,6 +38,27 @@ RoundEngine::RoundEngine(dist::Transport& net, RoundEngineConfig cfg,
   for (std::size_t w = 1; w <= net_.n_workers(); ++w) {
     present_[w] = net_.is_alive(static_cast<int>(w));
   }
+
+  if (cfg_.sink != nullptr) {
+    obs::Registry& r = cfg_.sink->registry();
+    rounds_total_ = &r.counter("rounds_total");
+    stale_dropped_total_ = &r.counter("feedback_stale_dropped_total");
+    round_duration_s_ = &r.histogram(
+        "round_duration_seconds",
+        {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0});
+    feedback_staleness_ = &r.histogram(
+        "feedback_staleness", {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    // Stamp spans with the transport's virtual (or measured) clock. The
+    // transport must outlive span recording; first engine wins so a
+    // reused sink keeps one consistent clock.
+    obs::Tracer& t = cfg_.sink->tracer();
+    if (t.enabled() && !t.has_sim_clock()) {
+      t.set_sim_clock(
+          [&net = net_, n = static_cast<int>(net_.n_workers())](int node) {
+            return node >= 0 && node <= n ? net.sim_time(node) : -1.0;
+          });
+    }
+  }
 }
 
 bool RoundEngine::is_present(int worker) const {
@@ -136,8 +157,12 @@ void RoundEngine::collect_async(std::size_t n_expected, std::size_t k_eff) {
   for (std::size_t i = 0; i < n_expected; ++i) {
     auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag);
     if (!msg) throw std::logic_error("RoundEngine: missing feedback");
+    if (feedback_staleness_ != nullptr) {
+      feedback_staleness_->observe(static_cast<double>(applied));
+    }
     if (applied > cfg_.max_staleness) {
       ++stale_dropped_;  // bounded staleness: too old to apply safely
+      if (stale_dropped_total_ != nullptr) stale_dropped_total_->inc();
       continue;
     }
     delegate_.apply_async(std::move(*msg), applied, k_eff);
@@ -147,12 +172,20 @@ void RoundEngine::collect_async(std::size_t n_expected, std::size_t k_eff) {
 
 std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
   std::int64_t last_completed = first_iter - 1;
+  obs::Tracer* tr = trace();
+  const int self = span_node();
   for (std::int64_t i = first_iter; i < first_iter + rounds; ++i) {
     // Simulated round time = critical-path delta across the round (max
     // over workers' paths into the server, + server apply + swap).
     const double round_start_s = net_.max_sim_time();
-    net_.begin_iteration(i);
-    if (!process_membership(i)) break;
+    obs::Span round_span(tr, "round", obs::Cat::kRound, self, i);
+    bool stop = false;
+    {
+      obs::Span s(tr, "phase:membership", obs::Cat::kPhase, self, i);
+      net_.begin_iteration(i);
+      stop = !process_membership(i);
+    }
+    if (stop) break;
     const auto discs = delegate_.participants(present_workers());
     if (discs.empty()) {
       if (!anyone_returns_after(i)) {
@@ -161,16 +194,28 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
         break;
       }
       // Idle round: nobody is here, but somebody is scheduled back.
-      delegate_.end_round(
-          i, std::max(0.0, net_.max_sim_time() - round_start_s));
+      const double idle_s = std::max(0.0, net_.max_sim_time() - round_start_s);
+      delegate_.end_round(i, idle_s);
+      if (round_duration_s_ != nullptr) round_duration_s_->observe(idle_s);
+      if (rounds_total_ != nullptr) rounds_total_->inc();
+      if (cfg_.sink != nullptr) {
+        cfg_.sink->round_completed(i, net_.max_sim_time());
+      }
       last_completed = i;
       continue;
     }
     const std::size_t k_eff = std::min(cfg_.k, discs.size());
 
-    if (cfg_.role.runs_server()) delegate_.broadcast(discs, k_eff);
-    delegate_.local_work(discs);
     if (cfg_.role.runs_server()) {
+      obs::Span s(tr, "phase:broadcast", obs::Cat::kPhase, self, i);
+      delegate_.broadcast(discs, k_eff);
+    }
+    {
+      obs::Span s(tr, "phase:local", obs::Cat::kPhase, self, i);
+      delegate_.local_work(discs);
+    }
+    if (cfg_.role.runs_server()) {
+      obs::Span s(tr, "phase:collect", obs::Cat::kPhase, self, i);
       if (cfg_.mode == ServerMode::kSync) {
         collect_sync(discs.size(), k_eff);
       } else {
@@ -179,12 +224,18 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
     }
 
     if (cfg_.swap_enabled && i % cfg_.swap_period == 0) {
+      obs::Span s(tr, "phase:swap", obs::Cat::kPhase, self, i);
       delegate_.swap(i, present_workers());
     }
     // Clamped at 0: a crash can remove the node that held the max clock
     // from the alive set, which must not read as negative elapsed time.
-    delegate_.end_round(i,
-                        std::max(0.0, net_.max_sim_time() - round_start_s));
+    const double round_s = std::max(0.0, net_.max_sim_time() - round_start_s);
+    delegate_.end_round(i, round_s);
+    if (round_duration_s_ != nullptr) round_duration_s_->observe(round_s);
+    if (rounds_total_ != nullptr) rounds_total_->inc();
+    if (cfg_.sink != nullptr) {
+      cfg_.sink->round_completed(i, net_.max_sim_time());
+    }
     last_completed = i;
   }
   return last_completed;

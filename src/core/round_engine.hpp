@@ -56,6 +56,7 @@
 
 #include "dist/fault.hpp"
 #include "dist/transport.hpp"
+#include "obs/sink.hpp"
 
 namespace mdgan::core {
 
@@ -144,6 +145,15 @@ struct RoundEngineConfig {
   std::size_t max_staleness = static_cast<std::size_t>(-1);
   // Tag of the worker->server feedback messages the collect loop pops.
   std::string feedback_tag = "feedback";
+  // Optional telemetry sink (not owned, may outlive-the-run null = off):
+  // the engine emits one kRound span per round plus one kPhase span per
+  // phase, observes round_duration_seconds and feedback_staleness,
+  // counts rounds_total / feedback_stale_dropped_total, and calls
+  // Sink::round_completed after every completed round. It also installs
+  // the transport's sim_time as the tracer's virtual-clock source (the
+  // transport must outlive span recording). Null: every instrumented
+  // path is a branch, no allocation.
+  obs::Sink* sink = nullptr;
 };
 
 class RoundEngine {
@@ -179,12 +189,31 @@ class RoundEngine {
   void collect_sync(std::size_t n_expected, std::size_t k_eff);
   void collect_async(std::size_t n_expected, std::size_t k_eff);
 
+  // The sink's tracer when span recording is on, else nullptr.
+  obs::Tracer* trace() const {
+    if (cfg_.sink == nullptr) return nullptr;
+    obs::Tracer& t = cfg_.sink->tracer();
+    return t.enabled() ? &t : nullptr;
+  }
+  // The node id this engine's phase spans belong to.
+  int span_node() const {
+    return cfg_.role.kind == NodeRole::Kind::kWorker ? cfg_.role.worker_id
+                                                     : dist::kServerId;
+  }
+
   dist::Transport& net_;
   RoundEngineConfig cfg_;
   RoundDelegate& delegate_;
   const dist::AvailabilitySchedule* availability_;
   std::vector<bool> present_;  // index 0 = server (always true)
   std::int64_t stale_dropped_ = 0;
+
+  // Cached instruments (see metrics.hpp hot-path contract); null when
+  // cfg_.sink is null.
+  obs::Counter* rounds_total_ = nullptr;
+  obs::Counter* stale_dropped_total_ = nullptr;
+  obs::Histogram* round_duration_s_ = nullptr;
+  obs::Histogram* feedback_staleness_ = nullptr;
 };
 
 }  // namespace mdgan::core

@@ -1,6 +1,7 @@
 #include "dist/sim_network.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 namespace mdgan::dist {
@@ -42,6 +43,14 @@ void SimNetwork::send(int from, int to, const std::string& tag,
   check_node(from);
   check_node(to);
   const LinkKind kind = link_kind(from, to);
+  const std::size_t n_bytes = payload.size();
+  // Trace bookkeeping captured under the lock, emitted after it: the
+  // tracer must never be called while mu_ is held (its sim-clock
+  // callbacks may re-enter sim_time()).
+  obs::Tracer* tracer = obs_tracer();
+  double depart_s = -1.0, arrive_s = -1.0;
+  const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
+  {
   std::lock_guard<std::mutex> lock(mu_);
   if (!alive_[static_cast<std::size_t>(from)] ||
       !alive_[static_cast<std::size_t>(to)]) {
@@ -50,6 +59,7 @@ void SimNetwork::send(int from, int to, const std::string& tag,
   auto& t = totals_[link_index(kind)];
   t.bytes += payload.size();
   t.messages += 1;
+  obs_charge(kind, tag, payload.size());
   ingress_window_[static_cast<std::size_t>(to)] += payload.size();
 
   // Virtual clock: the message departs at the sender's current time and
@@ -92,6 +102,9 @@ void SimNetwork::send(int from, int to, const std::string& tag,
     arrival = start + transmit + d.propagation_s;
   }
 
+  depart_s = sim_time_[static_cast<std::size_t>(from)];
+  arrive_s = arrival;
+
   Stored s;
   s.seq = send_seq_[static_cast<std::size_t>(from)]++;
   s.msg.from = from;
@@ -99,30 +112,64 @@ void SimNetwork::send(int from, int to, const std::string& tag,
   s.msg.payload = std::move(payload);
   s.msg.arrival_s = arrival;
   mailbox_[static_cast<std::size_t>(to)].push_back(std::move(s));
+  }  // mu_ released before touching the tracer
+
+  if (tracer != nullptr) {
+    obs::TraceEvent ev;
+    std::snprintf(ev.name, obs::TraceEvent::kNameCap, "send:%s", tag.c_str());
+    ev.cat = obs::Cat::kNet;
+    ev.node = from;
+    ev.wall_t0_ns = wall_t0;
+    ev.wall_dur_ns = tracer->now_ns() - wall_t0;
+    ev.sim_t0 = depart_s;
+    ev.sim_t1 = arrive_s;
+    ev.bytes = n_bytes;
+    tracer->emit(ev);
+  }
 }
 
 std::optional<Message> SimNetwork::receive_tagged(int node,
                                                   const std::string& tag) {
   check_node(node);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!alive_[static_cast<std::size_t>(node)]) return std::nullopt;
-  auto& box = mailbox_[static_cast<std::size_t>(node)];
-  auto best = box.end();
-  for (auto it = box.begin(); it != box.end(); ++it) {
-    if (it->msg.tag != tag) continue;
-    if (best == box.end() || it->msg.from < best->msg.from ||
-        (it->msg.from == best->msg.from && it->seq < best->seq)) {
-      best = it;
+  obs::Tracer* tracer = obs_tracer();
+  const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
+  std::optional<Message> out;
+  double clock_after = -1.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!alive_[static_cast<std::size_t>(node)]) return std::nullopt;
+    auto& box = mailbox_[static_cast<std::size_t>(node)];
+    auto best = box.end();
+    for (auto it = box.begin(); it != box.end(); ++it) {
+      if (it->msg.tag != tag) continue;
+      if (best == box.end() || it->msg.from < best->msg.from ||
+          (it->msg.from == best->msg.from && it->seq < best->seq)) {
+        best = it;
+      }
     }
+    if (best == box.end()) return std::nullopt;
+    out = std::move(best->msg);
+    box.erase(best);
+    // Consuming a message is the receiver's next event: its clock jumps
+    // forward to the arrival time (never backward — the receiver may
+    // already be later because of advance_time or an earlier arrival).
+    auto& clock = sim_time_[static_cast<std::size_t>(node)];
+    clock = std::max(clock, out->arrival_s);
+    clock_after = clock;
+  }  // mu_ released before touching the tracer
+
+  if (tracer != nullptr) {
+    obs::TraceEvent ev;
+    std::snprintf(ev.name, obs::TraceEvent::kNameCap, "recv:%s", tag.c_str());
+    ev.cat = obs::Cat::kNet;
+    ev.node = node;
+    ev.wall_t0_ns = wall_t0;
+    ev.wall_dur_ns = tracer->now_ns() - wall_t0;
+    ev.sim_t0 = out->arrival_s;
+    ev.sim_t1 = clock_after;
+    ev.bytes = out->payload.size();
+    tracer->emit(ev);
   }
-  if (best == box.end()) return std::nullopt;
-  Message out = std::move(best->msg);
-  box.erase(best);
-  // Consuming a message is the receiver's next event: its clock jumps
-  // forward to the arrival time (never backward — the receiver may
-  // already be later because of advance_time or an earlier arrival).
-  auto& clock = sim_time_[static_cast<std::size_t>(node)];
-  clock = std::max(clock, out.arrival_s);
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
@@ -347,23 +348,45 @@ double TcpNetwork::elapsed_s() const {
       .count();
 }
 
-void TcpNetwork::charge(int src, int dst, std::size_t bytes) {
-  auto& t = totals_[static_cast<std::size_t>(link_kind(src, dst))];
+void TcpNetwork::charge(int src, int dst, const std::string& tag,
+                        std::size_t bytes) {
+  const LinkKind kind = link_kind(src, dst);
+  auto& t = totals_[static_cast<std::size_t>(kind)];
   t.bytes += bytes;
   t.messages += 1;
+  obs_charge(kind, tag, bytes);
 }
 
 void TcpNetwork::mark_dead(int peer) {
   Conn* conn = nullptr;
+  int last_src = -1;
+  std::uint64_t last_seq = 0;
+  std::size_t inflight_msgs = 0, inflight_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!alive_[static_cast<std::size_t>(peer)]) return;
     alive_[static_cast<std::size_t>(peer)] = false;
     conn = conns_[static_cast<std::size_t>(peer)].get();
+    last_src = last_rx_src_;
+    last_seq = last_rx_seq_;
+    for (const auto& s : mailbox_) {
+      ++inflight_msgs;
+      inflight_bytes += s.msg.payload.size();
+    }
   }
   if (!closing_.load()) {
-    MDGAN_LOG_INFO << "TcpNetwork: node " << peer
-                   << " disconnected (fail-stop)";
+    // Drop diagnostics BEFORE the fail-stop mapping takes effect: who
+    // died, how far the stream got, and what is still parked locally.
+    detail::LogLine line(LogLevel::kWarn);
+    line << "TcpNetwork: node " << peer
+         << " disconnected, mapping to fail-stop; last frame received ";
+    if (last_src >= 0) {
+      line << "(sender=" << last_src << ", seq=" << last_seq << ")";
+    } else {
+      line << "(none)";
+    }
+    line << "; " << inflight_msgs << " message(s) / " << inflight_bytes
+         << " payload byte(s) in flight in the local mailbox";
   }
   if (conn && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   cv_.notify_all();
@@ -400,10 +423,12 @@ bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
 void TcpNetwork::enqueue_local(int src, const std::string& tag,
                                ByteBuffer&& payload) {
   std::lock_guard<std::mutex> lock(mu_);
-  charge(src, local_, payload.size());
+  charge(src, local_, tag, payload.size());
   ingress_window_ += payload.size();
   Stored s;
   s.seq = recv_seq_[static_cast<std::size_t>(src)]++;
+  last_rx_src_ = src;
+  last_rx_seq_ = s.seq;
   s.msg.from = src;
   s.msg.tag = tag;
   s.msg.payload = std::move(payload);
@@ -432,7 +457,7 @@ void TcpNetwork::reader_loop(int peer) {
           if (alive_[static_cast<std::size_t>(f.dst)] &&
               registered_[static_cast<std::size_t>(f.dst)]) {
             dst_conn = conns_[static_cast<std::size_t>(f.dst)].get();
-            charge(f.src, f.dst, f.payload.size());
+            charge(f.src, f.dst, f.tag, f.payload.size());
           }
         }
         if (dst_conn != nullptr) {
@@ -492,9 +517,26 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
   }
 
   if (conn == nullptr) return;
+  obs::Tracer* tracer = obs_tracer();
+  const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
+  const double sim_t0 = tracer != nullptr ? elapsed_s() : -1.0;
   if (!write_frame(*conn, route, local_, to, tag, payload)) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  charge(local_, to, payload.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    charge(local_, to, tag, payload.size());
+  }
+  if (tracer != nullptr) {
+    obs::TraceEvent ev;
+    std::snprintf(ev.name, obs::TraceEvent::kNameCap, "send:%s", tag.c_str());
+    ev.cat = obs::Cat::kNet;
+    ev.node = local_;
+    ev.wall_t0_ns = wall_t0;
+    ev.wall_dur_ns = tracer->now_ns() - wall_t0;
+    ev.sim_t0 = sim_t0;
+    ev.sim_t1 = elapsed_s();
+    ev.bytes = payload.size();
+    tracer->emit(ev);
+  }
 }
 
 std::optional<Message> TcpNetwork::receive_tagged(int node,
@@ -525,12 +567,28 @@ std::optional<Message> TcpNetwork::receive_tagged(int node,
     }
     return true;
   };
+  obs::Tracer* tracer = obs_tracer();
+  const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
   for (;;) {
     if (!alive_[static_cast<std::size_t>(local_)]) return std::nullopt;
     auto best = find_best();
     if (best != mailbox_.end()) {
       Message out = std::move(best->msg);
       mailbox_.erase(best);
+      if (tracer != nullptr) {
+        lock.unlock();  // never trace while holding mu_
+        obs::TraceEvent ev;
+        std::snprintf(ev.name, obs::TraceEvent::kNameCap, "recv:%s",
+                      tag.c_str());
+        ev.cat = obs::Cat::kNet;
+        ev.node = local_;
+        ev.wall_t0_ns = wall_t0;
+        ev.wall_dur_ns = tracer->now_ns() - wall_t0;
+        ev.sim_t0 = out.arrival_s;
+        ev.sim_t1 = elapsed_s();
+        ev.bytes = out.payload.size();
+        tracer->emit(ev);
+      }
       return out;
     }
     if (closing_.load() || peers_gone()) return std::nullopt;

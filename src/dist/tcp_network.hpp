@@ -144,7 +144,7 @@ class TcpNetwork final : public Transport {
   void reader_loop(int peer);
   void accept_loop(int listen_fd);
   void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload);
-  void charge(int src, int dst, std::size_t bytes);
+  void charge(int src, int dst, const std::string& tag, std::size_t bytes);
   void mark_dead(int peer);
   void close_all();
 
@@ -161,6 +161,8 @@ class TcpNetwork final : public Transport {
   std::vector<bool> registered_;  // per worker id; server endpoint only
   std::vector<Stored> mailbox_;   // the local node's mailbox
   std::vector<std::uint64_t> recv_seq_;  // per sender, assigned at enqueue
+  int last_rx_src_ = -1;               // most recent enqueued frame's
+  std::uint64_t last_rx_seq_ = 0;      // ...(sender, seq); guarded by mu_
   LinkTotals totals_[3];
   std::uint64_t ingress_window_ = 0;  // the local node's open window
   std::uint64_t ingress_max_ = 0;

@@ -15,4 +15,34 @@ LinkKind link_kind(int from, int to) {
   return LinkKind::kWorkerToWorker;
 }
 
+const char* link_label(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kServerToWorker:
+      return "c2w";
+    case LinkKind::kWorkerToServer:
+      return "w2c";
+    case LinkKind::kWorkerToWorker:
+      return "w2w";
+  }
+  return "?";
+}
+
+void Transport::set_sink(obs::Sink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) {
+    for (auto& l : link_obs_) l = {};
+    return;
+  }
+  // Resolve the hot-path counters once; updates are then lock-free.
+  obs::Registry& r = sink_->registry();
+  for (auto kind : {LinkKind::kServerToWorker, LinkKind::kWorkerToServer,
+                    LinkKind::kWorkerToWorker}) {
+    const std::string label = std::string("link=") + link_label(kind);
+    auto& l = link_obs_[static_cast<std::size_t>(kind)];
+    l.bytes = &r.counter("bytes_total", label);
+    l.messages = &r.counter("messages_total", label);
+    l.feedback_bytes = &r.counter("feedback_bytes_total", label);
+  }
+}
+
 }  // namespace mdgan::dist

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "obs/sink.hpp"
 
 namespace mdgan::dist {
 
@@ -122,8 +123,51 @@ class Transport {
   virtual std::vector<int> alive_workers() const = 0;
   virtual std::size_t alive_worker_count() const = 0;
 
+  // --- observability ---------------------------------------------------
+  // Attaches a telemetry sink (nullptr detaches, the default): every
+  // charged send increments the registry's bytes_total{link} /
+  // messages_total{link} counters (plus feedback_bytes_total{link} for
+  // "feedback"-tagged traffic, which therefore matches the accountant's
+  // totals exactly on the links feedback crosses), and — when the
+  // sink's tracer is enabled — both backends record per-frame send/recv
+  // trace events. Attach BEFORE traffic flows; the sink must outlive
+  // the attachment. Detached (the default) instrumentation costs one
+  // branch and allocates nothing.
+  void set_sink(obs::Sink* sink);
+  obs::Sink* sink() const { return sink_; }
+
  protected:
   Transport() = default;
+
+  // Charge the per-link registry counters for one accounted message.
+  // Counter updates are relaxed atomics: safe under any backend lock.
+  void obs_charge(LinkKind kind, const std::string& tag,
+                  std::size_t bytes) {
+    if (sink_ == nullptr) return;
+    const auto k = static_cast<std::size_t>(kind);
+    link_obs_[k].bytes->inc(bytes);
+    link_obs_[k].messages->inc();
+    if (tag == "feedback") link_obs_[k].feedback_bytes->inc(bytes);
+  }
+  // The attached tracer when span recording is on, else nullptr.
+  obs::Tracer* obs_tracer() const {
+    if (sink_ == nullptr) return nullptr;
+    obs::Tracer& t = sink_->tracer();
+    return t.enabled() ? &t : nullptr;
+  }
+
+ private:
+  struct LinkObs {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* messages = nullptr;
+    obs::Counter* feedback_bytes = nullptr;
+  };
+  obs::Sink* sink_ = nullptr;
+  LinkObs link_obs_[3];
 };
+
+// "c2w" / "w2c" / "w2w": the label value of the per-link metrics and
+// the column names the benches print.
+const char* link_label(LinkKind kind);
 
 }  // namespace mdgan::dist

@@ -1,0 +1,70 @@
+#include "obs/sink.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+
+namespace mdgan::obs {
+
+Sink::Sink(SinkConfig cfg) : cfg_(std::move(cfg)) {
+  tracer_.set_enabled(!cfg_.trace_path.empty() || cfg_.force_trace);
+  tracer_.set_capture_compute(cfg_.compute_spans);
+}
+
+Sink::~Sink() { finish(); }
+
+void Sink::write_metrics_line(const char* kind, std::int64_t round,
+                              double sim_s) {
+  if (cfg_.metrics_path.empty() || metrics_open_failed_) return;
+  if (!metrics_out_.is_open()) {
+    metrics_out_.open(cfg_.metrics_path, std::ios::trunc);
+    if (!metrics_out_) {
+      metrics_open_failed_ = true;
+      MDGAN_LOG_ERROR << "obs: cannot open metrics file "
+                      << cfg_.metrics_path;
+      return;
+    }
+  }
+  registry_.write_snapshot_json(metrics_out_, kind, round,
+                                static_cast<double>(tracer_.now_ns()) / 1e9,
+                                sim_s);
+  metrics_out_ << '\n';
+  metrics_out_.flush();
+}
+
+void Sink::round_completed(std::int64_t iter, double sim_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_round_ = iter;
+  last_sim_s_ = sim_s;
+  if (cfg_.metrics_interval > 0 && iter % cfg_.metrics_interval == 0) {
+    write_metrics_line("snapshot", iter, sim_s);
+  }
+}
+
+void Sink::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  write_metrics_line("final", last_round_, last_sim_s_);
+  if (metrics_out_.is_open()) metrics_out_.close();
+  if (!cfg_.trace_path.empty()) {
+    tracer_.write_chrome_trace_file(cfg_.trace_path);
+  }
+}
+
+namespace {
+std::atomic<Sink*> g_sink{nullptr};
+}  // namespace
+
+Sink* install_global_sink(Sink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+Sink* global_sink() { return g_sink.load(std::memory_order_acquire); }
+
+Tracer* global_tracer() {
+  Sink* s = g_sink.load(std::memory_order_acquire);
+  return s != nullptr ? &s->tracer() : nullptr;
+}
+
+}  // namespace mdgan::obs

@@ -1,0 +1,91 @@
+// The sink bundles the two telemetry pillars — a span Tracer and a
+// metrics Registry — behind one handle the engine, trainers, transports
+// and benches share. Wiring is a plain pointer: components that take an
+// obs::Sink* treat nullptr as "telemetry off" and their instrumented
+// paths collapse to a branch (zero steady-state heap allocations,
+// pinned by tests/obs/).
+//
+// Lifecycle: construct with a SinkConfig naming the output files (empty
+// paths disable that pillar's export; the tracer records in memory only
+// when a trace path — or force_trace for tests — asks for it). The
+// engine calls round_completed(iter, sim_s) after every completed
+// round, which appends a JSONL metrics snapshot every
+// `metrics_interval` rounds. finish() — idempotent, also run by the
+// destructor — appends the final summary line and writes the Chrome
+// trace file.
+//
+// A process-global sink (install_global_sink) serves the two
+// instrumentation points with no wiring path to a config struct: GEMM
+// dispatch and thread-pool fan-out. Both emit kCompute spans, which
+// stay off unless SinkConfig.compute_spans opted in.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mdgan::obs {
+
+struct SinkConfig {
+  // Chrome trace-event JSON output path; empty = tracing off.
+  std::string trace_path;
+  // Metrics JSONL output path; empty = no metrics stream (the registry
+  // still counts, callers may read it directly).
+  std::string metrics_path;
+  // Append a metrics snapshot line every N completed rounds; 0 = only
+  // the final summary line.
+  std::int64_t metrics_interval = 1;
+  // Record kCompute spans (GEMM, pool dispatch). High-frequency;
+  // off by default so protocol traces stay readable.
+  bool compute_spans = false;
+  // Tests: record spans in memory without requiring a trace_path.
+  bool force_trace = false;
+};
+
+class Sink {
+ public:
+  explicit Sink(SinkConfig cfg = {});
+  ~Sink();
+
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  Tracer& tracer() { return tracer_; }
+  Registry& registry() { return registry_; }
+  const SinkConfig& config() const { return cfg_; }
+
+  // Engine hook: one completed round. Appends a snapshot line to the
+  // metrics stream when the interval divides `iter`.
+  void round_completed(std::int64_t iter, double sim_s);
+
+  // Final metrics line + trace file. Idempotent; run by ~Sink too.
+  void finish();
+
+ private:
+  void write_metrics_line(const char* kind, std::int64_t round,
+                          double sim_s);
+
+  SinkConfig cfg_;
+  Tracer tracer_;
+  Registry registry_;
+  std::mutex mu_;  // serializes the metrics stream and finish()
+  std::ofstream metrics_out_;
+  bool metrics_open_failed_ = false;
+  std::int64_t last_round_ = 0;
+  double last_sim_s_ = 0.0;
+  bool finished_ = false;
+};
+
+// Process-global sink for instrumentation with no wiring path (GEMM,
+// thread pool). Not owned; the installer must outlive use or uninstall
+// (install nullptr) first. Returns the previous sink.
+Sink* install_global_sink(Sink* sink);
+Sink* global_sink();
+// The global sink's tracer, or nullptr — the one-load hot-path gate.
+Tracer* global_tracer();
+
+}  // namespace mdgan::obs

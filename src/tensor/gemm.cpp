@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/sink.hpp"
+
 namespace mdgan {
 
 // Kernel variants instantiated from gemm_kernel.inc (one TU per ISA).
@@ -110,6 +112,8 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t ldb, bool accumulate, float* c, std::size_t ldc,
            const GemmTileHook* hook) {
   if (handle_degenerate(accumulate, m, n, k, c, ldc, hook)) return;
+  obs::Span span(obs::global_tracer(), "gemm_f32", obs::Cat::kCompute,
+                 /*node=*/-1);
   const GemmArgs<float> g = make_args(trans_a, trans_b, m, n, k, a, lda, b,
                                       ldb, accumulate, c, ldc, hook);
   switch (active_isa()) {
@@ -129,6 +133,8 @@ void dgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t ldb, bool accumulate, double* c, std::size_t ldc,
            const GemmTileHook* hook) {
   if (handle_degenerate(accumulate, m, n, k, c, ldc, hook)) return;
+  obs::Span span(obs::global_tracer(), "gemm_f64", obs::Cat::kCompute,
+                 /*node=*/-1);
   const GemmArgs<double> g = make_args(trans_a, trans_b, m, n, k, a, lda, b,
                                        ldb, accumulate, c, ldc, hook);
   switch (active_isa()) {

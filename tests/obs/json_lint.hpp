@@ -1,0 +1,211 @@
+// Minimal strict JSON well-formedness checker for the obs tests: enough
+// of RFC 8259 to validate the Chrome trace files and JSONL metric lines
+// the telemetry layer emits, with no third-party parser in the build.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace mdgan::obs::testing {
+
+class JsonLint {
+ public:
+  explicit JsonLint(const std::string& text) : s_(text) {}
+
+  // True when the whole input is exactly one valid JSON value (plus
+  // surrounding whitespace). On failure `error()` points at the issue.
+  bool valid() {
+    at_ = 0;
+    err_.clear();
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (at_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return err_; }
+
+ private:
+  bool fail(const char* what) {
+    if (err_.empty()) {
+      err_ = std::string(what) + " at offset " + std::to_string(at_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (at_ < s_.size() &&
+           (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' ||
+            s_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (s_.compare(at_, n, word) != 0) return fail("bad literal");
+    at_ += n;
+    return true;
+  }
+
+  bool value() {
+    if (at_ >= s_.size()) return fail("unexpected end");
+    switch (s_[at_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++at_;  // '{'
+    skip_ws();
+    if (at_ < s_.size() && s_[at_] == '}') {
+      ++at_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return fail("object key must be a string");
+      skip_ws();
+      if (at_ >= s_.size() || s_[at_] != ':') return fail("missing ':'");
+      ++at_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (at_ >= s_.size()) return fail("unterminated object");
+      if (s_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (s_[at_] == '}') {
+        ++at_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++at_;  // '['
+    skip_ws();
+    if (at_ < s_.size() && s_[at_] == ']') {
+      ++at_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (at_ >= s_.size()) return fail("unterminated array");
+      if (s_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (s_[at_] == ']') {
+        ++at_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    if (at_ >= s_.size() || s_[at_] != '"') return fail("expected string");
+    ++at_;
+    while (at_ < s_.size()) {
+      const char c = s_[at_];
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c == '\\') {
+        ++at_;
+        if (at_ >= s_.size()) return fail("bad escape");
+        const char e = s_[at_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++at_;
+            if (at_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[at_])) == 0) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+        ++at_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control char in string");
+      }
+      ++at_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = at_;
+    if (at_ < s_.size() && s_[at_] == '-') ++at_;
+    if (at_ >= s_.size() ||
+        std::isdigit(static_cast<unsigned char>(s_[at_])) == 0) {
+      return fail("expected digit");
+    }
+    while (at_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[at_])) != 0) {
+      ++at_;
+    }
+    if (at_ < s_.size() && s_[at_] == '.') {
+      ++at_;
+      if (at_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[at_])) == 0) {
+        return fail("expected fraction digit");
+      }
+      while (at_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[at_])) != 0) {
+        ++at_;
+      }
+    }
+    if (at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+      ++at_;
+      if (at_ < s_.size() && (s_[at_] == '+' || s_[at_] == '-')) ++at_;
+      if (at_ >= s_.size() ||
+          std::isdigit(static_cast<unsigned char>(s_[at_])) == 0) {
+        return fail("expected exponent digit");
+      }
+      while (at_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[at_])) != 0) {
+        ++at_;
+      }
+    }
+    return at_ > start;
+  }
+
+  const std::string& s_;
+  std::size_t at_ = 0;
+  std::string err_;
+};
+
+inline bool json_well_formed(const std::string& text, std::string* err = nullptr) {
+  JsonLint lint(text);
+  const bool ok = lint.valid();
+  if (!ok && err != nullptr) *err = lint.error();
+  return ok;
+}
+
+}  // namespace mdgan::obs::testing
