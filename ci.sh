@@ -8,6 +8,18 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# `ci.sh --tsan`: ThreadSanitizer pass over the concurrency-heavy
+# dist/core tests (reader threads, the acceptor's control pump,
+# mark_dead vs close) in its own build tree, then exit.
+if [ "${1:-}" = "--tsan" ]; then
+  cmake -B build-tsan -S . -DMDGAN_TSAN=ON \
+    -DMDGAN_BUILD_BENCHES=OFF -DMDGAN_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j"$(nproc)"
+  cd build-tsan && ctest --output-on-failure -R '^(dist|core)_'
+  echo "tsan pass clean"
+  exit 0
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build && ctest --output-on-failure -j"$(nproc)"
@@ -159,3 +171,79 @@ grep -q 'finite=yes' mdgan_elastic_sim.log || {
   echo "FAIL: leave/rejoin sim run did not complete with finite weights"
   exit 1
 }
+
+echo "--- drill: kill -9 a worker mid-run (unscheduled fail-stop + rejoin)"
+# Three workers, no schedule announcing anything. Worker 3 is SIGKILLed
+# mid-round (the step delay widens the window so the kill lands between
+# its receive and its feedback send). The server must fail-stop it from
+# the EOF, shrink the affected collect, notify the survivors over the
+# control plane, and finish all iterations with finite weights; a probe
+# process then re-dials as worker 3 and must be granted a rejoin under
+# a bumped membership epoch rather than rejected as a duplicate.
+KILL_FLAGS="--workers=3 --iters=30 --k=2 --swap=0 --recv-timeout=15 \
+  --log-level=info"
+./mdgan_node --role=server --port=0 $KILL_FLAGS \
+  --metrics-out=kill_metrics.jsonl > kill_server.log 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on 0.0.0.0:[0-9]+' kill_server.log \
+         | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "kill-drill server never listened"; exit 1; }
+./mdgan_node --role=worker --id=1 --connect=127.0.0.1:"$PORT" \
+  $KILL_FLAGS --step-delay-ms=60 > kill_w1.log 2>&1 &
+W1_PID=$!
+./mdgan_node --role=worker --id=2 --connect=127.0.0.1:"$PORT" \
+  $KILL_FLAGS --step-delay-ms=60 > kill_w2.log 2>&1 &
+W2_PID=$!
+./mdgan_node --role=worker --id=3 --connect=127.0.0.1:"$PORT" \
+  $KILL_FLAGS --step-delay-ms=60 > kill_w3.log 2>&1 &
+W3_PID=$!
+# Only start the kill timer once the cluster actually formed.
+for _ in $(seq 1 200); do
+  grep -q 'all 3 workers connected' kill_server.log && break
+  sleep 0.1
+done
+grep -q 'all 3 workers connected' kill_server.log || {
+  echo "kill-drill rendezvous never completed"; exit 1; }
+sleep 1.2  # a few rounds in: the kill lands mid-round
+kill -9 "$W3_PID"
+echo "killed worker 3 (pid $W3_PID)"
+# While the survivors keep training, a fresh process re-dials as the
+# dead id: the control plane must grant the rejoin, not reject it.
+./mdgan_node --role=rejoin --id=3 --connect=127.0.0.1:"$PORT" \
+  --workers=3 --recv-timeout=15 | tee kill_rejoin.log
+wait "$W3_PID" && { echo "worker 3 survived its kill -9?"; exit 1; } || {
+  rc=$?
+  [ "$rc" -eq 137 ] || { echo "worker 3 exit=$rc, want 137"; exit 1; }
+}
+for pid in "$W1_PID" "$W2_PID" "$SERVER_PID"; do
+  wait "$pid" || { echo "kill-drill survivor $pid failed"; exit 1; }
+done
+cat kill_server.log
+grep -q 'disconnected, mapping to fail-stop' kill_server.log || {
+  echo "FAIL: server never logged the unscheduled fail-stop"; exit 1; }
+grep -q 'granting rejoin to worker 3' kill_server.log || {
+  echo "FAIL: server never granted the rejoin"; exit 1; }
+grep -q 'finite=yes' kill_server.log || {
+  echo "FAIL: server did not finish with finite weights"; exit 1; }
+grep -q 'granted=yes' kill_rejoin.log || {
+  echo "FAIL: rejoin probe was not granted"; exit 1; }
+for w in 1 2; do
+  grep -q 'death notice for worker 3' kill_w"$w".log || {
+    echo "FAIL: worker $w never received the death notice"; exit 1; }
+done
+python3 - <<'PY'
+import json
+final = [json.loads(l) for l in open("kill_metrics.jsonl")][-1]
+c, g = final["counters"], final["gauges"]
+assert c.get("peer_deaths_total", 0) >= 1, c
+assert c.get("rejoins_total", 0) >= 1, c
+assert g.get("membership_epoch", 0) >= 2, g
+print("kill-drill metrics OK: deaths=%d rejoins=%d epoch=%g" %
+      (c["peer_deaths_total"], c["rejoins_total"], g["membership_epoch"]))
+PY
+echo "kill-drill OK: server survived an unscheduled mid-round death"

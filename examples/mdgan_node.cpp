@@ -44,6 +44,20 @@
 // (the swap replay skips absent workers deterministically), e.g.
 //
 //   --absent=2@2-4   worker 2 misses iterations 2 and 3, then rejoins.
+//
+// Unscheduled crashes (kill -9, no schedule): the transport's control
+// plane handles these — the server fail-stops the dead worker, bumps
+// the membership epoch, notifies survivors (!death) and the collect
+// shrinks to what is still alive. Crash-drill knobs: --recv-timeout
+// bounds a blocking receive (TcpOptions.receive_timeout_s),
+// --rendezvous-timeout the join deadline, --step-delay-ms sleeps each
+// worker local step so a kill reliably lands mid-round, and a fourth
+// role probes re-entry after a death:
+//
+//   ./mdgan_node --role=rejoin --id=2 --connect=host:29471 --workers=2
+//
+// prints "rejoin: worker 2 ready=.. granted=.. epoch=.." and exits 0
+// iff the server granted the rejoin under a bumped membership epoch.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -152,7 +166,23 @@ NodeConfig parse_training_flags(const CliFlags& flags) {
   }
   const std::string absent = flags.get("absent", "");
   if (!absent.empty()) nc.availability = parse_absences(absent);
+  // Wall-clock sleep per worker local step: widens the mid-round window
+  // so an external kill (the ci.sh crash drill) reliably lands between
+  // a worker's receive and its feedback send.
+  nc.cfg.step_delay_s = flags.get_double("step-delay-ms", 0.0) / 1000.0;
   return nc;
+}
+
+// Transport knobs shared by the TCP roles. --recv-timeout matters for
+// crash runs: it bounds how long the server's collect blocks on a
+// worker that died without a goodbye before the liveness re-check.
+dist::TcpOptions tcp_options_from(const CliFlags& flags) {
+  dist::TcpOptions opts;
+  opts.rendezvous_timeout_s =
+      flags.get_double("rendezvous-timeout", opts.rendezvous_timeout_s);
+  opts.receive_timeout_s =
+      flags.get_double("recv-timeout", opts.receive_timeout_s);
+  return opts;
 }
 
 // Every role regenerates the full dataset and splits it with the same
@@ -194,8 +224,9 @@ int run_sim(const NodeConfig& nc) {
   return 0;
 }
 
-int run_server(const NodeConfig& nc, std::uint16_t port) {
-  auto net = dist::TcpNetwork::serve(port, nc.workers);
+int run_server(const NodeConfig& nc, std::uint16_t port,
+               const dist::TcpOptions& opts) {
+  auto net = dist::TcpNetwork::serve(port, nc.workers, opts);
   std::printf("server: listening on 0.0.0.0:%u, waiting for %zu workers\n",
               net->port(), nc.workers);
   std::fflush(stdout);
@@ -216,7 +247,8 @@ int run_server(const NodeConfig& nc, std::uint16_t port) {
   return 0;
 }
 
-int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
+int run_worker(const NodeConfig& nc, const std::string& connect, int id,
+               const dist::TcpOptions& opts) {
   const auto colon = connect.rfind(':');
   if (colon == std::string::npos) {
     std::fprintf(stderr, "mdgan_node: --connect wants host:port\n");
@@ -225,7 +257,7 @@ int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
   const std::string host = connect.substr(0, colon);
   const auto port =
       static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
-  auto net = dist::TcpNetwork::connect(host, port, id, nc.workers);
+  auto net = dist::TcpNetwork::connect(host, port, id, nc.workers, opts);
   std::printf("worker %d: connected to %s\n", id, connect.c_str());
   std::fflush(stdout);
   auto shards = shards_of(nc);
@@ -236,6 +268,32 @@ int run_worker(const NodeConfig& nc, const std::string& connect, int id) {
   std::printf("worker %d: done, %lld iterations\n", id,
               static_cast<long long>(md.iterations_run()));
   return 0;
+}
+
+// Control-plane probe: re-dial the cluster from a worker id that died
+// mid-run and report whether the server granted the rejoin (instead of
+// rejecting the id as a duplicate hello) and under which membership
+// epoch. 0 iff granted under a bumped epoch — the ci.sh crash drill's
+// check that a restarted process can re-enter the cluster.
+int run_rejoin_probe(const NodeConfig& nc, const std::string& connect,
+                     int id, const dist::TcpOptions& opts) {
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "mdgan_node: --connect wants host:port\n");
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+  auto net = dist::TcpNetwork::connect(host, port, id, nc.workers, opts);
+  const bool ready = net->wait_ready();
+  const bool granted = net->rejoin_granted();
+  const auto epoch = net->membership_epoch();
+  std::printf("rejoin: worker %d ready=%s granted=%s epoch=%llu\n", id,
+              ready ? "yes" : "no", granted ? "yes" : "no",
+              static_cast<unsigned long long>(epoch));
+  std::fflush(stdout);
+  return (ready && granted && epoch >= 1) ? 0 : 1;
 }
 
 }  // namespace
@@ -265,16 +323,23 @@ int main(int argc, char** argv) {
     }
 
     int rc = 2;
+    const dist::TcpOptions topts = tcp_options_from(flags);
     if (role == "sim") {
       rc = run_sim(nc);
     } else if (role == "server") {
       rc = run_server(
-          nc, static_cast<std::uint16_t>(flags.get_int("port", 29471)));
+          nc, static_cast<std::uint16_t>(flags.get_int("port", 29471)),
+          topts);
     } else if (role == "worker") {
-      rc = run_worker(nc, flags.get("connect", "127.0.0.1:29471"), id);
+      rc = run_worker(nc, flags.get("connect", "127.0.0.1:29471"), id,
+                      topts);
+    } else if (role == "rejoin") {
+      rc = run_rejoin_probe(nc, flags.get("connect", "127.0.0.1:29471"),
+                            id, topts);
     } else {
       std::fprintf(stderr,
-                   "mdgan_node: --role must be sim, server or worker\n");
+                   "mdgan_node: --role must be sim, server, worker or "
+                   "rejoin\n");
     }
     if (sink) {
       obs::install_global_sink(nullptr);

@@ -1,8 +1,10 @@
 #include "core/md_gan.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <thread>
 
 #include "common/log.hpp"
 #include "dist/cluster.hpp"
@@ -250,6 +252,19 @@ void MdGan::local_work(const std::vector<std::size_t>& discs) {
   }
 }
 
+std::optional<dist::Message> MdGan::receive_resilient(int node,
+                                                      const std::string& tag,
+                                                      int sender) {
+  for (;;) {
+    const std::uint64_t epoch0 = net_.membership_epoch();
+    if (auto msg = net_.receive_tagged(node, tag)) return msg;
+    if (!net_.is_alive(sender)) return std::nullopt;
+    if (net_.membership_epoch() == epoch0) return std::nullopt;
+    // Membership churn woke the receive, but the peer we are waiting on
+    // is still alive: keep waiting.
+  }
+}
+
 void MdGan::worker_iteration(std::size_t disc_index) {
   Disc& disc = discs_[disc_index];
   Worker& w = *workers_[disc.holder - 1];
@@ -259,7 +274,7 @@ void MdGan::worker_iteration(std::size_t disc_index) {
                  iters_run_ + 1);
   if (local_steps_total_ != nullptr) local_steps_total_->inc();
 
-  auto msg = net_.receive_tagged(disc.holder, "gen_batches");
+  auto msg = receive_resilient(disc.holder, "gen_batches", dist::kServerId);
   if (!msg) {
     throw std::logic_error("MdGan worker " + std::to_string(disc.holder) +
                            ": missing generated batches");
@@ -294,6 +309,10 @@ void MdGan::worker_iteration(std::size_t disc_index) {
   // arrival + compute on the worker's simulated clock.
   if (cfg_.sim_worker_step_seconds > 0.0) {
     net_.advance_time(disc.holder, cfg_.sim_worker_step_seconds);
+  }
+  if (cfg_.step_delay_s > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg_.step_delay_s));
   }
 
   ByteBuffer buf;
@@ -481,8 +500,23 @@ void MdGan::swap_discriminators(const std::vector<int>& present_workers) {
       }
       for (std::size_t p = 0; p < nd; ++p) {
         if (targets[p] != me) continue;
-        auto msg = net_.receive_tagged(me, "disc_swap");
-        if (!msg) throw std::logic_error("MdGan swap: missing message");
+        // The incoming parameters travel from the old holder via the
+        // relay; if that worker crashed unscheduled mid-swap they will
+        // never arrive. Skip the adoption — the holder bookkeeping
+        // below still runs, so this view stays aligned with the other
+        // roles', and the next membership round prunes the orphan.
+        const int source = discs_[alive_discs[p]].holder;
+        auto msg = receive_resilient(me, "disc_swap", source);
+        if (!msg) {
+          if (!net_.is_alive(source)) {
+            MDGAN_LOG_WARN << "MdGan worker " << me << ": swap source "
+                           << source << " died mid-swap; keeping current "
+                              "discriminator " << alive_discs[p]
+                           << " parameters";
+            continue;
+          }
+          throw std::logic_error("MdGan swap: missing message");
+        }
         const auto idx = msg->payload.read_pod<std::uint32_t>();
         if (idx != alive_discs[p]) {
           throw std::logic_error("MdGan swap: discriminator id mismatch");
@@ -524,6 +558,13 @@ struct MdGan::EngineBridge final : RoundDelegate {
   std::vector<std::size_t> participants(
       const std::vector<int>& present_workers) override {
     return md.participating_discs(present_workers);
+  }
+  std::vector<int> feedback_senders(
+      const std::vector<std::size_t>& discs) override {
+    std::vector<int> out;
+    out.reserve(discs.size());
+    for (auto j : discs) out.push_back(md.discs_[j].holder);
+    return out;
   }
   void broadcast(const std::vector<std::size_t>& discs,
                  std::size_t k_eff) override {

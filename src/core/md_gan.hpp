@@ -112,6 +112,12 @@ struct MdGanConfig {
   // default zero link model — keeps every simulated clock at 0.
   double sim_worker_step_seconds = 0.0;
   double sim_server_update_seconds = 0.0;
+  // REAL (wall-clock) sleep per worker local step, between receiving
+  // the generated batches and shipping the feedback. Zero by default;
+  // meaningful on worker roles over a real transport, where it widens
+  // the mid-round window (e.g. so a crash test can reliably land a
+  // kill between receive and send).
+  double step_delay_s = 0.0;
   // Samples per worker shard. 0 derives it from the shards handed to
   // the constructor; the kServer role holds no shard, so it must be set
   // explicitly there (it fixes the swap period E * m / b).
@@ -228,6 +234,15 @@ class MdGan {
   // pool; kWorker: the ones this worker hosts; kServer: none).
   void local_work(const std::vector<std::size_t>& discs);
   void worker_iteration(std::size_t disc_index);
+  // receive_tagged that survives membership churn: a control-plane
+  // epoch bump (some OTHER peer died or rejoined) wakes a blocking
+  // receive with nullopt, which must not be confused with a lost
+  // message. Retries while `sender` is alive and the epoch keeps
+  // moving; nullopt only when the sender is dead or the receive timed
+  // out under quiet membership.
+  std::optional<dist::Message> receive_resilient(int node,
+                                                 const std::string& tag,
+                                                 int sender);
   // Sync server reduce: averages all feedbacks per batch, one Adam
   // step. Feedbacks are folded in sender order regardless of arrival
   // order, so the float accumulation is identical whether the transport

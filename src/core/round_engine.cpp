@@ -35,6 +35,7 @@ RoundEngine::RoundEngine(dist::Transport& net, RoundEngineConfig cfg,
   // before the run started stay out); the schedule's first transitions
   // land at iteration >= 1 and are processed by the first round.
   present_.assign(net_.n_workers() + 1, true);
+  lost_.assign(net_.n_workers() + 1, false);
   for (std::size_t w = 1; w <= net_.n_workers(); ++w) {
     present_[w] = net_.is_alive(static_cast<int>(w));
   }
@@ -90,6 +91,13 @@ bool RoundEngine::process_membership(std::int64_t iter) {
     const bool now = alive && scheduled;
     const auto wi = static_cast<std::size_t>(w);
     if (now == present_[wi]) continue;
+    if (now && lost_[wi]) {
+      // Transport-level revival of a worker that already failed-stop:
+      // its shard and hosted discriminator died with it, so the
+      // protocol does not re-admit it. The control plane still serves
+      // the connection (a rejoin probe, a future state-transfer path).
+      continue;
+    }
     present_[wi] = now;
     if (now) {
       MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
@@ -114,6 +122,7 @@ bool RoundEngine::process_membership(std::int64_t iter) {
                                    : " left temporarily, ")
                      << present_count() << " present";
     }
+    if (permanent) lost_[wi] = true;
     delegate_.on_leave(w, permanent, iter);
   }
   if (cfg_.role.kind == NodeRole::Kind::kWorker) {
@@ -137,26 +146,97 @@ bool RoundEngine::anyone_returns_after(std::int64_t iter) const {
   return false;
 }
 
-void RoundEngine::collect_sync(std::size_t n_expected, std::size_t k_eff) {
+std::optional<dist::Message> RoundEngine::collect_one(
+    std::vector<int>& waiting, std::int64_t iter) {
+  auto deliver = [&](dist::Message&& msg) {
+    // One expected message per waiting entry: retire the sender's
+    // earliest outstanding slot.
+    auto it = std::find(waiting.begin(), waiting.end(), msg.from);
+    if (it != waiting.end()) waiting.erase(it);
+    return std::optional<dist::Message>(std::move(msg));
+  };
+  for (;;) {
+    if (waiting.empty()) return std::nullopt;
+    // Pop anything already queued before looking at liveness: a sender
+    // that died AFTER shipping its feedback must still be folded — the
+    // transport's per-connection FIFO enqueued the message before the
+    // EOF that killed it.
+    if (auto msg = net_.try_receive_tagged(dist::kServerId,
+                                           cfg_.feedback_tag)) {
+      return deliver(std::move(*msg));
+    }
+    // Nothing queued: a dead waiting sender can never deliver anymore.
+    // Prune it from the round — membership-wise this is an unscheduled
+    // permanent leave, observed mid-round.
+    bool pruned = false;
+    for (std::size_t j = 0; j < waiting.size();) {
+      const int w = waiting[j];
+      if (net_.is_alive(w)) {
+        ++j;
+        continue;
+      }
+      waiting.erase(std::remove(waiting.begin(), waiting.end(), w),
+                    waiting.end());
+      pruned = true;
+      const auto wi = static_cast<std::size_t>(w);
+      if (present_[wi]) {
+        present_[wi] = false;
+        lost_[wi] = true;
+        MDGAN_LOG_WARN << "iteration " << iter << ": worker " << w
+                       << " died mid-round (unscheduled fail-stop); "
+                          "folding what arrived, "
+                       << present_count() << " present";
+        delegate_.on_leave(w, true, iter);
+      }
+      j = 0;  // indices shifted; rescan
+    }
+    if (pruned) continue;
+    // Block for the next arrival. The epoch snapshot distinguishes a
+    // real timeout from a membership wake-up: on a bump the transport
+    // returns nullopt early so this loop re-checks liveness above.
+    const std::uint64_t epoch0 = net_.membership_epoch();
+    if (auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag)) {
+      return deliver(std::move(*msg));
+    }
+    if (net_.membership_epoch() == epoch0) {
+      // Live senders, quiet membership, and the full receive timeout
+      // elapsed empty: a lost message, which fail-stop cannot explain.
+      throw std::logic_error("RoundEngine: missing feedback");
+    }
+  }
+}
+
+void RoundEngine::collect_sync(std::vector<int> waiting, std::size_t k_eff,
+                               std::int64_t iter) {
   std::vector<dist::Message> batch;
-  batch.reserve(n_expected);
-  for (std::size_t i = 0; i < n_expected; ++i) {
-    auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag);
-    if (!msg) throw std::logic_error("RoundEngine: missing feedback");
+  batch.reserve(waiting.size());
+  while (!waiting.empty()) {
+    auto msg = collect_one(waiting, iter);
+    if (!msg) break;  // pruning emptied the round: fold what arrived
     batch.push_back(std::move(*msg));
+  }
+  if (batch.empty()) {
+    // No feedback at all: skip the fold entirely. An optimizer step on
+    // zero gradients is NOT a no-op (Adam's moments keep moving the
+    // parameters), so an empty round must not touch the generator.
+    MDGAN_LOG_WARN << "iteration " << iter
+                   << ": every feedback sender died mid-round; skipping "
+                      "the fold";
+    return;
   }
   delegate_.fold_sync(std::move(batch), k_eff);
 }
 
-void RoundEngine::collect_async(std::size_t n_expected, std::size_t k_eff) {
+void RoundEngine::collect_async(std::vector<int> waiting, std::size_t k_eff,
+                                std::int64_t iter) {
   // One optimizer step per arrival, no barrier. `applied` doubles as
   // the staleness of the next message: every applied step moved the
   // generator away from the parameters that produced this round's
   // batches.
   std::size_t applied = 0;
-  for (std::size_t i = 0; i < n_expected; ++i) {
-    auto msg = net_.receive_tagged(dist::kServerId, cfg_.feedback_tag);
-    if (!msg) throw std::logic_error("RoundEngine: missing feedback");
+  while (!waiting.empty()) {
+    auto msg = collect_one(waiting, iter);
+    if (!msg) break;  // pruning emptied the round
     if (feedback_staleness_ != nullptr) {
       feedback_staleness_->observe(static_cast<double>(applied));
     }
@@ -216,10 +296,11 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
     }
     if (cfg_.role.runs_server()) {
       obs::Span s(tr, "phase:collect", obs::Cat::kPhase, self, i);
+      auto senders = delegate_.feedback_senders(discs);
       if (cfg_.mode == ServerMode::kSync) {
-        collect_sync(discs.size(), k_eff);
+        collect_sync(std::move(senders), k_eff, i);
       } else {
-        collect_async(discs.size(), k_eff);
+        collect_async(std::move(senders), k_eff, i);
       }
     }
 

@@ -51,6 +51,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -113,8 +114,17 @@ class RoundDelegate {
   // process embodies.
   virtual void local_work(const std::vector<std::size_t>& discs) = 0;
 
+  // kCollect: the worker expected to send each participant's feedback,
+  // aligned with `discs` (entry j is the holder of discs[j]). The
+  // engine re-checks these senders' liveness whenever a blocking
+  // receive wakes up empty, so an unscheduled mid-round death shrinks
+  // the round instead of wedging it.
+  virtual std::vector<int> feedback_senders(
+      const std::vector<std::size_t>& discs) = 0;
+
   // kCollect, ServerMode::kSync: every feedback of the round, in the
-  // (sender, seq) order the receive loop popped them.
+  // (sender, seq) order the receive loop popped them. A mid-round death
+  // can shrink the batch below the participant count.
   virtual void fold_sync(std::vector<dist::Message>&& feedbacks,
                          std::size_t k_eff) = 0;
   // kCollect, ServerMode::kAsync: one message on arrival. `staleness`
@@ -186,8 +196,20 @@ class RoundEngine {
   // transport-dead)?
   bool anyone_returns_after(std::int64_t iter) const;
 
-  void collect_sync(std::size_t n_expected, std::size_t k_eff);
-  void collect_async(std::size_t n_expected, std::size_t k_eff);
+  // Pops the next feedback while `waiting` (one entry per expected
+  // message, the sender's id) is non-empty, degrading the round under
+  // it: a waiting sender the transport lost is first drained — its
+  // feedback may have been enqueued before its connection died — and
+  // otherwise pruned (present_ drops it, on_leave(permanent) fires).
+  // nullopt when pruning emptied `waiting`; throws std::logic_error
+  // only when nothing arrived, membership stayed quiet, and every
+  // waiting sender is still alive (the legacy lost-message failure).
+  std::optional<dist::Message> collect_one(std::vector<int>& waiting,
+                                           std::int64_t iter);
+  void collect_sync(std::vector<int> waiting, std::size_t k_eff,
+                    std::int64_t iter);
+  void collect_async(std::vector<int> waiting, std::size_t k_eff,
+                     std::int64_t iter);
 
   // The sink's tracer when span recording is on, else nullptr.
   obs::Tracer* trace() const {
@@ -206,6 +228,11 @@ class RoundEngine {
   RoundDelegate& delegate_;
   const dist::AvailabilitySchedule* availability_;
   std::vector<bool> present_;  // index 0 = server (always true)
+  // Workers that left PERMANENTLY (fail-stop or a scheduled leave with
+  // no rejoin): their shard and hosted discriminator are gone, so a
+  // transport-level revival (a rejoin-granted connection from the same
+  // id) must not re-admit them to the protocol.
+  std::vector<bool> lost_;
   std::int64_t stale_dropped_ = 0;
 
   // Cached instruments (see metrics.hpp hot-path contract); null when

@@ -1,5 +1,8 @@
 #include "dist/frame.hpp"
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <cstring>
 #include <stdexcept>
 
@@ -71,7 +74,8 @@ Frame decode_frame_body(const std::uint8_t* body, std::size_t len) {
   f.src = static_cast<std::int32_t>(read_le32(body));
   f.dst = static_cast<std::int32_t>(read_le32(body + 4));
   const std::uint32_t tag_len = read_le32(body + 8);
-  if (kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > len) {
+  if (tag_len > kMaxFrameTagBytes ||
+      kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > len) {
     throw std::runtime_error("decode_frame_body: tag overruns body");
   }
   f.tag.assign(reinterpret_cast<const char*>(body + kFrameBodyFixedBytes),
@@ -79,6 +83,54 @@ Frame decode_frame_body(const std::uint8_t* body, std::size_t len) {
   const std::uint8_t* payload = body + kFrameBodyFixedBytes + tag_len;
   f.payload = ByteBuffer::wrap(payload, len - kFrameBodyFixedBytes - tag_len);
   return f;
+}
+
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or hard error: the peer is gone
+  }
+  return true;
+}
+
+bool read_frame(int fd, Frame& out) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  std::uint32_t body_len = 0;
+  try {
+    body_len = decode_frame_header(header);
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::uint8_t fixed[kFrameBodyFixedBytes];
+  if (!read_exact(fd, fixed, sizeof(fixed))) return false;
+  out.src = static_cast<std::int32_t>(read_le32(fixed));
+  out.dst = static_cast<std::int32_t>(read_le32(fixed + 4));
+  const std::uint32_t tag_len = read_le32(fixed + 8);
+  if (tag_len > kMaxFrameTagBytes ||
+      kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > body_len) {
+    return false;  // tag overruns the announced body (or is absurd)
+  }
+  out.tag.resize(tag_len);
+  if (tag_len > 0 &&
+      !read_exact(fd, reinterpret_cast<std::uint8_t*>(&out.tag[0]),
+                  tag_len)) {
+    return false;
+  }
+  std::vector<std::uint8_t> payload(body_len - kFrameBodyFixedBytes -
+                                    tag_len);
+  if (!payload.empty() &&
+      !read_exact(fd, payload.data(), payload.size())) {
+    return false;
+  }
+  out.payload = ByteBuffer::adopt(std::move(payload));
+  return true;
 }
 
 }  // namespace mdgan::dist

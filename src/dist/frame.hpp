@@ -12,11 +12,22 @@
 //
 // All integers are explicitly little-endian (common/serialize), so a
 // frame produced on any host parses identically on any other. Tags
-// beginning with '!' are transport-internal control frames (rendezvous
-// hello, etc.) and are never charged to the traffic accountants.
+// beginning with '!' are transport-internal control frames and are
+// never charged to the traffic accountants. The vocabulary:
+//
+//   !hello   W->S  rendezvous: u32 worker id, u64 n_workers
+//   !epoch   S->W  membership epoch: u64 epoch, u32 n_workers, then one
+//                  byte per worker (1 = alive). Sent as the hello ack
+//                  and re-broadcast on every membership change, so a
+//                  (re)joining worker learns of deaths that predate it.
+//   !death   S->W  peer-death notice: u32 dead worker id, u64 epoch
+//   !rejoin  S->W  rejoin grant: u64 epoch. Precedes the !epoch ack on
+//                  a re-accepted connection.
 //
 // The codec is pure (bytes in, bytes out) so the framing cost is
 // measurable in bench_micro_ops without sockets, and fuzzable in tests.
+// read_frame is the one socket-facing function: it cuts a blocking fd
+// into frames and is what the adversarial socketpair fuzz drives.
 #pragma once
 
 #include <cstddef>
@@ -36,12 +47,23 @@ inline constexpr std::size_t kFrameBodyFixedBytes = 12;
 // drive a 4 GiB allocation). Generous: the largest real message is a
 // full CNN discriminator swap, a few tens of MB.
 inline constexpr std::uint32_t kMaxFrameBodyBytes = 1u << 30;
+// Tags are short protocol names ("feedback", "!epoch"); a header
+// announcing a longer one is corrupt and rejected before the tag is
+// allocated — otherwise a garbage header could still drive a
+// body_len-sized (up to 1 GiB) tag allocation.
+inline constexpr std::uint32_t kMaxFrameTagBytes = 256;
 
 // Prefix of every transport-internal control tag.
 inline constexpr char kControlTagPrefix = '!';
 inline bool is_control_tag(const std::string& tag) {
   return !tag.empty() && tag[0] == kControlTagPrefix;
 }
+
+// The control-frame vocabulary (see the header comment for payloads).
+inline constexpr char kTagHello[] = "!hello";
+inline constexpr char kTagEpoch[] = "!epoch";
+inline constexpr char kTagDeath[] = "!death";
+inline constexpr char kTagRejoin[] = "!rejoin";
 
 struct Frame {
   int src = 0;
@@ -77,5 +99,19 @@ std::uint32_t decode_frame_header(const std::uint8_t header[kFrameHeaderBytes]);
 // Parses a frame body of `len` bytes (as announced by the header).
 // Throws std::runtime_error on a malformed body.
 Frame decode_frame_body(const std::uint8_t* body, std::size_t len);
+
+// Blocking exact-size read off a connected socket. False on EOF, error,
+// or (if the fd carries SO_RCVTIMEO) timeout.
+bool read_exact(int fd, std::uint8_t* dst, std::size_t n);
+
+// Reads one full frame off `fd`, incrementally: header, fixed body
+// fields, tag, then the payload straight into the buffer the Frame's
+// ByteBuffer adopts — the payload bytes (the bulk of a swap frame) are
+// copied off the socket exactly once. False when the stream ended or
+// the bytes are not a valid frame; a malformed header (bad magic,
+// oversize body_len, tag overrun) is rejected BEFORE any payload
+// allocation, so a corrupt or adversarial stream can neither crash the
+// reader nor drive a giant allocation.
+bool read_frame(int fd, Frame& out);
 
 }  // namespace mdgan::dist

@@ -234,8 +234,17 @@ void SimNetwork::crash(int worker) {
     throw std::invalid_argument("SimNetwork: the server cannot crash");
   }
   std::lock_guard<std::mutex> lock(mu_);
+  if (!alive_[static_cast<std::size_t>(worker)]) return;  // idempotent
   alive_[static_cast<std::size_t>(worker)] = false;
   mailbox_[static_cast<std::size_t>(worker)].clear();
+  ++epoch_;
+  obs_peer_death();
+  obs_membership_epoch(epoch_);
+}
+
+std::uint64_t SimNetwork::membership_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
 }
 
 bool SimNetwork::is_alive(int node) const {

@@ -39,6 +39,9 @@
 // Liveness is fail-stop (paper §V, Figure 5): crash(w) drops the
 // worker's queued mail, makes its future sends/receives no-ops, and
 // removes it from alive_workers(). Crashed workers never come back.
+// Every first crash of a worker bumps the membership epoch, modeling
+// the TcpNetwork control plane's epoch bumps so engine code written
+// against membership_epoch() behaves identically on either backend.
 //
 // All public methods are thread-safe; workers running on the cluster
 // thread pool may send/receive concurrently.
@@ -95,6 +98,7 @@ class SimNetwork final : public Transport {
   bool is_alive(int node) const override;
   std::vector<int> alive_workers() const override;
   std::size_t alive_worker_count() const override;
+  std::uint64_t membership_epoch() const override;
 
  private:
   struct Stored {
@@ -115,6 +119,7 @@ class SimNetwork final : public Transport {
   std::size_t n_workers_;
   mutable std::mutex mu_;
   std::vector<bool> alive_;                  // index 0 = server
+  std::uint64_t epoch_ = 0;  // bumped once per first crash of a worker
   std::vector<std::vector<Stored>> mailbox_;  // per destination node
   std::vector<std::uint64_t> send_seq_;       // per sender node
   LinkTotals totals_[3];

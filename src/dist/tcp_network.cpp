@@ -21,24 +21,6 @@ namespace mdgan::dist {
 
 namespace {
 
-constexpr char kHelloTag[] = "!hello";
-
-// Blocking exact-size read. False on EOF, error, or (if the fd carries
-// SO_RCVTIMEO) timeout.
-bool read_exact(int fd, std::uint8_t* dst, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::recv(fd, dst + got, n - got, 0);
-    if (r > 0) {
-      got += static_cast<std::size_t>(r);
-      continue;
-    }
-    if (r < 0 && errno == EINTR) continue;
-    return false;  // EOF, timeout, or hard error: the peer is gone
-  }
-  return true;
-}
-
 bool write_exact(int fd, const std::uint8_t* src, std::size_t n) {
   std::size_t put = 0;
   while (put < n) {
@@ -90,44 +72,6 @@ void set_recv_timeout(int fd, double seconds) {
   tv.tv_usec = static_cast<long>((seconds - static_cast<double>(tv.tv_sec)) *
                                  1e6);
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-// Reads one full frame off `fd`, incrementally: header, fixed body
-// fields, tag, then the payload straight into the buffer the Frame's
-// ByteBuffer adopts — the payload bytes (the bulk of a swap frame) are
-// copied off the socket exactly once. False when the stream ended or
-// the bytes are not a valid frame.
-bool read_frame(int fd, Frame& out) {
-  std::uint8_t header[kFrameHeaderBytes];
-  if (!read_exact(fd, header, sizeof(header))) return false;
-  std::uint32_t body_len = 0;
-  try {
-    body_len = decode_frame_header(header);
-  } catch (const std::exception&) {
-    return false;
-  }
-  std::uint8_t fixed[kFrameBodyFixedBytes];
-  if (!read_exact(fd, fixed, sizeof(fixed))) return false;
-  out.src = static_cast<std::int32_t>(read_le32(fixed));
-  out.dst = static_cast<std::int32_t>(read_le32(fixed + 4));
-  const std::uint32_t tag_len = read_le32(fixed + 8);
-  if (kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > body_len) {
-    return false;  // tag overruns the announced body
-  }
-  out.tag.resize(tag_len);
-  if (tag_len > 0 &&
-      !read_exact(fd, reinterpret_cast<std::uint8_t*>(&out.tag[0]),
-                  tag_len)) {
-    return false;
-  }
-  std::vector<std::uint8_t> payload(body_len - kFrameBodyFixedBytes -
-                                    tag_len);
-  if (!payload.empty() &&
-      !read_exact(fd, payload.data(), payload.size())) {
-    return false;
-  }
-  out.payload = ByteBuffer::adopt(std::move(payload));
-  return true;
 }
 
 }  // namespace
@@ -231,7 +175,7 @@ std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
   ByteBuffer hello;
   hello.write_pod<std::uint32_t>(static_cast<std::uint32_t>(worker_id));
   hello.write_pod<std::uint64_t>(n_workers);
-  const auto wire = encode_frame(worker_id, kServerId, kHelloTag, hello);
+  const auto wire = encode_frame(worker_id, kServerId, kTagHello, hello);
   if (!write_exact(fd, wire.data(), wire.size())) {
     ::close(fd);
     throw std::runtime_error("TcpNetwork: rendezvous hello failed");
@@ -239,15 +183,21 @@ std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
 
   auto conn = std::make_unique<Conn>();
   conn->fd = fd;
+  Conn* raw_conn = conn.get();
   net->conns_[kServerId] = std::move(conn);
-  net->conns_[kServerId]->reader =
-      std::thread([raw = net.get()] { raw->reader_loop(kServerId); });
+  net->conns_[kServerId]->reader = std::thread(
+      [raw = net.get(), raw_conn] { raw->reader_loop(kServerId, raw_conn); });
   return net;
 }
 
 TcpNetwork::~TcpNetwork() { close_all(); }
 
+void TcpNetwork::close() { close_all(); }
+
 void TcpNetwork::close_all() {
+  std::lock_guard<std::mutex> guard(close_mu_);
+  if (closed_) return;
+  closed_ = true;
   closing_.store(true);
   cv_.notify_all();
   if (acceptor_.joinable()) acceptor_.join();
@@ -258,12 +208,30 @@ void TcpNetwork::close_all() {
     if (conn->fd >= 0) ::close(conn->fd);
     conn->fd = -1;
   }
+  // Retired connections (replaced by a rejoin) already had their reader
+  // joined and fd closed when they were retired.
 }
 
 void TcpNetwork::accept_loop(int listen_fd) {
-  std::size_t joined = 0;
-  while (!closing_.load() && joined < n_workers_) {
-    if (std::chrono::steady_clock::now() >= rendezvous_deadline_) break;
+  while (!closing_.load()) {
+    bool all_joined = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t w = 1; w <= n_workers_; ++w) {
+        if (!registered_[w]) {
+          all_joined = false;
+          break;
+        }
+      }
+    }
+    // A missed rendezvous ends the run; but once every worker has dialed
+    // in at least once, the acceptor stays alive as the control-plane
+    // pump and the rejoin listener.
+    if (!all_joined &&
+        std::chrono::steady_clock::now() >= rendezvous_deadline_) {
+      break;
+    }
+    pump_control();
     pollfd pfd{listen_fd, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 200 /*ms*/);
     if (pr <= 0) continue;
@@ -271,11 +239,11 @@ void TcpNetwork::accept_loop(int listen_fd) {
     if (fd < 0) continue;
     set_nodelay(fd);
     // A connector that never completes its hello must not stall the
-    // rendezvous forever.
+    // acceptor forever.
     set_recv_timeout(fd, 5.0);
     Frame hello;
     int id = -1;
-    if (read_frame(fd, hello) && hello.tag == kHelloTag &&
+    if (read_frame(fd, hello) && hello.tag == kTagHello &&
         hello.payload.size() >= 12) {
       const auto claimed = hello.payload.read_pod<std::uint32_t>();
       const auto n = hello.payload.read_pod<std::uint64_t>();
@@ -284,44 +252,245 @@ void TcpNetwork::accept_loop(int listen_fd) {
         id = static_cast<int>(claimed);
       }
     }
-    // The acceptor is the only writer of worker conn slots, so the
-    // duplicate check needs no lock.
-    if (id <= 0 || conns_[static_cast<std::size_t>(id)] != nullptr) {
-      MDGAN_LOG_WARN << "TcpNetwork: rejecting connection with bad or "
-                        "duplicate hello";
+    if (id <= 0) {
+      MDGAN_LOG_WARN << "TcpNetwork: rejecting connection with bad hello";
       ::close(fd);
       continue;
     }
     set_recv_timeout(fd, 0.0);  // back to fully blocking
+    // The acceptor is the only writer of worker conn slots; classify the
+    // hello against the slot's state (reads race nothing, but take mu_
+    // anyway for the liveness flag).
+    bool duplicate = false, is_rejoin = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conns_[static_cast<std::size_t>(id)] != nullptr) {
+        if (alive_[static_cast<std::size_t>(id)]) {
+          duplicate = true;
+        } else {
+          is_rejoin = true;  // the slot's connection died: welcome back
+        }
+      }
+    }
+    if (duplicate) {
+      MDGAN_LOG_WARN << "TcpNetwork: rejecting duplicate hello for live "
+                        "worker " << id;
+      ::close(fd);
+      continue;
+    }
+    if (is_rejoin) {
+      grant_rejoin(id, fd);
+      continue;
+    }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    Conn* raw = conn.get();
     // Publish the connection BEFORE flagging the worker registered
     // (both under mu_): senders gate on registered_ under the same
     // mutex, so they can never observe a registered worker whose conn
     // slot is still being written.
+    ByteBuffer epoch_payload;
     {
       std::lock_guard<std::mutex> lock(mu_);
       conns_[static_cast<std::size_t>(id)] = std::move(conn);
       registered_[static_cast<std::size_t>(id)] = true;
+      epoch_payload = encode_epoch_locked();
     }
     conns_[static_cast<std::size_t>(id)]->reader =
-        std::thread([this, id] { reader_loop(id); });
-    ++joined;
+        std::thread([this, id, raw] { reader_loop(id, raw); });
+    // Hello ack: current epoch + live bitmap, so a late joiner learns of
+    // any deaths that predate it.
+    write_frame(*raw, id, kServerId, id, kTagEpoch, epoch_payload);
     cv_.notify_all();
   }
   ::close(listen_fd);
 }
 
+void TcpNetwork::pump_control() {
+  std::vector<int> deaths;
+  std::uint64_t epoch = 0;
+  ByteBuffer epoch_payload;
+  std::vector<std::pair<int, Conn*>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_deaths_.empty() && !epoch_dirty_) return;
+    deaths.swap(pending_deaths_);
+    epoch_dirty_ = false;
+    epoch = epoch_;
+    epoch_payload = encode_epoch_locked();
+    for (std::size_t w = 1; w <= n_workers_; ++w) {
+      if (alive_[w] && registered_[w] && conns_[w] != nullptr) {
+        targets.emplace_back(static_cast<int>(w), conns_[w].get());
+      }
+    }
+  }
+  // Writes happen outside mu_ (they can block); conn replacement only
+  // happens on this same thread, so the Conn*s cannot go stale here. A
+  // failed write marks that peer dead, queueing the next pump round.
+  for (auto [w, conn] : targets) {
+    bool ok = true;
+    for (int dead : deaths) {
+      ByteBuffer p;
+      p.write_pod<std::uint32_t>(static_cast<std::uint32_t>(dead));
+      p.write_pod<std::uint64_t>(epoch);
+      if (!write_frame(*conn, w, kServerId, w, kTagDeath, p)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) write_frame(*conn, w, kServerId, w, kTagEpoch, epoch_payload);
+  }
+}
+
+void TcpNetwork::grant_rejoin(int id, int fd) {
+  const auto wi = static_cast<std::size_t>(id);
+  // Retire the dead incarnation first: sever its fd, join its reader,
+  // then close the fd under its own write_mu — the lock acquisition is
+  // the barrier that drains any straggling writer before the fd number
+  // can be reused. The Conn object itself is parked in retired_, never
+  // destroyed until close_all, so a sender still holding the old Conn*
+  // fails on fd == -1 instead of touching freed memory.
+  std::unique_ptr<Conn> old;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old = std::move(conns_[wi]);
+  }
+  if (old) {
+    if (old->fd >= 0) ::shutdown(old->fd, SHUT_RDWR);
+    if (old->reader.joinable()) old->reader.join();
+    std::lock_guard<std::mutex> wlock(old->write_mu);
+    if (old->fd >= 0) ::close(old->fd);
+    old->fd = -1;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  Conn* raw = conn.get();
+  std::uint64_t epoch = 0;
+  ByteBuffer epoch_payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (old) retired_.push_back(std::move(old));
+    conns_[wi] = std::move(conn);
+    alive_[wi] = true;
+    registered_[wi] = true;
+    epoch = ++epoch_;
+    epoch_dirty_ = true;  // the pump tells everyone else
+    epoch_payload = encode_epoch_locked();
+  }
+  obs_rejoin();
+  obs_membership_epoch(epoch);
+  MDGAN_LOG_INFO << "TcpNetwork: granting rejoin to worker " << id
+                 << " (epoch " << epoch << ")";
+  conns_[wi]->reader = std::thread([this, id, raw] { reader_loop(id, raw); });
+  ByteBuffer grant;
+  grant.write_pod<std::uint64_t>(epoch);
+  write_frame(*raw, id, kServerId, id, kTagRejoin, grant);
+  write_frame(*raw, id, kServerId, id, kTagEpoch, epoch_payload);
+  cv_.notify_all();
+}
+
+void TcpNetwork::handle_control(const Frame& f) {
+  // Control payloads come off the wire; a malformed one from a confused
+  // peer is dropped, never fatal — data-plane correctness must not
+  // depend on any single control frame.
+  try {
+    ByteBuffer payload = ByteBuffer::wrap(f.payload.data(),
+                                          f.payload.size());
+    if (f.tag == kTagDeath) {
+      const auto w = payload.read_pod<std::uint32_t>();
+      const auto epoch = payload.read_pod<std::uint64_t>();
+      if (w < 1 || w > n_workers_ || static_cast<int>(w) == local_) return;
+      bool fresh = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (alive_[w]) {
+          alive_[w] = false;
+          fresh = true;
+        }
+        epoch_ = std::max(epoch_, epoch);
+      }
+      if (fresh) {
+        obs_peer_death();
+        obs_membership_epoch(epoch);
+        if (!closing_.load()) {
+          MDGAN_LOG_WARN << "TcpNetwork: death notice for worker " << w
+                         << " (epoch " << epoch
+                         << "); mapping peer to fail-stop";
+        }
+      }
+      cv_.notify_all();
+    } else if (f.tag == kTagEpoch) {
+      const auto epoch = payload.read_pod<std::uint64_t>();
+      const auto n = payload.read_pod<std::uint32_t>();
+      if (n != n_workers_) return;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (epoch >= epoch_) {
+          epoch_ = epoch;
+          for (std::size_t w = 1; w <= n_workers_; ++w) {
+            const bool live = payload.read_pod<std::uint8_t>() != 0;
+            // The bitmap covers worker slots only, and never overrides
+            // what this endpoint knows about itself.
+            if (static_cast<int>(w) == local_) continue;
+            alive_[w] = live;
+          }
+        }
+        hello_acked_ = true;
+      }
+      obs_membership_epoch(epoch);
+      cv_.notify_all();
+    } else if (f.tag == kTagRejoin) {
+      const auto epoch = payload.read_pod<std::uint64_t>();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        epoch_ = std::max(epoch_, epoch);
+        rejoin_granted_ = true;
+      }
+      obs_rejoin();
+      obs_membership_epoch(epoch);
+      MDGAN_LOG_INFO << "TcpNetwork: rejoin granted under epoch " << epoch;
+      cv_.notify_all();
+    }
+    // Unknown '!' tags are ignored: forward compatibility.
+  } catch (const std::exception&) {
+  }
+}
+
+ByteBuffer TcpNetwork::encode_epoch_locked() const {
+  ByteBuffer buf;
+  buf.write_pod<std::uint64_t>(epoch_);
+  buf.write_pod<std::uint32_t>(static_cast<std::uint32_t>(n_workers_));
+  for (std::size_t w = 1; w <= n_workers_; ++w) {
+    buf.write_pod<std::uint8_t>(alive_[w] ? 1 : 0);
+  }
+  return buf;
+}
+
 bool TcpNetwork::wait_ready() {
-  if (local_ != kServerId) return true;
   std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_until(lock, rendezvous_deadline_, [&] {
+  if (local_ != kServerId) {
+    // Worker: ready once the server's !epoch hello-ack lands. On a
+    // rejoining endpoint the !rejoin grant precedes the ack on the same
+    // ordered connection, so readiness implies the grant was consumed.
+    cv_.wait_until(lock, rendezvous_deadline_, [&] {
+      return closing_.load() || !alive_[kServerId] || hello_acked_;
+    });
+    return hello_acked_ && !closing_.load();
+  }
+  cv_.wait_until(lock, rendezvous_deadline_, [&] {
     if (closing_.load()) return true;
     for (std::size_t w = 1; w <= n_workers_; ++w) {
       if (!registered_[w]) return false;
     }
     return true;
   });
+  // Tearing down is not readiness, even if every worker had registered:
+  // the caller must not proceed into send() on a closing endpoint.
+  if (closing_.load()) return false;
+  for (std::size_t w = 1; w <= n_workers_; ++w) {
+    if (!registered_[w]) return false;
+  }
+  return true;
 }
 
 void TcpNetwork::check_node(int node) const {
@@ -357,38 +526,58 @@ void TcpNetwork::charge(int src, int dst, const std::string& tag,
   obs_charge(kind, tag, bytes);
 }
 
-void TcpNetwork::mark_dead(int peer) {
-  Conn* conn = nullptr;
-  int last_src = -1;
-  std::uint64_t last_seq = 0;
+void TcpNetwork::mark_dead(int peer, const Conn* expect) {
+  ConnRxStats rx;
   std::size_t inflight_msgs = 0, inflight_bytes = 0;
+  std::uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!alive_[static_cast<std::size_t>(peer)]) return;
-    alive_[static_cast<std::size_t>(peer)] = false;
-    conn = conns_[static_cast<std::size_t>(peer)].get();
-    last_src = last_rx_src_;
-    last_seq = last_rx_seq_;
+    const auto pi = static_cast<std::size_t>(peer);
+    if (expect != nullptr && conns_[pi].get() != expect) {
+      return;  // a retired incarnation failed; the live one is fine
+    }
+    if (!alive_[pi]) return;
+    alive_[pi] = false;
+    epoch = ++epoch_;
+    Conn* conn = conns_[pi].get();
+    if (conn != nullptr) {
+      rx = conn->rx;
+      // Sever under mu_: the fd cannot be concurrently closed-and-reused
+      // here, because every close path first takes mu_ to unlink the
+      // conn from its slot.
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
     for (const auto& s : mailbox_) {
       ++inflight_msgs;
       inflight_bytes += s.msg.payload.size();
     }
+    if (local_ == kServerId) {
+      // Broadcasting from here could deadlock (the caller may hold some
+      // connection's write_mu); queue the notice for the acceptor-thread
+      // control pump instead.
+      pending_deaths_.push_back(peer);
+      epoch_dirty_ = true;
+    }
   }
+  obs_peer_death();
+  obs_membership_epoch(epoch);
   if (!closing_.load()) {
     // Drop diagnostics BEFORE the fail-stop mapping takes effect: who
-    // died, how far the stream got, and what is still parked locally.
+    // died, how far ITS OWN stream got (per-connection, not the
+    // endpoint-global last arrival), and what is still parked locally.
     detail::LogLine line(LogLevel::kWarn);
     line << "TcpNetwork: node " << peer
-         << " disconnected, mapping to fail-stop; last frame received ";
-    if (last_src >= 0) {
-      line << "(sender=" << last_src << ", seq=" << last_seq << ")";
+         << " disconnected, mapping to fail-stop (epoch " << epoch
+         << "); last frame on its connection ";
+    if (rx.any) {
+      line << "(#" << rx.frames << ", sender=" << rx.src << ", tag=" << rx.tag
+           << ", t=" << rx.at_s << "s)";
     } else {
       line << "(none)";
     }
     line << "; " << inflight_msgs << " message(s) / " << inflight_bytes
          << " payload byte(s) in flight in the local mailbox";
   }
-  if (conn && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
   cv_.notify_all();
 }
 
@@ -406,7 +595,7 @@ bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
     const std::size_t n_iov = payload.size() > 0 ? 2 : 1;
     std::lock_guard<std::mutex> lock(conn.write_mu);
     if (conn.fd < 0 || !write_iovecs(conn.fd, iov, n_iov)) {
-      mark_dead(peer);
+      mark_dead(peer, &conn);
       return false;
     }
     return true;
@@ -414,7 +603,7 @@ bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
   const auto wire = encode_frame(src, dst, tag, payload);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   if (conn.fd < 0 || !write_exact(conn.fd, wire.data(), wire.size())) {
-    mark_dead(peer);
+    mark_dead(peer, &conn);
     return false;
   }
   return true;
@@ -427,8 +616,6 @@ void TcpNetwork::enqueue_local(int src, const std::string& tag,
   ingress_window_ += payload.size();
   Stored s;
   s.seq = recv_seq_[static_cast<std::size_t>(src)]++;
-  last_rx_src_ = src;
-  last_rx_seq_ = s.seq;
   s.msg.from = src;
   s.msg.tag = tag;
   s.msg.payload = std::move(payload);
@@ -437,11 +624,23 @@ void TcpNetwork::enqueue_local(int src, const std::string& tag,
   cv_.notify_all();
 }
 
-void TcpNetwork::reader_loop(int peer) {
-  Conn* conn = conns_[static_cast<std::size_t>(peer)].get();
+void TcpNetwork::reader_loop(int peer, Conn* conn) {
   Frame f;
   while (!closing_.load() && read_frame(conn->fd, f)) {
-    if (is_control_tag(f.tag)) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn->rx.any = true;
+      conn->rx.src = f.src;
+      conn->rx.tag = f.tag;
+      ++conn->rx.frames;
+      conn->rx.at_s = elapsed_s();
+    }
+    if (is_control_tag(f.tag)) {
+      // Only server->worker control frames exist today; the server
+      // ignores any '!' frame a worker might send.
+      if (local_ != kServerId) handle_control(f);
+      continue;
+    }
     if (local_ == kServerId) {
       if (f.src != peer) continue;  // a worker may only speak as itself
       if (f.dst == kServerId) {
@@ -470,7 +669,7 @@ void TcpNetwork::reader_loop(int peer) {
       }
     }
   }
-  mark_dead(peer);
+  mark_dead(peer, conn);
 }
 
 void TcpNetwork::begin_iteration(std::int64_t /*iter*/) {
@@ -569,6 +768,8 @@ std::optional<Message> TcpNetwork::receive_tagged(int node,
   };
   obs::Tracer* tracer = obs_tracer();
   const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
+  const std::uint64_t epoch0 = epoch_;
+  bool timed_out = false;
   for (;;) {
     if (!alive_[static_cast<std::size_t>(local_)]) return std::nullopt;
     auto best = find_best();
@@ -592,14 +793,59 @@ std::optional<Message> TcpNetwork::receive_tagged(int node,
       return out;
     }
     if (closing_.load() || peers_gone()) return std::nullopt;
+    // Membership moved while we were blocked: wake the caller with
+    // nullopt so it can re-check which senders it still expects
+    // (mid-round degrade) instead of waiting out the full timeout on a
+    // peer that is already gone.
+    if (epoch_ != epoch0) return std::nullopt;
+    // The deadline expired on a previous wait, and the scan above just
+    // re-ran: only a still-empty mailbox is a real timeout. A frame that
+    // slipped in between the last scan and the deadline is returned, not
+    // dropped on the floor.
+    if (timed_out) return std::nullopt;
     // Block: the sender runs in another process. nullopt only on
-    // timeout or a dead cluster.
+    // timeout, an epoch bump, or a dead cluster.
     if (opts_.receive_timeout_s <= 0.0) {
       cv_.wait(lock);
     } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-      return std::nullopt;
+      timed_out = true;
     }
   }
+}
+
+std::optional<Message> TcpNetwork::try_receive_tagged(int node,
+                                                      const std::string& tag) {
+  check_local(node, "try_receive_tagged");
+  obs::Tracer* tracer = obs_tracer();
+  const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
+  std::optional<Message> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto best = mailbox_.end();
+    for (auto it = mailbox_.begin(); it != mailbox_.end(); ++it) {
+      if (it->msg.tag != tag) continue;
+      if (best == mailbox_.end() || it->msg.from < best->msg.from ||
+          (it->msg.from == best->msg.from && it->seq < best->seq)) {
+        best = it;
+      }
+    }
+    if (best == mailbox_.end()) return std::nullopt;
+    out = std::move(best->msg);
+    mailbox_.erase(best);
+  }
+  if (tracer != nullptr) {
+    obs::TraceEvent ev;
+    std::snprintf(ev.name, obs::TraceEvent::kNameCap, "recv:%s", tag.c_str());
+    ev.cat = obs::Cat::kNet;
+    ev.node = local_;
+    ev.wall_t0_ns = wall_t0;
+    ev.wall_dur_ns = tracer->now_ns() - wall_t0;
+    ev.sim_t0 = out->arrival_s;
+    ev.sim_t1 = elapsed_s();
+    ev.bytes = out->payload.size();
+    tracer->emit(ev);
+  }
+  return out;
 }
 
 std::size_t TcpNetwork::pending(int node) const {
@@ -676,6 +922,35 @@ std::size_t TcpNetwork::alive_worker_count() const {
     if (alive_[w]) ++n;
   }
   return n;
+}
+
+std::uint64_t TcpNetwork::membership_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+bool TcpNetwork::rejoin_granted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejoin_granted_;
+}
+
+bool TcpNetwork::wait_membership_epoch(std::uint64_t at_least,
+                                       double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, deadline,
+                 [&] { return closing_.load() || epoch_ >= at_least; });
+  return epoch_ >= at_least;
+}
+
+TcpNetwork::ConnRxStats TcpNetwork::last_rx_of(int peer) const {
+  check_node(peer);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto* conn = conns_[static_cast<std::size_t>(peer)].get();
+  return conn != nullptr ? conn->rx : ConnRxStats{};
 }
 
 }  // namespace mdgan::dist

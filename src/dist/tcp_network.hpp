@@ -23,11 +23,30 @@
 // process — returning std::nullopt only when the local node is dead or
 // the configured receive timeout expires.
 //
-// Liveness: fail-stop, detected. A dropped connection (EOF or a socket
-// error on read/write) marks the peer dead exactly like
-// SimNetwork::crash: it leaves alive_workers(), and future sends to it
-// are silently dropped. crash(w) on the server endpoint actively severs
-// the connection. Crashed peers never come back.
+// Liveness: fail-stop, detected, and PROPAGATED. A dropped connection
+// (EOF or a socket error on read/write) marks the peer dead exactly
+// like SimNetwork::crash: it leaves alive_workers(), and future sends
+// to it are silently dropped. crash(w) on the server endpoint actively
+// severs the connection.
+//
+// Control plane: only the server endpoint observes a worker's TCP drop
+// directly, so it runs a small '!'-tagged control-frame protocol (see
+// frame.hpp for the vocabulary) that the other workers consume:
+//  * every membership change bumps a monotonically increasing
+//    membership epoch (membership_epoch()), and the server broadcasts
+//    the new epoch plus its live-worker bitmap as a !epoch frame;
+//  * a detected death additionally broadcasts a !death notice, so
+//    surviving workers map the victim onto fail-stop without ever
+//    having exchanged a byte with it;
+//  * the acceptor stays alive past the rendezvous, and a re-dial from
+//    an id whose previous connection died is GRANTED (a !rejoin frame,
+//    then the !epoch ack) instead of rejected as a duplicate hello —
+//    the worker comes back under a bumped epoch, exactly like an
+//    AvailabilitySchedule rejoin. A hello for an id that is still
+//    connected remains a rejected duplicate.
+// An epoch bump wakes any blocked receive_tagged (it returns nullopt),
+// which is how the round engine learns to re-check liveness mid-round.
+// Control frames are never charged to the traffic accountants.
 //
 // Time: sim_time()/max_sim_time() report *measured* wall-clock seconds
 // since the endpoint finished construction — the same API the PR 2
@@ -53,6 +72,8 @@
 #include "dist/transport.hpp"
 
 namespace mdgan::dist {
+
+struct Frame;  // dist/frame.hpp
 
 struct TcpOptions {
   // Deadline for the rendezvous: the server waits this long for all
@@ -95,10 +116,37 @@ class TcpNetwork final : public Transport {
   int local_node() const { return local_; }
   // The actually-bound listen port (server endpoint only).
   std::uint16_t port() const { return port_; }
-  // Blocks until every worker has registered (server) or trivially
-  // returns (worker). Returns false if the rendezvous deadline passed
-  // with workers missing.
+  // Blocks until every worker has registered (server) or until the
+  // server's !epoch hello-ack arrives (worker). Returns false if the
+  // rendezvous deadline passed first, or if the endpoint began closing
+  // mid-rendezvous — callers must not proceed into send() on an
+  // endpoint that is tearing down.
   bool wait_ready();
+
+  // Idempotent teardown (also run by the destructor): stops the
+  // acceptor and reader threads and severs every connection. Any
+  // blocked wait_ready()/receive_tagged() returns false/nullopt.
+  void close();
+
+  // True once the server granted this worker endpoint a rejoin (its id
+  // had dialed in before on a connection that has since died).
+  bool rejoin_granted() const;
+
+  // Blocks until membership_epoch() >= at_least (true) or timeout_s
+  // elapsed / the endpoint is closing (false).
+  bool wait_membership_epoch(std::uint64_t at_least, double timeout_s);
+
+  // Last frame delivered by the connection to `peer`, for drop
+  // diagnostics: this is the dead peer's OWN stream position (frames
+  // counted per connection), not the endpoint-global last arrival.
+  struct ConnRxStats {
+    bool any = false;          // false: nothing ever arrived on it
+    int src = -1;              // original sender of the last frame
+    std::string tag;           // tag of the last frame
+    std::uint64_t frames = 0;  // frames delivered by this connection
+    double at_s = 0.0;         // arrival time, endpoint clock
+  };
+  ConnRxStats last_rx_of(int peer) const;
 
   std::size_t n_workers() const override { return n_workers_; }
   void begin_iteration(std::int64_t iter) override;
@@ -106,6 +154,8 @@ class TcpNetwork final : public Transport {
             ByteBuffer&& payload) override;
   std::optional<Message> receive_tagged(int node,
                                         const std::string& tag) override;
+  std::optional<Message> try_receive_tagged(int node,
+                                            const std::string& tag) override;
   std::size_t pending(int node) const override;
 
   LinkTotals totals(LinkKind kind) const override;
@@ -120,12 +170,14 @@ class TcpNetwork final : public Transport {
   bool is_alive(int node) const override;
   std::vector<int> alive_workers() const override;
   std::size_t alive_worker_count() const override;
+  std::uint64_t membership_epoch() const override;
 
  private:
   struct Conn {
     int fd = -1;
     std::mutex write_mu;
     std::thread reader;
+    ConnRxStats rx;  // last frame this connection delivered; under mu_
   };
   struct Stored {
     std::uint64_t seq = 0;
@@ -138,14 +190,32 @@ class TcpNetwork final : public Transport {
   void check_local(int node, const char* what) const;
   double elapsed_s() const;
   // Frames + writes one message to `conn`; returns false (and marks
-  // `peer` dead) when the connection is gone.
+  // `peer` dead, if `conn` is still its current connection) when the
+  // connection is gone.
   bool write_frame(Conn& conn, int peer, int src, int dst,
                    const std::string& tag, const ByteBuffer& payload);
-  void reader_loop(int peer);
+  void reader_loop(int peer, Conn* conn);
   void accept_loop(int listen_fd);
+  // Server side: drains queued death notices and epoch bumps into
+  // !death / !epoch broadcasts. Runs on the acceptor thread so no
+  // mark_dead caller ever writes control frames while holding a
+  // connection's write_mu (which could deadlock across two conns).
+  void pump_control();
+  // Accepted a hello for an id whose previous connection died: tear the
+  // old conn down, install the new one under a bumped epoch, and send
+  // the !rejoin grant. Acceptor thread only.
+  void grant_rejoin(int id, int fd);
+  // Worker side: dispatch one server->worker control frame.
+  void handle_control(const Frame& f);
+  // !epoch payload for the current state; call with mu_ held.
+  ByteBuffer encode_epoch_locked() const;
   void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload);
   void charge(int src, int dst, const std::string& tag, std::size_t bytes);
-  void mark_dead(int peer);
+  // Marks `peer` dead (fail-stop). When `expect` is non-null the mark
+  // only applies if `expect` is still peer's current connection — a
+  // write failure on a connection that was already retired by a rejoin
+  // must not kill the fresh incarnation.
+  void mark_dead(int peer, const Conn* expect = nullptr);
   void close_all();
 
   const int local_;  // kServerId for the server endpoint, else worker id
@@ -161,17 +231,29 @@ class TcpNetwork final : public Transport {
   std::vector<bool> registered_;  // per worker id; server endpoint only
   std::vector<Stored> mailbox_;   // the local node's mailbox
   std::vector<std::uint64_t> recv_seq_;  // per sender, assigned at enqueue
-  int last_rx_src_ = -1;               // most recent enqueued frame's
-  std::uint64_t last_rx_seq_ = 0;      // ...(sender, seq); guarded by mu_
   LinkTotals totals_[3];
   std::uint64_t ingress_window_ = 0;  // the local node's open window
   std::uint64_t ingress_max_ = 0;
   std::atomic<bool> closing_{false};
 
+  // Control-plane state, all under mu_.
+  std::uint64_t epoch_ = 0;          // bumped on every membership change
+  bool epoch_dirty_ = false;         // server: pump should broadcast !epoch
+  std::vector<int> pending_deaths_;  // server: queued !death notices
+  bool hello_acked_ = false;         // worker: first !epoch received
+  bool rejoin_granted_ = false;      // worker: !rejoin received
+
   // conns_[w] is the server's connection to worker w; a worker endpoint
-  // uses conns_[0] for its single connection to the server.
+  // uses conns_[0] for its single connection to the server. Slots are
+  // written by the acceptor thread (under mu_); a conn replaced by a
+  // rejoin is parked in retired_ instead of destroyed, so a straggling
+  // sender still holding the old Conn* fails its write harmlessly
+  // (fd -1, identity-checked mark_dead) instead of using freed memory.
   std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> retired_;
   std::thread acceptor_;
+  std::mutex close_mu_;  // serializes close() vs destructor
+  bool closed_ = false;  // under close_mu_
 };
 
 }  // namespace mdgan::dist

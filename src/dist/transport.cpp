@@ -31,6 +31,9 @@ void Transport::set_sink(obs::Sink* sink) {
   sink_ = sink;
   if (sink_ == nullptr) {
     for (auto& l : link_obs_) l = {};
+    epoch_gauge_ = nullptr;
+    peer_deaths_total_ = nullptr;
+    rejoins_total_ = nullptr;
     return;
   }
   // Resolve the hot-path counters once; updates are then lock-free.
@@ -43,6 +46,13 @@ void Transport::set_sink(obs::Sink* sink) {
     l.messages = &r.counter("messages_total", label);
     l.feedback_bytes = &r.counter("feedback_bytes_total", label);
   }
+  epoch_gauge_ = &r.gauge("membership_epoch");
+  peer_deaths_total_ = &r.counter("peer_deaths_total");
+  rejoins_total_ = &r.counter("rejoins_total");
+  // An endpoint may attach the sink after membership already changed
+  // (MdGan::train attaches on entry); publish the current epoch so the
+  // gauge never reads behind the counter it summarizes.
+  obs_membership_epoch(membership_epoch());
 }
 
 }  // namespace mdgan::dist

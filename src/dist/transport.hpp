@@ -95,6 +95,18 @@ class Transport {
   virtual std::optional<Message> receive_tagged(int node,
                                                 const std::string& tag) = 0;
 
+  // Non-blocking receive_tagged: returns immediately with std::nullopt
+  // when no matching message is queued right now, even on backends
+  // whose receive_tagged blocks. The engine's collect loop uses it to
+  // drain a dead sender's already-arrived feedback before shrinking the
+  // round's expectation — never to poll for future traffic. The default
+  // forwards to receive_tagged, correct for any backend that does not
+  // block (SimNetwork); blocking backends must override.
+  virtual std::optional<Message> try_receive_tagged(int node,
+                                                    const std::string& tag) {
+    return receive_tagged(node, tag);
+  }
+
   // Number of messages currently queued at `node` (any tag).
   virtual std::size_t pending(int node) const = 0;
 
@@ -122,6 +134,17 @@ class Transport {
   virtual bool is_alive(int node) const = 0;
   virtual std::vector<int> alive_workers() const = 0;
   virtual std::size_t alive_worker_count() const = 0;
+
+  // Membership epoch: a counter this endpoint bumps on every membership
+  // change it learns of — a local crash() / detected drop, a received
+  // peer-death notice, a granted rejoin. Starts at 0; different
+  // endpoints converge on (not necessarily equal) values, so callers
+  // compare an epoch against an earlier snapshot from the SAME
+  // endpoint, never across endpoints. A blocked TcpNetwork receive
+  // wakes (returning nullopt) when the epoch moves, which is how the
+  // engine learns to re-evaluate liveness mid-round instead of waiting
+  // out the receive timeout.
+  virtual std::uint64_t membership_epoch() const = 0;
 
   // --- observability ---------------------------------------------------
   // Attaches a telemetry sink (nullptr detaches, the default): every
@@ -156,6 +179,21 @@ class Transport {
     return t.enabled() ? &t : nullptr;
   }
 
+  // Control-plane instruments (membership_epoch gauge,
+  // peer_deaths_total / rejoins_total counters). Relaxed atomics like
+  // obs_charge: safe under any backend lock.
+  void obs_membership_epoch(std::uint64_t epoch) {
+    if (epoch_gauge_ != nullptr) {
+      epoch_gauge_->set(static_cast<double>(epoch));
+    }
+  }
+  void obs_peer_death() {
+    if (peer_deaths_total_ != nullptr) peer_deaths_total_->inc();
+  }
+  void obs_rejoin() {
+    if (rejoins_total_ != nullptr) rejoins_total_->inc();
+  }
+
  private:
   struct LinkObs {
     obs::Counter* bytes = nullptr;
@@ -164,6 +202,9 @@ class Transport {
   };
   obs::Sink* sink_ = nullptr;
   LinkObs link_obs_[3];
+  obs::Gauge* epoch_gauge_ = nullptr;
+  obs::Counter* peer_deaths_total_ = nullptr;
+  obs::Counter* rejoins_total_ = nullptr;
 };
 
 // "c2w" / "w2c" / "w2w": the label value of the per-link metrics and

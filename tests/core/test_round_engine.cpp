@@ -57,6 +57,12 @@ struct ScriptedDelegate : RoundDelegate {
     for (int w : present) out.push_back(static_cast<std::size_t>(w - 1));
     return out;
   }
+  std::vector<int> feedback_senders(
+      const std::vector<std::size_t>& discs) override {
+    std::vector<int> out;
+    for (std::size_t j : discs) out.push_back(static_cast<int>(j + 1));
+    return out;
+  }
   void broadcast(const std::vector<std::size_t>& discs,
                  std::size_t k_eff) override {
     trace.push_back("broadcast:" + std::to_string(discs.size()) + ",k" +
@@ -202,6 +208,134 @@ TEST(RoundEngine, BoundedStalenessDropsLateFeedback) {
   EXPECT_EQ(engine.run(1, 2), 2);
   EXPECT_EQ(d.async_applied, 4);        // 2 per round
   EXPECT_EQ(engine.stale_dropped(), 2);  // 1 dropped per round
+}
+
+// --- unscheduled mid-round failures -------------------------------------
+
+// A delegate whose local_work simulates a worker dying mid-round: from
+// `crash_at_round` on, `victim` crashes during the local phase and
+// (depending on `sends_first`) its feedback is withheld or was already
+// shipped before the crash.
+struct CrashingDelegate : ScriptedDelegate {
+  int victim;
+  std::int64_t crash_at_round;
+  bool sends_first;
+  std::int64_t round = 0;
+
+  CrashingDelegate(dist::Transport& n, int v, std::int64_t at,
+                   bool sends)
+      : ScriptedDelegate(n), victim(v), crash_at_round(at),
+        sends_first(sends) {}
+
+  void local_work(const std::vector<std::size_t>& discs) override {
+    ++round;
+    trace.push_back("local:" + std::to_string(discs.size()));
+    for (std::size_t j : discs) {
+      const int w = static_cast<int>(j + 1);
+      const bool crashes = w == victim && round >= crash_at_round;
+      if (crashes && !sends_first) {
+        net.crash(w);
+        continue;  // died before shipping its feedback
+      }
+      ByteBuffer buf;
+      buf.write_pod<std::uint32_t>(static_cast<std::uint32_t>(j));
+      net.send(w, dist::kServerId, "feedback", std::move(buf));
+      if (crashes) net.crash(w);  // died right after shipping
+    }
+  }
+};
+
+TEST(RoundEngine, MidRoundDeathShrinksCollectInsteadOfThrowing) {
+  dist::SimNetwork net(3);
+  CrashingDelegate d(net, /*victim=*/3, /*crash_at_round=*/2,
+                     /*sends_first=*/false);
+  RoundEngineConfig cfg;
+  cfg.swap_enabled = false;
+  RoundEngine engine(net, cfg, d);
+  // Round 2 loses worker 3 mid-round: the collect folds the two
+  // feedbacks that arrived instead of throwing, and the run completes.
+  EXPECT_EQ(engine.run(1, 3), 3);
+  EXPECT_EQ(d.trace, (std::vector<std::string>{
+                         "broadcast:3,k1", "local:3", "fold:3", "end:1",
+                         "broadcast:3,k1", "local:3", "fold:2", "end:2",
+                         "broadcast:2,k1", "local:2", "fold:2", "end:3"}));
+  // Exactly one permanent leave, observed mid-round (not re-fired by
+  // the next round's membership pass).
+  EXPECT_EQ(d.leaves, (std::vector<std::pair<int, bool>>{{3, true}}));
+  EXPECT_FALSE(engine.is_present(3));
+}
+
+TEST(RoundEngine, FeedbackSentBeforeDeathIsStillFolded) {
+  dist::SimNetwork net(3);
+  CrashingDelegate d(net, /*victim=*/3, /*crash_at_round=*/2,
+                     /*sends_first=*/true);
+  RoundEngineConfig cfg;
+  cfg.swap_enabled = false;
+  RoundEngine engine(net, cfg, d);
+  EXPECT_EQ(engine.run(1, 3), 3);
+  // Round 2's fold still counts all 3: the victim's feedback was
+  // enqueued before its death and must be drained, not dropped.
+  EXPECT_EQ(d.trace, (std::vector<std::string>{
+                         "broadcast:3,k1", "local:3", "fold:3", "end:1",
+                         "broadcast:3,k1", "local:3", "fold:3", "end:2",
+                         "broadcast:2,k1", "local:2", "fold:2", "end:3"}));
+  EXPECT_EQ(d.leaves, (std::vector<std::pair<int, bool>>{{3, true}}));
+}
+
+TEST(RoundEngine, MidRoundDeathDegradesAsyncCollectToo) {
+  dist::SimNetwork net(3);
+  CrashingDelegate d(net, /*victim=*/2, /*crash_at_round=*/1,
+                     /*sends_first=*/false);
+  RoundEngineConfig cfg;
+  cfg.mode = ServerMode::kAsync;
+  cfg.swap_enabled = false;
+  RoundEngine engine(net, cfg, d);
+  EXPECT_EQ(engine.run(1, 1), 1);
+  EXPECT_EQ(d.async_applied, 2);  // workers 1 and 3 only
+  EXPECT_EQ(d.leaves, (std::vector<std::pair<int, bool>>{{2, true}}));
+}
+
+TEST(RoundEngine, AllSendersDyingSkipsTheFold) {
+  dist::SimNetwork net(2);
+  // Both workers die in round 1 before shipping anything.
+  struct AllDie : ScriptedDelegate {
+    using ScriptedDelegate::ScriptedDelegate;
+    void local_work(const std::vector<std::size_t>& discs) override {
+      trace.push_back("local:" + std::to_string(discs.size()));
+      for (std::size_t j : discs) net.crash(static_cast<int>(j + 1));
+    }
+  } d(net);
+  RoundEngineConfig cfg;
+  cfg.swap_enabled = false;
+  RoundEngine engine(net, cfg, d);
+  // Round 1 completes with no fold at all (an Adam step on zero
+  // gradients would still move the generator); round 2 finds nobody.
+  EXPECT_EQ(engine.run(1, 3), 1);
+  EXPECT_EQ(d.trace, (std::vector<std::string>{"broadcast:2,k1", "local:2",
+                                               "end:1"}));
+}
+
+TEST(RoundEngine, MissingFeedbackFromLiveWorkerStillThrows) {
+  dist::SimNetwork net(2);
+  // Worker 2 stays alive but never ships: fail-stop cannot explain the
+  // missing message, so the legacy failure mode is preserved.
+  struct Withholds : ScriptedDelegate {
+    using ScriptedDelegate::ScriptedDelegate;
+    void local_work(const std::vector<std::size_t>& discs) override {
+      trace.push_back("local:" + std::to_string(discs.size()));
+      for (std::size_t j : discs) {
+        if (j + 1 == 2) continue;
+        ByteBuffer buf;
+        buf.write_pod<std::uint32_t>(static_cast<std::uint32_t>(j));
+        net.send(static_cast<int>(j + 1), dist::kServerId, "feedback",
+                 std::move(buf));
+      }
+    }
+  } d(net);
+  RoundEngineConfig cfg;
+  cfg.swap_enabled = false;
+  RoundEngine engine(net, cfg, d);
+  EXPECT_THROW(engine.run(1, 1), std::logic_error);
 }
 
 // --- trainer-level tests ------------------------------------------------

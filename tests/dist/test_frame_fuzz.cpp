@@ -1,0 +1,218 @@
+// Adversarial bytes against the TCP wire framing. read_frame is the
+// one function that turns an untrusted byte stream into Frames, so it
+// is driven here over real socketpairs with every malformation class a
+// hostile or corrupt peer can produce: truncated headers, bad magic,
+// tag lengths overrunning the body, oversize body lengths, truncated
+// payloads, and plain seeded garbage. The contract under attack is
+// always the same — return false, never crash, never hang, never let a
+// 4-byte length field drive a giant allocation. The last test points
+// the same adversary at a live acceptor: a garbage hello must not
+// stall the rendezvous for a legitimate worker.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/frame.hpp"
+#include "dist/tcp_network.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+// A connected AF_UNIX stream pair; fd[0] is the attacker's pen, fd[1]
+// the reader under test.
+struct Pair {
+  int fd[2];
+  Pair() { EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fd), 0); }
+  ~Pair() {
+    ::close(fd[0]);
+    ::close(fd[1]);
+  }
+  void write_bytes(const void* p, std::size_t n) {
+    ASSERT_EQ(::write(fd[0], p, n), static_cast<ssize_t>(n));
+  }
+  void write_bytes(const std::vector<std::uint8_t>& v) {
+    if (!v.empty()) write_bytes(v.data(), v.size());
+  }
+  // End of the attack: the reader must now observe EOF, not block.
+  void finish() { ::shutdown(fd[0], SHUT_WR); }
+};
+
+ByteBuffer payload_of(const std::vector<float>& v) {
+  ByteBuffer buf;
+  buf.write_floats(v.data(), v.size());
+  return buf;
+}
+
+void put_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+TEST(FrameFuzz, RoundtripSurvivesTheCodec) {
+  const auto wire = encode_frame(3, 0, "feedback", payload_of(std::vector<float>{1.f, 2.f}));
+  ASSERT_GT(wire.size(), kFrameHeaderBytes);
+  const std::uint32_t body_len = decode_frame_header(wire.data());
+  ASSERT_EQ(body_len, wire.size() - kFrameHeaderBytes);
+  const Frame f = decode_frame_body(wire.data() + kFrameHeaderBytes,
+                                    body_len);
+  EXPECT_EQ(f.src, 3);
+  EXPECT_EQ(f.dst, 0);
+  EXPECT_EQ(f.tag, "feedback");
+
+  Pair p;
+  p.write_bytes(wire);
+  p.finish();
+  Frame g;
+  ASSERT_TRUE(read_frame(p.fd[1], g));
+  EXPECT_EQ(g.src, 3);
+  EXPECT_EQ(g.tag, "feedback");
+  EXPECT_EQ(g.payload.read_floats(), (std::vector<float>{1.f, 2.f}));
+  EXPECT_FALSE(read_frame(p.fd[1], g));  // then clean EOF
+}
+
+TEST(FrameFuzz, TruncatedHeaderIsEofNotACrash) {
+  for (std::size_t cut = 0; cut < kFrameHeaderBytes; ++cut) {
+    Pair p;
+    const auto wire = encode_frame(1, 0, "t", payload_of(std::vector<float>{1.f}));
+    if (cut > 0) p.write_bytes(wire.data(), cut);
+    p.finish();
+    Frame f;
+    EXPECT_FALSE(read_frame(p.fd[1], f)) << "cut at byte " << cut;
+  }
+}
+
+TEST(FrameFuzz, BadMagicIsRejected) {
+  std::uint8_t header[kFrameHeaderBytes];
+  put_le32(header, 0xdeadbeefu);
+  put_le32(header + 4, 16);
+  EXPECT_THROW(decode_frame_header(header), std::runtime_error);
+
+  Pair p;
+  p.write_bytes(header, sizeof(header));
+  p.finish();
+  Frame f;
+  EXPECT_FALSE(read_frame(p.fd[1], f));
+}
+
+TEST(FrameFuzz, OversizeBodyLenIsRejectedBeforeAllocation) {
+  // body_len fields of 1 GiB + 1 and 4 GiB - 1: both must be rejected
+  // from the 8 header bytes alone — the payload is never allocated,
+  // never read.
+  for (std::uint32_t body_len :
+       {kMaxFrameBodyBytes + 1, 0xffffffffu}) {
+    std::uint8_t header[kFrameHeaderBytes];
+    put_le32(header, kFrameMagic);
+    put_le32(header + 4, body_len);
+    EXPECT_THROW(decode_frame_header(header), std::runtime_error);
+
+    Pair p;
+    p.write_bytes(header, sizeof(header));
+    p.finish();
+    Frame f;
+    EXPECT_FALSE(read_frame(p.fd[1], f));
+  }
+}
+
+TEST(FrameFuzz, TagLengthOverrunsAreRejected) {
+  // (a) tag_len larger than the whole body.
+  {
+    std::uint8_t body[kFrameBodyFixedBytes];
+    put_le32(body, 1);                              // src
+    put_le32(body + 4, 0);                          // dst
+    put_le32(body + 8, 64);                         // tag_len > remaining 0
+    EXPECT_THROW(decode_frame_body(body, sizeof(body)),
+                 std::runtime_error);
+  }
+  // (b) tag_len over the cap, inside an otherwise plausible body —
+  // must be rejected before a tag that large is ever allocated.
+  {
+    std::uint8_t wire[kFrameHeaderBytes + kFrameBodyFixedBytes];
+    put_le32(wire, kFrameMagic);
+    put_le32(wire + 4, kFrameBodyFixedBytes + kMaxFrameTagBytes + 1);
+    put_le32(wire + 8, 1);
+    put_le32(wire + 12, 0);
+    put_le32(wire + 16, kMaxFrameTagBytes + 1);
+    Pair p;
+    p.write_bytes(wire, sizeof(wire));
+    p.finish();
+    Frame f;
+    EXPECT_FALSE(read_frame(p.fd[1], f));
+  }
+}
+
+TEST(FrameFuzz, TruncatedPayloadIsEofNotAHangOrCrash) {
+  const auto wire = encode_frame(2, 0, "feedback",
+                                 payload_of(std::vector<float>{1.f, 2.f, 3.f, 4.f}));
+  // Cut the stream at every boundary inside the body.
+  for (std::size_t cut = kFrameHeaderBytes; cut < wire.size(); cut += 5) {
+    Pair p;
+    p.write_bytes(wire.data(), cut);
+    p.finish();
+    Frame f;
+    EXPECT_FALSE(read_frame(p.fd[1], f)) << "cut at byte " << cut;
+  }
+}
+
+TEST(FrameFuzz, SeededGarbageNeverCrashesTheReader) {
+  Rng rng(0xfeedface);
+  for (int it = 0; it < 200; ++it) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform() * 96);
+    std::vector<std::uint8_t> junk(n);
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform() * 256.0);
+    }
+    // Half the iterations lead with a valid magic so the fuzz also
+    // exercises the post-header paths, not just the magic check.
+    if (it % 2 == 0 && n >= 4) put_le32(junk.data(), kFrameMagic);
+    Pair p;
+    p.write_bytes(junk);
+    p.finish();
+    Frame f;
+    // True is conceivable (garbage can spell a tiny valid frame);
+    // the property under test is only no-crash / no-hang.
+    (void)read_frame(p.fd[1], f);
+  }
+}
+
+// The adversary against the live acceptor: a connection that sends
+// garbage instead of a hello must neither crash the server nor wedge
+// its rendezvous — a legitimate worker joining afterwards still forms
+// the cluster.
+TEST(FrameFuzz, GarbageHelloDoesNotStallTheAcceptor) {
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  auto server = TcpNetwork::serve(0, 1, opts);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::write(fd, junk, sizeof(junk)), 0);
+  ::close(fd);
+
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 1, opts);
+  EXPECT_TRUE(server->wait_ready());
+  EXPECT_TRUE(w1->wait_ready());
+  EXPECT_TRUE(server->is_alive(1));
+}
+
+}  // namespace
+}  // namespace mdgan::dist

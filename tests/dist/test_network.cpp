@@ -209,6 +209,17 @@ TEST(Network, CrashDropsMailAndSilencesLinks) {
   EXPECT_TRUE(net.is_alive(kServerId));
 }
 
+TEST(Network, CrashBumpsMembershipEpochOncePerDeath) {
+  Network net(3);
+  EXPECT_EQ(net.membership_epoch(), 0u);
+  net.crash(1);
+  EXPECT_EQ(net.membership_epoch(), 1u);
+  net.crash(1);  // idempotent: a second crash is not a membership change
+  EXPECT_EQ(net.membership_epoch(), 1u);
+  net.crash(3);
+  EXPECT_EQ(net.membership_epoch(), 2u);
+}
+
 TEST(CrashSchedule, AddAndQuery) {
   CrashSchedule s;
   EXPECT_TRUE(s.empty());

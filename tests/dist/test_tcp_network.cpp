@@ -348,5 +348,188 @@ TEST(TcpMdGan, LeaveAndRejoinCompletesAndMatchesSimulator) {
       << "the post-rejoin swap should have crossed the relay";
 }
 
+// The control plane end to end: a worker vanishing bumps the server's
+// membership epoch and the survivor learns of the death via a !death
+// notice (no data traffic between them ever existed); the dead id
+// re-dialling is granted a rejoin under a further-bumped epoch instead
+// of being rejected as a duplicate hello, and traffic — including the
+// worker->worker relay — flows across the re-accepted connection.
+TEST(TcpNetwork, DeathNoticeAndRejoinUnderBumpedEpoch) {
+  auto server = TcpNetwork::serve(0, 2, fast_opts());
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 2,
+                                fast_opts());
+  auto w2 = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                fast_opts());
+  ASSERT_TRUE(server->wait_ready());
+  ASSERT_TRUE(w1->wait_ready());
+  ASSERT_TRUE(w2->wait_ready());
+  EXPECT_EQ(server->membership_epoch(), 0u);
+
+  // Worker 2 vanishes without a goodbye.
+  w2.reset();
+  ASSERT_TRUE(eventually([&] { return !server->is_alive(2); }));
+  EXPECT_GE(server->membership_epoch(), 1u);
+  // The survivor hears about it over the control plane.
+  ASSERT_TRUE(eventually([&] { return !w1->is_alive(2); }));
+  EXPECT_TRUE(w1->wait_membership_epoch(1, 10.0));
+
+  // The dead id re-dials and is granted a rejoin, not rejected.
+  auto w2b = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                 fast_opts());
+  ASSERT_TRUE(w2b->wait_ready());
+  EXPECT_TRUE(w2b->rejoin_granted());
+  EXPECT_GE(w2b->membership_epoch(), 2u);
+  ASSERT_TRUE(eventually([&] { return server->is_alive(2); }));
+  EXPECT_GE(server->membership_epoch(), 2u);
+  // The revival reaches the survivor via the rebroadcast !epoch bitmap;
+  // a worker that never died was never granted a rejoin.
+  ASSERT_TRUE(eventually(
+      [&] { return w1->is_alive(2) && w1->membership_epoch() >= 2; }));
+  EXPECT_FALSE(w1->rejoin_granted());
+
+  // The re-accepted connection carries real traffic in every direction.
+  server->send(kServerId, 2, "t", payload_of(1, 3.f));
+  auto m = w2b->receive_tagged(2, "t");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, kServerId);
+  w1->send(1, 2, "swap", payload_of(1, 9.f));
+  auto s = w2b->receive_tagged(2, "swap");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->from, 1);
+  w2b->send(2, kServerId, "fb", payload_of(1, 4.f));
+  EXPECT_TRUE(server->receive_tagged(kServerId, "fb").has_value());
+}
+
+// close() during the rendezvous must abort wait_ready with false —
+// not report a cluster that never formed as ready, and not sit out the
+// full rendezvous deadline.
+TEST(TcpNetwork, WaitReadyFailsWhenClosedMidRendezvous) {
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 30.0;  // close(), not the deadline, ends it
+  auto server = TcpNetwork::serve(0, 2, opts);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server->close();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(server->wait_ready());
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(waited, 10.0);
+  closer.join();
+}
+
+// Drop diagnostics come from the dead peer's OWN connection: each
+// conn tracks its last received frame, so a quiet link does not
+// inherit a chatty neighbour's stats (the endpoint-global bug this
+// replaced would have reported worker 1's frames for worker 2).
+TEST(TcpNetwork, DropDiagnosticsUsePerConnectionStats) {
+  auto server = TcpNetwork::serve(0, 2, fast_opts());
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 2,
+                                fast_opts());
+  auto w2 = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                fast_opts());
+  ASSERT_TRUE(server->wait_ready());
+  ASSERT_TRUE(w1->wait_ready());
+
+  w1->send(1, kServerId, "fb", payload_of(1, 1.f));
+  w1->send(1, kServerId, "fb", payload_of(1, 2.f));
+  w2->send(2, kServerId, "other", payload_of(1, 3.f));
+  ASSERT_TRUE(server->receive_tagged(kServerId, "fb").has_value());
+  ASSERT_TRUE(server->receive_tagged(kServerId, "fb").has_value());
+  ASSERT_TRUE(server->receive_tagged(kServerId, "other").has_value());
+
+  const auto rx1 = server->last_rx_of(1);
+  EXPECT_TRUE(rx1.any);
+  EXPECT_EQ(rx1.src, 1);
+  EXPECT_EQ(rx1.tag, "fb");
+  EXPECT_EQ(rx1.frames, 2u);
+  const auto rx2 = server->last_rx_of(2);
+  EXPECT_TRUE(rx2.any);
+  EXPECT_EQ(rx2.src, 2);
+  EXPECT_EQ(rx2.tag, "other");
+  EXPECT_EQ(rx2.frames, 1u);
+  // The worker side counts at least the control ack of its rendezvous.
+  const auto rxw = w1->last_rx_of(kServerId);
+  EXPECT_TRUE(rxw.any);
+  EXPECT_GE(rxw.frames, 1u);
+}
+
+// An UNSCHEDULED mid-run death over real sockets: worker 2 trains one
+// round and then vanishes (kill -9 semantics — its endpoint is simply
+// destroyed, no schedule announced it). The server must detect the
+// EOF, fail-stop the worker, shrink the affected collect to what is
+// still alive, and finish every remaining round with finite weights
+// instead of dying on "missing feedback".
+TEST(TcpMdGan, ServerSurvivesWorkerVanishingMidRun) {
+  const std::uint64_t seed = 37;
+  const std::size_t n_workers = 2, per_shard = 16;
+  const std::int64_t iters = 3;
+  const auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  core::MdGanConfig cfg;
+  cfg.hp.batch = 8;
+  cfg.hp.disc_steps = 1;
+  cfg.k = 2;
+  cfg.swap_enabled = false;  // survivor count can drop below 2
+  cfg.parallel_workers = false;
+
+  auto full = data::make_synthetic_digits(n_workers * per_shard, seed);
+  Rng split_rng(seed);
+  const auto shards = data::split_iid(full, n_workers, split_rng);
+
+  auto server = TcpNetwork::serve(0, n_workers, fast_opts());
+  const auto port = server->port();
+  std::vector<float> got;
+  std::int64_t server_iters = 0;
+  std::vector<std::string> errors(3);
+  std::thread server_thread([&] {
+    try {
+      core::MdGanConfig scfg = cfg;
+      scfg.shard_size = per_shard;
+      core::MdGan md(arch, scfg, {}, seed, *server, nullptr,
+                     core::NodeRole::server());
+      md.train(iters);
+      server_iters = md.iterations_run();
+      got = md.generator().flatten_parameters();
+    } catch (const std::exception& e) {
+      errors[0] = e.what();
+    }
+  });
+  std::thread w1_thread([&] {
+    try {
+      auto net = TcpNetwork::connect("127.0.0.1", port, 1, n_workers,
+                                     fast_opts());
+      core::MdGan md(arch, cfg, {shards[0]}, seed, *net, nullptr,
+                     core::NodeRole::worker(1));
+      md.train(iters);
+    } catch (const std::exception& e) {
+      errors[1] = e.what();
+    }
+  });
+  std::thread w2_thread([&] {
+    try {
+      auto net = TcpNetwork::connect("127.0.0.1", port, 2, n_workers,
+                                     fast_opts());
+      core::MdGan md(arch, cfg, {shards[1]}, seed, *net, nullptr,
+                     core::NodeRole::worker(2));
+      md.train(1);  // one round, then vanish without a goodbye
+    } catch (const std::exception& e) {
+      errors[2] = e.what();
+    }
+  });
+  server_thread.join();
+  w1_thread.join();
+  w2_thread.join();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "role " << i << ": " << errors[i];
+  }
+  EXPECT_EQ(server_iters, iters);
+  ASSERT_FALSE(got.empty());
+  for (float v : got) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_FALSE(server->is_alive(2));
+  EXPECT_GE(server->membership_epoch(), 1u);
+}
+
 }  // namespace
 }  // namespace mdgan::dist
