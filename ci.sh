@@ -10,12 +10,38 @@ cd "$(dirname "$0")"
 
 # `ci.sh --tsan`: ThreadSanitizer pass over the concurrency-heavy
 # dist/core tests (reader threads, the acceptor's control pump,
-# mark_dead vs close) in its own build tree, then exit.
+# mark_dead vs close) in its own build tree, then a heartbeat-enabled
+# loopback run — the ping/pong pump, the liveness tracker and the
+# reader threads all under the race detector at once — and exit.
 if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -S . -DMDGAN_TSAN=ON \
-    -DMDGAN_BUILD_BENCHES=OFF -DMDGAN_BUILD_EXAMPLES=OFF
+    -DMDGAN_BUILD_BENCHES=OFF -DMDGAN_BUILD_EXAMPLES=ON
   cmake --build build-tsan -j"$(nproc)"
   cd build-tsan && ctest --output-on-failure -R '^(dist|core)_'
+  echo "--- tsan smoke: heartbeat-enabled loopback run"
+  HB_FLAGS="--workers=2 --iters=3 --heartbeat-ms=50 --suspect-ms=300 \
+    --grace-ms=2000 --recv-timeout=60"
+  ./mdgan_node --role=server --port=0 $HB_FLAGS \
+    > tsan_hb_server.log 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(grep -oE 'listening on 0.0.0.0:[0-9]+' tsan_hb_server.log \
+           | grep -oE '[0-9]+$' || true)
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "tsan heartbeat server never listened"; exit 1; }
+  ./mdgan_node --role=worker --id=1 --connect=127.0.0.1:"$PORT" $HB_FLAGS &
+  W1_PID=$!
+  ./mdgan_node --role=worker --id=2 --connect=127.0.0.1:"$PORT" $HB_FLAGS &
+  W2_PID=$!
+  for pid in "$W1_PID" "$W2_PID" "$SERVER_PID"; do
+    wait "$pid" || { echo "tsan heartbeat process $pid failed"; exit 1; }
+  done
+  cat tsan_hb_server.log
+  grep -q 'finite=yes' tsan_hb_server.log || {
+    echo "FAIL: tsan heartbeat run did not finish finite"; exit 1; }
   echo "tsan pass clean"
   exit 0
 fi
@@ -213,9 +239,11 @@ sleep 1.2  # a few rounds in: the kill lands mid-round
 kill -9 "$W3_PID"
 echo "killed worker 3 (pid $W3_PID)"
 # While the survivors keep training, a fresh process re-dials as the
-# dead id: the control plane must grant the rejoin, not reject it.
+# dead id: the control plane must grant the rejoin, ship the !state
+# transfer at the next round boundary, and the reborn worker must
+# train the remaining rounds and contribute feedback the server folds.
 ./mdgan_node --role=rejoin --id=3 --connect=127.0.0.1:"$PORT" \
-  --workers=3 --recv-timeout=15 | tee kill_rejoin.log
+  $KILL_FLAGS --step-delay-ms=60 | tee kill_rejoin.log
 wait "$W3_PID" && { echo "worker 3 survived its kill -9?"; exit 1; } || {
   rc=$?
   [ "$rc" -eq 137 ] || { echo "worker 3 exit=$rc, want 137"; exit 1; }
@@ -232,6 +260,8 @@ grep -q 'finite=yes' kill_server.log || {
   echo "FAIL: server did not finish with finite weights"; exit 1; }
 grep -q 'granted=yes' kill_rejoin.log || {
   echo "FAIL: rejoin probe was not granted"; exit 1; }
+grep -q 'trained from=' kill_rejoin.log || {
+  echo "FAIL: rejoin probe never re-entered training"; exit 1; }
 for w in 1 2; do
   grep -q 'death notice for worker 3' kill_w"$w".log || {
     echo "FAIL: worker $w never received the death notice"; exit 1; }
@@ -242,8 +272,80 @@ final = [json.loads(l) for l in open("kill_metrics.jsonl")][-1]
 c, g = final["counters"], final["gauges"]
 assert c.get("peer_deaths_total", 0) >= 1, c
 assert c.get("rejoins_total", 0) >= 1, c
+assert c.get("rejoin_admitted_total", 0) >= 1, c
+assert c.get("readmitted_feedback_total", 0) >= 1, c
 assert g.get("membership_epoch", 0) >= 2, g
-print("kill-drill metrics OK: deaths=%d rejoins=%d epoch=%g" %
-      (c["peer_deaths_total"], c["rejoins_total"], g["membership_epoch"]))
+print("kill-drill metrics OK: deaths=%d rejoins=%d admitted=%d "
+      "readmitted_fb=%d epoch=%g" %
+      (c["peer_deaths_total"], c["rejoins_total"],
+       c["rejoin_admitted_total"], c["readmitted_feedback_total"],
+       g["membership_epoch"]))
 PY
-echo "kill-drill OK: server survived an unscheduled mid-round death"
+echo "kill-drill OK: a killed worker was re-admitted back into training"
+
+echo "--- drill: transient partition inside the grace window (SIGSTOP)"
+# Two workers with heartbeats on. Worker 2 is SIGSTOPped past the
+# suspect threshold but resumed well inside the grace window: the
+# server must SUSPECT it (logged + counted) yet never declare it dead —
+# no !death fan-out to the survivor, no epoch churn, no rejoin cycle —
+# and the run must finish every round with finite weights.
+PART_FLAGS="--workers=2 --iters=12 --k=2 --swap=0 --recv-timeout=20 \
+  --heartbeat-ms=100 --suspect-ms=400 --grace-ms=6000 --log-level=info"
+./mdgan_node --role=server --port=0 $PART_FLAGS \
+  --metrics-out=part_metrics.jsonl > part_server.log 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on 0.0.0.0:[0-9]+' part_server.log \
+         | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "partition-drill server never listened"; exit 1; }
+./mdgan_node --role=worker --id=1 --connect=127.0.0.1:"$PORT" \
+  $PART_FLAGS --step-delay-ms=40 > part_w1.log 2>&1 &
+W1_PID=$!
+./mdgan_node --role=worker --id=2 --connect=127.0.0.1:"$PORT" \
+  $PART_FLAGS --step-delay-ms=40 > part_w2.log 2>&1 &
+W2_PID=$!
+for _ in $(seq 1 200); do
+  grep -q 'all 2 workers connected' part_server.log && break
+  sleep 0.1
+done
+grep -q 'all 2 workers connected' part_server.log || {
+  echo "partition-drill rendezvous never completed"; exit 1; }
+sleep 0.8  # a couple of rounds in
+kill -STOP "$W2_PID"
+echo "partitioned worker 2 (SIGSTOP, pid $W2_PID)"
+sleep 1.2  # past suspect-ms=400, far inside grace-ms=6000
+kill -CONT "$W2_PID"
+echo "healed the partition (SIGCONT)"
+for pid in "$W1_PID" "$W2_PID" "$SERVER_PID"; do
+  wait "$pid" || { echo "partition-drill process $pid failed"; exit 1; }
+done
+cat part_server.log
+grep -q 'silent past the suspect threshold' part_server.log || {
+  echo "FAIL: server never suspected the partitioned worker"; exit 1; }
+grep -q 're-seated' part_server.log || {
+  echo "FAIL: the healed partition was never re-seated"; exit 1; }
+grep -q 'finite=yes' part_server.log || {
+  echo "FAIL: partition-drill run did not finish finite"; exit 1; }
+# The liveness machinery must never have escalated the stall: no
+# grace-window death, no rejoin cycle. (Teardown EOFs at process exit
+# are ordinary fail-stop noise and take neither path.)
+grep -q 'silent past the grace window' part_server.log && {
+  echo "FAIL: a transient partition was escalated to a death"; exit 1; }
+grep -q 'granting rejoin' part_server.log && {
+  echo "FAIL: the re-seat went through a death/rejoin cycle"; exit 1; }
+python3 - <<'PY'
+import json
+final = [json.loads(l) for l in open("part_metrics.jsonl")][-1]
+c, h = final["counters"], final["histograms"]
+assert c.get("suspects_total", 0) >= 1, c
+assert c.get("rejoins_total", 0) == 0, c
+rtt = h.get("heartbeat_rtt_seconds")
+assert rtt and rtt["count"] >= 1, "no heartbeat RTTs were observed"
+print("partition-drill metrics OK: suspects=%d rejoins=0 rtt_samples=%d" %
+      (c["suspects_total"], rtt["count"]))
+PY
+echo "partition-drill OK: suspect re-seated inside the grace window"

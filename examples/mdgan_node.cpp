@@ -52,12 +52,23 @@
 // bounds a blocking receive (TcpOptions.receive_timeout_s),
 // --rendezvous-timeout the join deadline, --step-delay-ms sleeps each
 // worker local step so a kill reliably lands mid-round, and a fourth
-// role probes re-entry after a death:
+// role re-enters training after a death:
 //
 //   ./mdgan_node --role=rejoin --id=2 --connect=host:29471 --workers=2
 //
-// prints "rejoin: worker 2 ready=.. granted=.. epoch=.." and exits 0
-// iff the server granted the rejoin under a bumped membership epoch.
+// prints "rejoin: worker 2 ready=.. granted=.. epoch=.." (exit 0 iff
+// the server granted the rejoin under a bumped membership epoch), then
+// waits for the server's `!state` transfer, adopts it and resumes
+// training at the admission round — printing "rejoin: worker 2 trained
+// from=A to=B" when the resumed run completes.
+//
+// Robustness knobs: --dial-retries / --dial-backoff-ms bound the
+// connect retry loop (workers may start before the server);
+// --heartbeat-ms enables server heartbeats with --suspect-ms /
+// --grace-ms controlling the alive -> suspect -> dead state machine (a
+// worker silent past suspect but back within grace is re-seated, no
+// death fan-out); --recv-retries / --recv-timeout-ms bound the
+// churn-retry budget of every blocking protocol receive.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -170,6 +181,14 @@ NodeConfig parse_training_flags(const CliFlags& flags) {
   // so an external kill (the ci.sh crash drill) reliably lands between
   // a worker's receive and its feedback send.
   nc.cfg.step_delay_s = flags.get_double("step-delay-ms", 0.0) / 1000.0;
+  // Churn-resilience budget of every blocking protocol receive: how
+  // many membership-epoch wakeups it survives (--recv-retries) and an
+  // optional wall-clock ceiling across the retries (--recv-timeout-ms,
+  // 0 = unbounded). Exhaustion is a clean std::runtime_error, exit 1.
+  nc.cfg.recv_churn_retries = static_cast<std::size_t>(flags.get_int(
+      "recv-retries", static_cast<std::int64_t>(nc.cfg.recv_churn_retries)));
+  nc.cfg.recv_total_timeout_s =
+      flags.get_double("recv-timeout-ms", 0.0) / 1000.0;
   return nc;
 }
 
@@ -182,6 +201,20 @@ dist::TcpOptions tcp_options_from(const CliFlags& flags) {
       flags.get_double("rendezvous-timeout", opts.rendezvous_timeout_s);
   opts.receive_timeout_s =
       flags.get_double("recv-timeout", opts.receive_timeout_s);
+  // Dial retry with bounded exponential backoff: lets workers start
+  // before the server (or a rejoiner redial a briefly unreachable one).
+  opts.dial_retries =
+      static_cast<int>(flags.get_int("dial-retries", opts.dial_retries));
+  opts.dial_backoff_ms =
+      flags.get_double("dial-backoff-ms", opts.dial_backoff_ms);
+  // Heartbeat liveness (server side): 0 (default) disables. A silent
+  // worker becomes suspect after --suspect-ms and dead only after a
+  // further --grace-ms, so a transient partition re-seats instead of
+  // triggering the death fan-out.
+  opts.heartbeat_interval_s = flags.get_double("heartbeat-ms", 0.0) / 1000.0;
+  opts.suspect_after_s =
+      flags.get_double("suspect-ms", opts.suspect_after_s * 1000.0) / 1000.0;
+  opts.grace_s = flags.get_double("grace-ms", opts.grace_s * 1000.0) / 1000.0;
   return opts;
 }
 
@@ -270,11 +303,14 @@ int run_worker(const NodeConfig& nc, const std::string& connect, int id,
   return 0;
 }
 
-// Control-plane probe: re-dial the cluster from a worker id that died
-// mid-run and report whether the server granted the rejoin (instead of
-// rejecting the id as a duplicate hello) and under which membership
-// epoch. 0 iff granted under a bumped epoch — the ci.sh crash drill's
-// check that a restarted process can re-enter the cluster.
+// Rejoin-to-training: re-dial the cluster from a worker id that died
+// mid-run. If the server grants the rejoin (instead of rejecting the id
+// as a duplicate hello), wait for its `!state` transfer, adopt the
+// snapshot (generator θ, holder map, swap stream, admission round) and
+// RE-ENTER training at the admission round — the restarted process
+// contributes feedback to every remaining round. Exit 0 iff granted
+// under a bumped epoch; the "trained" line appears iff the state
+// arrived and the resumed run finished.
 int run_rejoin_probe(const NodeConfig& nc, const std::string& connect,
                      int id, const dist::TcpOptions& opts) {
   const auto colon = connect.rfind(':');
@@ -293,7 +329,33 @@ int run_rejoin_probe(const NodeConfig& nc, const std::string& connect,
               ready ? "yes" : "no", granted ? "yes" : "no",
               static_cast<unsigned long long>(epoch));
   std::fflush(stdout);
-  return (ready && granted && epoch >= 1) ? 0 : 1;
+  if (!(ready && granted && epoch >= 1)) return 1;
+
+  // The server ships the state at the next round boundary; bound the
+  // wait by the receive timeout so a probe against an already-finished
+  // run still exits cleanly (granted, but nothing left to train).
+  const double wait_s =
+      opts.receive_timeout_s > 0.0 ? opts.receive_timeout_s : 10.0;
+  auto payload = net->wait_rejoin_state(wait_s);
+  if (!payload.has_value()) {
+    std::printf("rejoin: worker %d no state transfer within %.1fs "
+                "(run over?)\n",
+                id, wait_s);
+    return 0;
+  }
+  auto st = core::RejoinState::decode(*payload);
+  const auto admitted_at = st.admission_round;
+  auto shards = shards_of(nc);
+  core::MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), nc.cfg,
+                 {shards[static_cast<std::size_t>(id) - 1]}, nc.seed, *net,
+                 nc.schedule(), core::NodeRole::worker(id));
+  md.adopt_rejoin_state(std::move(st));
+  md.train_from(admitted_at, nc.iters);
+  std::printf("rejoin: worker %d trained from=%lld to=%lld\n", id,
+              static_cast<long long>(admitted_at),
+              static_cast<long long>(md.iterations_run()));
+  std::fflush(stdout);
+  return 0;
 }
 
 }  // namespace

@@ -28,6 +28,23 @@ Rng::Rng(std::uint64_t seed) : seed_(seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.seed = seed_;
+  st.has_spare = has_spare_ ? 1 : 0;
+  st.spare = spare_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  seed_ = st.seed;
+  has_spare_ = st.has_spare != 0;
+  spare_ = st.spare;
+}
+
 Rng Rng::split(std::uint64_t stream_id) const {
   // Mix the stream id into the original seed through splitmix64 rounds;
   // children of the same parent with different ids get unrelated states.

@@ -65,6 +65,19 @@ class Rng {
 
   std::uint64_t seed() const { return seed_; }
 
+  // Snapshot of the full generator state, serializable byte-for-byte.
+  // Shipping a State across the wire (the `!state` rejoin transfer) lets
+  // a restarted node resume a shared stream — e.g. the swap RNG — at
+  // exactly the draw the cluster has reached, not from the beginning.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    std::uint64_t seed = 0;
+    std::uint8_t has_spare = 0;
+    float spare = 0.f;
+  };
+  State state() const;
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_ = 0;

@@ -134,12 +134,15 @@ MdGan::MdGan(gan::GanArch arch, MdGanConfig cfg,
     disc.holder = static_cast<int>(j + 1);  // D_j starts on worker j+1
     discs_.push_back(std::move(disc));
   }
+  last_holder_.assign(discs_.size(), -1);
+  readmitted_.assign(n_workers + 1, false);
 
   if (cfg_.sink != nullptr) {
     obs::Registry& r = cfg_.sink->registry();
     gen_updates_total_ = &r.counter("gen_updates_total");
     swap_skipped_total_ = &r.counter("swap_skipped_total");
     local_steps_total_ = &r.counter("local_steps_total");
+    readmitted_feedback_total_ = &r.counter("readmitted_feedback_total");
   }
 }
 
@@ -169,7 +172,10 @@ std::vector<std::size_t> MdGan::participating_discs(
     if (holder <= 0) continue;
     if (!net_.is_alive(holder)) {
       // Fail-stop: a discriminator on a crashed worker is gone. Prune
-      // it so its parameters can never re-enter the game.
+      // it so its parameters can never re-enter the game. The last
+      // holder is kept: a state-transfer re-admission rebirths exactly
+      // the discriminators that died with the rejoiner.
+      last_holder_[j] = holder;
       discs_[j].holder = -1;
       continue;
     }
@@ -252,17 +258,49 @@ void MdGan::local_work(const std::vector<std::size_t>& discs) {
   }
 }
 
+std::optional<dist::Message> receive_resilient(dist::Transport& net, int node,
+                                               const std::string& tag,
+                                               int sender,
+                                               const RecvRetryPolicy& policy) {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t churn = 0;
+  for (;;) {
+    const std::uint64_t epoch0 = net.membership_epoch();
+    if (auto msg = net.receive_tagged(node, tag)) return msg;
+    if (!net.is_alive(sender)) return std::nullopt;
+    if (net.membership_epoch() == epoch0) return std::nullopt;
+    // Membership churn woke the receive, but the peer we are waiting on
+    // is still alive: keep waiting — within the policy's budget, so a
+    // pathologically flapping cluster surfaces a clean error instead of
+    // retrying forever.
+    if (++churn > policy.churn_retries) {
+      throw std::runtime_error(
+          "receive_resilient: node " + std::to_string(node) +
+          " gave up waiting for '" + tag + "' from " +
+          std::to_string(sender) + " after " +
+          std::to_string(policy.churn_retries) +
+          " membership-churn retries");
+    }
+    if (policy.total_timeout_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > policy.total_timeout_s) {
+        throw std::runtime_error(
+            "receive_resilient: node " + std::to_string(node) +
+            " gave up waiting for '" + tag + "' from " +
+            std::to_string(sender) + " after " +
+            std::to_string(policy.total_timeout_s) + "s total");
+      }
+    }
+  }
+}
+
 std::optional<dist::Message> MdGan::receive_resilient(int node,
                                                       const std::string& tag,
                                                       int sender) {
-  for (;;) {
-    const std::uint64_t epoch0 = net_.membership_epoch();
-    if (auto msg = net_.receive_tagged(node, tag)) return msg;
-    if (!net_.is_alive(sender)) return std::nullopt;
-    if (net_.membership_epoch() == epoch0) return std::nullopt;
-    // Membership churn woke the receive, but the peer we are waiting on
-    // is still alive: keep waiting.
-  }
+  return core::receive_resilient(
+      net_, node, tag, sender,
+      RecvRetryPolicy{cfg_.recv_churn_retries, cfg_.recv_total_timeout_s});
 }
 
 void MdGan::worker_iteration(std::size_t disc_index) {
@@ -340,6 +378,13 @@ void MdGan::server_fold_sync(std::vector<dist::Message>&& feedbacks,
   for (auto& msg : feedbacks) {
     const auto j = msg.payload.read_pod<std::uint32_t>();
     if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
+    if (msg.from > 0 && msg.from < static_cast<int>(readmitted_.size()) &&
+        readmitted_[static_cast<std::size_t>(msg.from)]) {
+      ++readmitted_feedback_;  // a state-transfer rejoiner is back in
+      if (readmitted_feedback_total_ != nullptr) {
+        readmitted_feedback_total_->inc();
+      }
+    }
     received.push_back(
         {msg.from, j, Tensor({b, d}, dist::decompress(msg.payload))});
   }
@@ -395,6 +440,14 @@ void MdGan::server_apply_async(dist::Message&& feedback,
   // batch was generated — the inconsistent-update regime of §VII-1.
   const auto j = feedback.payload.read_pod<std::uint32_t>();
   if (j >= k_eff) throw std::logic_error("MdGan server: bad batch id");
+  if (feedback.from > 0 &&
+      feedback.from < static_cast<int>(readmitted_.size()) &&
+      readmitted_[static_cast<std::size_t>(feedback.from)]) {
+    ++readmitted_feedback_;
+    if (readmitted_feedback_total_ != nullptr) {
+      readmitted_feedback_total_->inc();
+    }
+  }
   Tensor fb({b, d}, dist::decompress(feedback.payload));
   g_opt_->zero_grad();
   g_.forward(latent_batches_[j], /*train=*/true);
@@ -533,6 +586,96 @@ void MdGan::swap_discriminators(const std::vector<int>& present_workers) {
   }
 }
 
+void MdGan::readmit_worker(int worker, std::int64_t round) {
+  // Rebirth every discriminator that died with this worker: a FRESH
+  // model (the old parameters died with the old incarnation and cannot
+  // be recovered), drawn from a stream every role derives identically
+  // from (seed, worker, admission round, disc index) — the rejoiner in
+  // adopt_rejoin_state, the server and every survivor here. Fresh Adam
+  // moments too, like a swap adoption.
+  for (std::size_t j = 0; j < discs_.size(); ++j) {
+    if (discs_[j].holder != -1 || last_holder_[j] != worker) continue;
+    Rng scratch = Rng(seed_)
+                      .split(0xd15c)
+                      .split(static_cast<std::uint64_t>(worker))
+                      .split(static_cast<std::uint64_t>(round))
+                      .split(j);
+    discs_[j].net = gan::build_discriminator(arch_, scratch);
+    discs_[j].opt = std::make_unique<opt::Adam>(
+        discs_[j].net.params(), discs_[j].net.grads(), cfg_.hp.d_adam);
+    discs_[j].holder = worker;
+    last_holder_[j] = -1;
+    MDGAN_LOG_INFO << "MdGan: discriminator " << j << " reborn on worker "
+                   << worker << " (admission round " << round << ")";
+  }
+  // Reseed the worker's sampling stream from the admission round (a
+  // shared-knowledge tuple): the restarted process cannot know how far
+  // the old incarnation drew, so every role restarts the stream at the
+  // same point instead.
+  auto& slot = workers_[static_cast<std::size_t>(worker - 1)];
+  if (slot != nullptr) {
+    slot->rng = Rng(seed_)
+                    .split(0x3d9a)
+                    .split(static_cast<std::uint64_t>(worker))
+                    .split(static_cast<std::uint64_t>(round));
+  }
+  readmitted_[static_cast<std::size_t>(worker)] = true;
+}
+
+ByteBuffer MdGan::serialize_rejoin_state(std::int64_t round) {
+  RejoinState st;
+  st.admission_round = round;
+  st.membership_epoch = net_.membership_epoch();
+  st.generator_params = g_.flatten_parameters();
+  st.holders.reserve(discs_.size());
+  for (const auto& d : discs_) st.holders.push_back(d.holder);
+  st.swap_rng = swap_rng_.state();
+  return st.encode();
+}
+
+void MdGan::adopt_rejoin_state(RejoinState&& st) {
+  if (st.holders.size() != discs_.size()) {
+    throw std::runtime_error(
+        "MdGan: rejoin state carries " + std::to_string(st.holders.size()) +
+        " discriminators, this cluster has " + std::to_string(discs_.size()));
+  }
+  if (st.generator_params.size() != g_.flatten_parameters().size()) {
+    throw std::runtime_error(
+        "MdGan: rejoin state generator size mismatch (architecture or "
+        "config disagrees with the server)");
+  }
+  g_.assign_parameters(st.generator_params);
+  swap_rng_.set_state(st.swap_rng);
+  const int me = role_.worker_id;
+  for (std::size_t j = 0; j < discs_.size(); ++j) {
+    discs_[j].holder = st.holders[j];
+    last_holder_[j] = -1;
+    if (st.holders[j] == me && role_.kind == NodeRole::Kind::kWorker) {
+      // The holder map was serialized AFTER the server re-admitted this
+      // worker, so the discriminators mapped to it are the reborn ones:
+      // derive the identical fresh model the other roles derived.
+      Rng scratch = Rng(seed_)
+                        .split(0xd15c)
+                        .split(static_cast<std::uint64_t>(me))
+                        .split(static_cast<std::uint64_t>(st.admission_round))
+                        .split(j);
+      discs_[j].net = gan::build_discriminator(arch_, scratch);
+      discs_[j].opt = std::make_unique<opt::Adam>(
+          discs_[j].net.params(), discs_[j].net.grads(), cfg_.hp.d_adam);
+    }
+  }
+  if (role_.kind == NodeRole::Kind::kWorker) {
+    workers_[static_cast<std::size_t>(me - 1)]->rng =
+        Rng(seed_)
+            .split(0x3d9a)
+            .split(static_cast<std::uint64_t>(me))
+            .split(static_cast<std::uint64_t>(st.admission_round));
+  }
+  MDGAN_LOG_INFO << "MdGan: adopted rejoin state (admission round "
+                 << st.admission_round << ", epoch " << st.membership_epoch
+                 << ", " << st.generator_params.size() << " generator params)";
+}
+
 // Binds the engine's phase callbacks to the trainer plus the train()
 // call's eval context.
 struct MdGan::EngineBridge final : RoundDelegate {
@@ -547,13 +690,22 @@ struct MdGan::EngineBridge final : RoundDelegate {
 
   void on_leave(int worker, bool permanent, std::int64_t /*iter*/) override {
     if (!permanent) return;  // dormant discs stay with their host
-    for (auto& d : md.discs_) {
-      if (d.holder == worker) d.holder = -1;  // died with its host
+    for (std::size_t j = 0; j < md.discs_.size(); ++j) {
+      if (md.discs_[j].holder == worker) {
+        md.last_holder_[j] = worker;  // a re-admission rebirths it here
+        md.discs_[j].holder = -1;     // died with its host
+      }
     }
   }
   void on_join(int /*worker*/, std::int64_t /*iter*/) override {
     // Nothing to restore: a rejoining worker kept its shard, RNG stream
     // and any dormant discriminator; participants() picks them back up.
+  }
+  void on_readmit(int worker, std::int64_t iter) override {
+    md.readmit_worker(worker, iter);
+  }
+  ByteBuffer make_rejoin_state(int /*worker*/, std::int64_t iter) override {
+    return md.serialize_rejoin_state(iter);
   }
   std::vector<std::size_t> participants(
       const std::vector<int>& present_workers) override {
@@ -599,6 +751,15 @@ struct MdGan::EngineBridge final : RoundDelegate {
 
 void MdGan::train(std::int64_t iters, std::int64_t eval_every,
                   const gan::EvalHook& hook) {
+  train_from(/*first_iter=*/1, iters, eval_every, hook);
+}
+
+void MdGan::train_from(std::int64_t first_iter, std::int64_t iters,
+                       std::int64_t eval_every, const gan::EvalHook& hook) {
+  if (first_iter < 1) {
+    throw std::invalid_argument("MdGan: first_iter must be >= 1");
+  }
+  if (iters < first_iter) return;  // the run already ended before re-entry
   RoundEngineConfig ec;
   ec.role = role_;
   ec.mode = server_mode();
@@ -614,7 +775,7 @@ void MdGan::train(std::int64_t iters, std::int64_t eval_every,
   }
   EngineBridge bridge(*this, iters, eval_every, hook);
   RoundEngine engine(net_, ec, bridge, availability_);
-  engine.run(/*first_iter=*/1, iters);
+  engine.run(first_iter, iters - first_iter + 1);
   stale_dropped_ += engine.stale_dropped();
 }
 

@@ -75,6 +75,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/rejoin.hpp"
 #include "core/round_engine.hpp"
 #include "data/dataset.hpp"
 #include "dist/compression.hpp"
@@ -83,6 +84,28 @@
 #include "gan/trainer.hpp"
 
 namespace mdgan::core {
+
+// How much disturbance a churn-resilient blocking receive tolerates
+// before giving up. Exhausting either budget throws std::runtime_error
+// (a clean, attributable error — not a wedge and not a silent nullopt):
+//  * churn_retries: membership-epoch bumps (an unrelated peer died or
+//    rejoined) the receive survives while its own sender stays alive;
+//  * total_timeout_s: wall-clock budget across all retries (0 = none).
+struct RecvRetryPolicy {
+  std::size_t churn_retries = 64;
+  double total_timeout_s = 0.0;
+};
+
+// receive_tagged that survives membership churn: a control-plane epoch
+// bump wakes a blocking receive with nullopt, which must not be
+// confused with a lost message. Retries while `sender` is alive and the
+// epoch keeps moving, within `policy`. Returns nullopt when the sender
+// is dead or the receive timed out under quiet membership; throws
+// std::runtime_error when the retry budget is exhausted.
+std::optional<dist::Message> receive_resilient(dist::Transport& net, int node,
+                                               const std::string& tag,
+                                               int sender,
+                                               const RecvRetryPolicy& policy);
 
 struct MdGanConfig {
   gan::GanHyperParams hp;
@@ -105,6 +128,12 @@ struct MdGanConfig {
   float async_staleness_damping = 0.f;
   // §VII-2 feedback compression on the W->C link.
   dist::CompressionConfig feedback_compression;
+  // Churn-resilience budget for every blocking receive in the protocol
+  // (gen_batches, swaps): how many membership-epoch wakeups a receive
+  // survives, and an optional wall-clock ceiling across the retries
+  // (0 = unbounded). Exhaustion surfaces as std::runtime_error.
+  std::size_t recv_churn_retries = 64;
+  double recv_total_timeout_s = 0.0;
   // Simulated compute costs (seconds), layered on the Network's link
   // model via its virtual clock: per-worker cost of one local iteration
   // (L discriminator steps + feedback), and the server's cost of one
@@ -155,6 +184,26 @@ class MdGan {
   // worker is gone for good. Hook receives the server generator.
   void train(std::int64_t iters, std::int64_t eval_every = 0,
              const gan::EvalHook& hook = nullptr);
+  // Like train(), but the first processed round is `first_iter` instead
+  // of 1 — the re-entry point of a rejoined worker, which resumes the
+  // GLOBAL round numbering at its admission round so swap replay and
+  // eval cadence stay aligned with the surviving cluster. `iters` keeps
+  // its train() meaning (the final global round index).
+  void train_from(std::int64_t first_iter, std::int64_t iters,
+                  std::int64_t eval_every = 0,
+                  const gan::EvalHook& hook = nullptr);
+
+  // Rejoiner side of the state transfer: install the server-shipped
+  // snapshot (generator θ, holder map, swap stream) and rebirth the
+  // discriminators this worker re-hosts, deterministically from
+  // (worker, admission round). Call before train_from(admission_round).
+  void adopt_rejoin_state(RejoinState&& st);
+  // Feedbacks folded/applied from workers re-admitted via state
+  // transfer during this process's lifetime (server roles; proves a
+  // rejoiner's training re-entered the fold).
+  std::int64_t readmitted_feedback_count() const {
+    return readmitted_feedback_;
+  }
 
   nn::Sequential& generator() { return g_; }
   // Discriminator hosted by this worker (throws if the worker currently
@@ -234,15 +283,21 @@ class MdGan {
   // pool; kWorker: the ones this worker hosts; kServer: none).
   void local_work(const std::vector<std::size_t>& discs);
   void worker_iteration(std::size_t disc_index);
-  // receive_tagged that survives membership churn: a control-plane
-  // epoch bump (some OTHER peer died or rejoined) wakes a blocking
-  // receive with nullopt, which must not be confused with a lost
-  // message. Retries while `sender` is alive and the epoch keeps
-  // moving; nullopt only when the sender is dead or the receive timed
-  // out under quiet membership.
+  // Member shim over the free receive_resilient, with this config's
+  // retry policy.
   std::optional<dist::Message> receive_resilient(int node,
                                                  const std::string& tag,
                                                  int sender);
+  // Re-admission (RoundDelegate::on_readmit): rebirth the
+  // discriminator(s) that died with `worker`, with parameters drawn
+  // deterministically from (seed, worker, round) — shared knowledge, so
+  // every role derives the identical fresh model — and reseed the
+  // worker's sampling stream from the same tuple so the restarted
+  // process and the surviving roles agree on its draws.
+  void readmit_worker(int worker, std::int64_t round);
+  // Server side of the state transfer: the `!state` payload for a
+  // worker admitted at `round` (core/rejoin.hpp).
+  ByteBuffer serialize_rejoin_state(std::int64_t round);
   // Sync server reduce: averages all feedbacks per batch, one Adam
   // step. Feedbacks are folded in sender order regardless of arrival
   // order, so the float accumulation is identical whether the transport
@@ -277,6 +332,15 @@ class MdGan {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Disc> discs_;
+  // Per discriminator: the worker that held it when it died (holder
+  // flipped to -1); -1 while it is alive or never died. Rebirth on
+  // re-admission targets exactly the discriminators whose last holder
+  // is the rejoiner.
+  std::vector<int> last_holder_;
+  // Workers re-admitted via state transfer (1-based index), for
+  // attributing their post-rejoin feedbacks.
+  std::vector<bool> readmitted_;
+  std::int64_t readmitted_feedback_ = 0;
   std::int64_t iters_run_ = 0;
   std::int64_t gen_updates_ = 0;
   std::int64_t stale_dropped_ = 0;
@@ -286,6 +350,7 @@ class MdGan {
   obs::Counter* gen_updates_total_ = nullptr;
   obs::Counter* swap_skipped_total_ = nullptr;
   obs::Counter* local_steps_total_ = nullptr;
+  obs::Counter* readmitted_feedback_total_ = nullptr;
 };
 
 }  // namespace mdgan::core

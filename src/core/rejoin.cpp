@@ -1,0 +1,60 @@
+#include "core/rejoin.hpp"
+
+#include <stdexcept>
+
+namespace mdgan::core {
+
+namespace {
+// Version byte so a future payload change fails loudly instead of
+// misparsing.
+constexpr std::uint8_t kRejoinStateVersion = 1;
+}  // namespace
+
+ByteBuffer RejoinState::encode() const {
+  ByteBuffer buf;
+  buf.write_pod<std::uint8_t>(kRejoinStateVersion);
+  buf.write_pod<std::int64_t>(admission_round);
+  buf.write_pod<std::uint64_t>(membership_epoch);
+  buf.write_floats(generator_params.data(), generator_params.size());
+  buf.write_pod<std::uint64_t>(holders.size());
+  for (std::int32_t h : holders) buf.write_pod<std::int32_t>(h);
+  for (std::uint64_t s : swap_rng.s) buf.write_pod<std::uint64_t>(s);
+  buf.write_pod<std::uint64_t>(swap_rng.seed);
+  buf.write_pod<std::uint8_t>(swap_rng.has_spare);
+  buf.write_pod<float>(swap_rng.spare);
+  return buf;
+}
+
+RejoinState RejoinState::decode(ByteBuffer& buf) {
+  try {
+    RejoinState st;
+    const auto version = buf.read_pod<std::uint8_t>();
+    if (version != kRejoinStateVersion) {
+      throw std::runtime_error("RejoinState: unknown payload version " +
+                               std::to_string(version));
+    }
+    st.admission_round = buf.read_pod<std::int64_t>();
+    st.membership_epoch = buf.read_pod<std::uint64_t>();
+    st.generator_params = buf.read_floats();
+    const auto n_holders = buf.read_pod<std::uint64_t>();
+    if (n_holders > buf.remaining() / sizeof(std::int32_t)) {
+      throw std::runtime_error("RejoinState: holder count overruns payload");
+    }
+    st.holders.reserve(n_holders);
+    for (std::uint64_t j = 0; j < n_holders; ++j) {
+      st.holders.push_back(buf.read_pod<std::int32_t>());
+    }
+    for (auto& s : st.swap_rng.s) s = buf.read_pod<std::uint64_t>();
+    st.swap_rng.seed = buf.read_pod<std::uint64_t>();
+    st.swap_rng.has_spare = buf.read_pod<std::uint8_t>();
+    st.swap_rng.spare = buf.read_pod<float>();
+    return st;
+  } catch (const std::out_of_range& e) {
+    // ByteBuffer's truncation signal, rewrapped as the clean error the
+    // adopting call sites surface.
+    throw std::runtime_error(std::string("RejoinState: truncated payload (") +
+                             e.what() + ")");
+  }
+}
+
+}  // namespace mdgan::core

@@ -1,0 +1,53 @@
+// The rejoin state transfer: what the server ships (as the `!state`
+// control frame, opaque to the transport) to a worker it re-admits into
+// training after an unscheduled death or a scheduled crash-rejoin.
+//
+// The payload is everything a restarted process cannot rederive from
+// (seed, config) alone, because it depends on how far the RUN got:
+//  * the admission round — the first round the rejoiner participates
+//    in, and the value that seeds its fresh discriminator and sampling
+//    stream (deterministic shared knowledge: every surviving role
+//    derives the identical rebirth from (worker, admission round));
+//  * the current generator θ — not needed for the worker's feedback
+//    math (MD-GAN workers only ever see generated batches), but shipped
+//    so a rejoiner can fingerprint / warm-start against the live model;
+//  * the holder map — which worker hosts which discriminator after the
+//    swaps the rejoiner missed;
+//  * the server's swap RNG state — so the rejoiner resumes the shared
+//    swap schedule at the draw the cluster has reached instead of
+//    replaying from round 1.
+//
+// The codec is pure ByteBuffer (little-endian, like every wire payload)
+// and throws std::runtime_error on malformed input — a truncated or
+// garbage `!state` payload must surface as a clean error at the
+// adopting call site, never as UB in the transport.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+
+namespace mdgan::core {
+
+struct RejoinState {
+  // First round the rejoiner participates in (the engine's iteration
+  // counter, 1-based).
+  std::int64_t admission_round = 0;
+  // The server endpoint's membership epoch at admission (diagnostic).
+  std::uint64_t membership_epoch = 0;
+  // Flattened generator parameters at admission.
+  std::vector<float> generator_params;
+  // Per-discriminator holder (1-based worker id, -1 = dead), index =
+  // discriminator slot.
+  std::vector<std::int32_t> holders;
+  // The shared swap stream, positioned at the cluster's current draw.
+  Rng::State swap_rng;
+
+  ByteBuffer encode() const;
+  // Throws std::runtime_error on a truncated or malformed payload.
+  static RejoinState decode(ByteBuffer& buf);
+};
+
+}  // namespace mdgan::core

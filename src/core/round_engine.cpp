@@ -83,19 +83,79 @@ std::size_t RoundEngine::present_count() const {
       std::count(present_.begin() + 1, present_.end(), true));
 }
 
+void RoundEngine::harvest_readmissions(std::int64_t iter) {
+  if (cfg_.role.runs_server()) {
+    // A rejoin grant is a transport-level event (a dead worker's id
+    // dialed back with --role=rejoin); the server turns it into a
+    // protocol admission at the next round boundary — here.
+    for (int w : net_.take_rejoin_grants()) {
+      if (w >= 1 && w <= static_cast<int>(net_.n_workers())) {
+        pending_readmit_[w] = iter;
+      }
+    }
+    return;
+  }
+  // Worker roles learn admissions from the server's `!admit` broadcast,
+  // which pins the admission round the server chose.
+  for (const auto& a : net_.take_admissions()) {
+    if (a.worker >= 1 && a.worker <= static_cast<int>(net_.n_workers())) {
+      pending_readmit_[a.worker] = a.round;
+    }
+  }
+}
+
+void RoundEngine::readmit(int w, std::int64_t iter) {
+  const auto wi = static_cast<std::size_t>(w);
+  lost_[wi] = false;
+  present_[wi] = true;
+  MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
+                 << " re-admitted with transferred state, "
+                 << present_count() << " present";
+  // on_readmit first: the delegate rebirths the worker's discriminator
+  // and restores the holder map BEFORE the state payload is serialized,
+  // so the rejoiner receives the post-admission view.
+  delegate_.on_readmit(w, iter);
+  if (cfg_.role.runs_server()) {
+    net_.announce_admission(w, iter, delegate_.make_rejoin_state(w, iter));
+  }
+}
+
 bool RoundEngine::process_membership(std::int64_t iter) {
+  harvest_readmissions(iter);
+  bool self_state_lost = false;
   for (int w = 1; w <= static_cast<int>(net_.n_workers()); ++w) {
-    const bool alive = net_.is_alive(w);
+    const auto wi = static_cast<std::size_t>(w);
+    const bool state_rejoin =
+        availability_ != nullptr && availability_->state_rejoin_at(w, iter);
+    bool alive = net_.is_alive(w);
+    if (state_rejoin && !alive && !lost_[wi]) {
+      // Scheduled crash-rejoin, real transport: the worker's old
+      // incarnation is gone and the restarted one may still be dialing.
+      // Wait for it so the admission round is the scheduled one on
+      // every role. (In simulation await_alive returns immediately.)
+      alive = net_.await_alive(w, cfg_.readmit_wait_s);
+    }
     const bool scheduled =
         availability_ == nullptr || availability_->present(w, iter);
     const bool now = alive && scheduled;
-    const auto wi = static_cast<std::size_t>(w);
-    if (now == present_[wi]) continue;
-    if (now && lost_[wi]) {
+    if (now == present_[wi]) {
+      if (now) pending_readmit_.erase(w);  // already in: nothing pending
+      continue;
+    }
+    if (now && (lost_[wi] || state_rejoin)) {
+      if (state_rejoin) {
+        // Scheduled state-transfer rejoin: the schedule is SPMD shared
+        // knowledge, so every role re-admits here without waiting for
+        // a grant to surface.
+        pending_readmit_.erase(w);
+        readmit(w, iter);
+        continue;
+      }
       // Transport-level revival of a worker that already failed-stop:
-      // its shard and hosted discriminator died with it, so the
-      // protocol does not re-admit it. The control plane still serves
-      // the connection (a rejoin probe, a future state-transfer path).
+      // its shard and hosted discriminator died with it, so plain
+      // membership does not re-admit it. Re-admission happens only
+      // through the granted state-transfer path (pending_readmit_,
+      // handled below).
       continue;
     }
     present_[wi] = now;
@@ -106,9 +166,17 @@ bool RoundEngine::process_membership(std::int64_t iter) {
       continue;
     }
     // A leave is permanent when the transport lost the worker (a real
-    // fail-stop) or the schedule never brings it back.
+    // fail-stop) or the schedule never brings it back. A scheduled
+    // crash-rejoin (loses_state_at) destroys the hosted state like a
+    // fail-stop but does NOT mark the worker lost: the schedule
+    // re-admits it with transferred state at the rejoin round.
+    const bool state_lost =
+        alive && availability_ != nullptr &&
+        availability_->loses_state_at(w, iter);
     bool permanent = !alive;
-    if (!permanent) permanent = !availability_->returns_after(w, iter);
+    if (!permanent && !state_lost) {
+      permanent = !availability_->returns_after(w, iter);
+    }
     if (permanent && alive && cfg_.role.kind == NodeRole::Kind::kInProcess) {
       // Scheduled fail-stop, in-process: the transport itself crashes
       // the worker — the old CrashSchedule path, reproduced exactly.
@@ -116,6 +184,11 @@ bool RoundEngine::process_membership(std::int64_t iter) {
       MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
                      << " crashed (fail-stop), "
                      << net_.alive_worker_count() << " left";
+    } else if (state_lost) {
+      MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
+                     << " crashed (scheduled, state lost; rejoins with "
+                        "transferred state), "
+                     << present_count() << " present";
     } else {
       MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
                      << (permanent ? " left permanently, "
@@ -123,7 +196,44 @@ bool RoundEngine::process_membership(std::int64_t iter) {
                      << present_count() << " present";
     }
     if (permanent) lost_[wi] = true;
-    delegate_.on_leave(w, permanent, iter);
+    // The delegate treats a state-losing crash like a permanent leave:
+    // the hosted discriminator dies either way.
+    delegate_.on_leave(w, permanent || state_lost, iter);
+    if (state_lost && cfg_.role.kind == NodeRole::Kind::kWorker &&
+        w == cfg_.role.worker_id) {
+      self_state_lost = true;
+    }
+  }
+  // Unscheduled (granted) re-admissions whose round arrived: a worker
+  // the protocol lost to a real fail-stop, whose restarted process was
+  // granted rejoin. Requires the transport to actually see it alive;
+  // an entry for a never-lost worker is stale (the scheduled path beat
+  // it) and is dropped.
+  for (auto it = pending_readmit_.begin(); it != pending_readmit_.end();) {
+    const int w = it->first;
+    const auto wi = static_cast<std::size_t>(w);
+    if (it->second > iter) {
+      ++it;
+      continue;
+    }
+    if (!lost_[wi]) {
+      it = pending_readmit_.erase(it);
+      continue;
+    }
+    const bool scheduled =
+        availability_ == nullptr || availability_->present(w, iter);
+    if (!scheduled || !net_.is_alive(w)) {
+      ++it;  // keep waiting: the grant outlives a slow reconnect
+      continue;
+    }
+    readmit(w, iter);
+    it = pending_readmit_.erase(it);
+  }
+  if (self_state_lost) {
+    // This worker's incarnation is over: its discriminator state died
+    // with the scheduled crash. Re-entry happens as a fresh process
+    // (or endpoint) through the rejoin handshake + state transfer.
+    return false;
   }
   if (cfg_.role.kind == NodeRole::Kind::kWorker) {
     const auto me = static_cast<std::size_t>(cfg_.role.worker_id);

@@ -51,10 +51,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "dist/fault.hpp"
 #include "dist/transport.hpp"
 #include "obs/sink.hpp"
@@ -100,6 +102,26 @@ class RoundDelegate {
   // a scheduled leave with no rejoin): its hosted state is lost.
   virtual void on_leave(int worker, bool permanent, std::int64_t iter) = 0;
   virtual void on_join(int worker, std::int64_t iter) = 0;
+
+  // State-transfer re-admission: a worker whose hosted state died (a
+  // real fail-stop that came back through the rejoin handshake, or a
+  // scheduled crash-rejoin) is re-admitted at `iter`. The delegate
+  // rebirths the worker's discriminator deterministically from
+  // (worker, iter) — shared knowledge, so every role derives the same
+  // parameters. Default forwards to on_join for delegates that predate
+  // state transfer.
+  virtual void on_readmit(int worker, std::int64_t iter) {
+    on_join(worker, iter);
+  }
+  // Server roles only: the opaque `!state` payload shipped to a
+  // re-admitted worker (see core/rejoin.hpp). Called after on_readmit,
+  // so the serialized holder map already reflects the re-admission.
+  // Default: empty payload (nothing to transfer).
+  virtual ByteBuffer make_rejoin_state(int worker, std::int64_t iter) {
+    (void)worker;
+    (void)iter;
+    return {};
+  }
 
   // The round's participants: indices of the discriminators hosted by
   // the given present workers, in a deterministic order.
@@ -155,6 +177,12 @@ struct RoundEngineConfig {
   std::size_t max_staleness = static_cast<std::size_t>(-1);
   // Tag of the worker->server feedback messages the collect loop pops.
   std::string feedback_tag = "feedback";
+  // How long a SCHEDULED crash-rejoin waits at the admission round for
+  // the restarted worker to reconnect (Transport::await_alive). Pins
+  // the admission round across roles when the rejoiner is a real
+  // process restart; a no-op in simulation (await_alive returns
+  // immediately there).
+  double readmit_wait_s = 30.0;
   // Optional telemetry sink (not owned, may outlive-the-run null = off):
   // the engine emits one kRound span per round plus one kPhase span per
   // phase, observes round_duration_seconds and feedback_staleness,
@@ -190,8 +218,16 @@ class RoundEngine {
  private:
   // Applies the iteration's scheduled and transport-observed membership
   // transitions. Returns false when this engine's own worker departed
-  // permanently (worker roles stop there).
+  // permanently (worker roles stop there) or lost its state to a
+  // scheduled crash-rejoin (its incarnation is over; the re-admission
+  // happens through a fresh process + state transfer).
   bool process_membership(std::int64_t iter);
+  // Drains the transport's rejoin grants (server roles) / admission
+  // broadcasts (worker roles) into pending_readmit_.
+  void harvest_readmissions(std::int64_t iter);
+  // Re-admits `w` at `iter`: flips membership, fires on_readmit, and —
+  // on server roles — ships the state-transfer payload.
+  void readmit(int w, std::int64_t iter);
   // Anyone scheduled present at some iteration > iter (and not already
   // transport-dead)?
   bool anyone_returns_after(std::int64_t iter) const;
@@ -233,6 +269,12 @@ class RoundEngine {
   // transport-level revival (a rejoin-granted connection from the same
   // id) must not re-admit them to the protocol.
   std::vector<bool> lost_;
+  // State-transfer re-admissions waiting for their round: worker ->
+  // admission round. Server roles enqueue here when the transport
+  // surfaces a rejoin grant; worker roles when an `!admit` broadcast
+  // arrives. Entries for workers that were never lost (e.g. the
+  // schedule already re-admitted them) are dropped, not replayed.
+  std::map<int, std::int64_t> pending_readmit_;
   std::int64_t stale_dropped_ = 0;
 
   // Cached instruments (see metrics.hpp hot-path contract); null when

@@ -38,6 +38,33 @@ void AvailabilitySchedule::add_absence(int worker, std::int64_t from,
   if (until > 0) add_rejoin(until, worker);
 }
 
+void AvailabilitySchedule::add_crash_rejoin(int worker, std::int64_t from,
+                                            std::int64_t until) {
+  if (until <= from) {
+    throw std::invalid_argument(
+        "AvailabilitySchedule: crash-rejoin needs until > from");
+  }
+  add_absence(worker, from, until);
+  crash_rejoins_[worker][from] = until;
+}
+
+bool AvailabilitySchedule::loses_state_at(int worker,
+                                          std::int64_t iter) const {
+  const auto it = crash_rejoins_.find(worker);
+  if (it == crash_rejoins_.end()) return false;
+  return it->second.count(iter) != 0;
+}
+
+bool AvailabilitySchedule::state_rejoin_at(int worker,
+                                           std::int64_t iter) const {
+  const auto it = crash_rejoins_.find(worker);
+  if (it == crash_rejoins_.end()) return false;
+  for (const auto& [from, until] : it->second) {
+    if (until == iter) return true;
+  }
+  return false;
+}
+
 bool AvailabilitySchedule::present(int worker, std::int64_t iter) const {
   const auto it = transitions_.find(worker);
   if (it == transitions_.end()) return true;

@@ -50,6 +50,15 @@ class AvailabilitySchedule {
   // Convenience: absent during [from, until). until <= 0 means the
   // worker never returns (fail-stop).
   void add_absence(int worker, std::int64_t from, std::int64_t until = 0);
+  // The worker CRASHES at the start of `from` — its shard and any
+  // discriminator it hosts are lost, unlike a dormant add_absence — and
+  // returns at the start of `until` as a state-transfer late joiner:
+  // the server re-admits it with the current generator θ and a fresh
+  // discriminator seeded deterministically from (worker, until). This
+  // is the scheduled twin of an unscheduled kill-and-rejoin, which is
+  // what lets a sim run pin a real TCP restart bit-for-bit. `until`
+  // must be > `from`.
+  void add_crash_rejoin(int worker, std::int64_t from, std::int64_t until);
 
   // Is the worker scheduled present at iteration `iter`? (Workers start
   // present; iter < 1 is the initial state.)
@@ -61,6 +70,15 @@ class AvailabilitySchedule {
   // actual state changes are reported: a rejoin of a present worker or
   // a second leave of an absent one is not an event.
   std::vector<Event> events_at(std::int64_t iter) const;
+
+  // Does worker's scheduled leave at `iter` lose its state (a
+  // crash-rejoin departure)? Only true exactly at the leave iteration.
+  bool loses_state_at(int worker, std::int64_t iter) const;
+  // Does worker's scheduled return at `iter` carry a state transfer
+  // (the `until` boundary of an add_crash_rejoin)? The engine then
+  // re-admits (fresh discriminator, `!state` shipping) instead of
+  // waking a dormant one.
+  bool state_rejoin_at(int worker, std::int64_t iter) const;
 
   bool empty() const { return transitions_.empty(); }
   // Number of scheduled transitions.
@@ -74,6 +92,10 @@ class AvailabilitySchedule {
   // keys inherit the previous state; before the first key a worker is
   // present.
   std::map<int, std::map<std::int64_t, bool>> transitions_;
+  // Per worker: crash-rejoin intervals, from -> until. Presence-wise
+  // these are ordinary absences (mirrored in transitions_); this map
+  // marks which boundaries lose / re-transfer state.
+  std::map<int, std::map<std::int64_t, std::int64_t>> crash_rejoins_;
 };
 
 // Fail-stop fault injection (paper §V, Figure 5): every departure is

@@ -23,6 +23,21 @@
 //   !death   S->W  peer-death notice: u32 dead worker id, u64 epoch
 //   !rejoin  S->W  rejoin grant: u64 epoch. Precedes the !epoch ack on
 //                  a re-accepted connection.
+//   !state   S->W  rejoin state transfer: an opaque core-level payload
+//                  (core::RejoinState — generator θ, admission round,
+//                  holder map, swap RNG state). Sent to a granted
+//                  rejoiner when the engine re-admits it at the next
+//                  round boundary; always precedes that round's data
+//                  frames on the connection.
+//   !admit   S->W  re-admission notice, broadcast to every live worker:
+//                  u32 readmitted worker id, i64 admission round,
+//                  u64 epoch. Lets survivors fold the rejoiner back
+//                  into their membership replay.
+//   !ping    S->W  heartbeat probe: u64 sequence, f64 send timestamp
+//                  (server clock, seconds). The worker echoes the
+//                  payload verbatim.
+//   !pong    W->S  heartbeat echo: the !ping payload verbatim; the
+//                  server recovers the RTT from the echoed timestamp.
 //
 // The codec is pure (bytes in, bytes out) so the framing cost is
 // measurable in bench_micro_ops without sockets, and fuzzable in tests.
@@ -64,6 +79,10 @@ inline constexpr char kTagHello[] = "!hello";
 inline constexpr char kTagEpoch[] = "!epoch";
 inline constexpr char kTagDeath[] = "!death";
 inline constexpr char kTagRejoin[] = "!rejoin";
+inline constexpr char kTagState[] = "!state";
+inline constexpr char kTagAdmit[] = "!admit";
+inline constexpr char kTagPing[] = "!ping";
+inline constexpr char kTagPong[] = "!pong";
 
 struct Frame {
   int src = 0;

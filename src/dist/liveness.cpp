@@ -1,0 +1,62 @@
+#include "dist/liveness.hpp"
+
+namespace mdgan::dist {
+
+LivenessTracker::LivenessTracker(std::size_t n_workers, LivenessConfig cfg)
+    : cfg_(cfg), peers_(n_workers) {}
+
+bool LivenessTracker::heard_from(int worker, double now_s) {
+  if (!valid(worker)) return false;
+  Peer& p = peers_[static_cast<std::size_t>(worker - 1)];
+  if (p.state == PeerState::kUntracked || p.state == PeerState::kDead) {
+    // Frames from a peer we are not judging (pre-registration, or
+    // already evicted) do not resurrect it; registration does.
+    return false;
+  }
+  p.last_heard_s = now_s;
+  const bool reseated = p.state == PeerState::kSuspect;
+  p.state = PeerState::kAlive;
+  return reseated;
+}
+
+std::vector<LivenessTracker::Transition> LivenessTracker::advance(
+    double now_s) {
+  std::vector<Transition> out;
+  if (!cfg_.enabled()) return out;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    Peer& p = peers_[i];
+    const int worker = static_cast<int>(i) + 1;
+    const double silent = now_s - p.last_heard_s;
+    if (p.state == PeerState::kAlive && silent >= cfg_.suspect_after_s) {
+      p.state = PeerState::kSuspect;
+      ++suspect_episodes_;
+      out.push_back({worker, PeerState::kSuspect});
+    }
+    // A peer can fall straight through to dead in one advance when the
+    // caller's clock jumped past both thresholds.
+    if (p.state == PeerState::kSuspect && silent >= cfg_.dead_after_s()) {
+      p.state = PeerState::kDead;
+      out.push_back({worker, PeerState::kDead});
+    }
+  }
+  return out;
+}
+
+void LivenessTracker::track(int worker, double now_s) {
+  if (!valid(worker)) return;
+  Peer& p = peers_[static_cast<std::size_t>(worker - 1)];
+  p.state = PeerState::kAlive;
+  p.last_heard_s = now_s;
+}
+
+void LivenessTracker::mark_dead(int worker) {
+  if (!valid(worker)) return;
+  peers_[static_cast<std::size_t>(worker - 1)].state = PeerState::kDead;
+}
+
+PeerState LivenessTracker::state(int worker) const {
+  if (!valid(worker)) return PeerState::kUntracked;
+  return peers_[static_cast<std::size_t>(worker - 1)].state;
+}
+
+}  // namespace mdgan::dist

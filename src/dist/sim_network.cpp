@@ -20,6 +20,7 @@ SimNetwork::SimNetwork(std::size_t n_workers) : n_workers_(n_workers) {
   link_seq_.assign((n_workers_ + 1) * (n_workers_ + 1), 0);
   nic_out_busy_.assign(n_workers_ + 1, 0.0);
   nic_in_busy_.assign(n_workers_ + 1, 0.0);
+  partitions_.resize(n_workers_ + 1);
 }
 
 void SimNetwork::check_node(int node) const {
@@ -100,6 +101,19 @@ void SimNetwork::send(int from, int to, const std::string& tag,
       nic_in_busy_[static_cast<std::size_t>(to)] = start + transmit;
     }
     arrival = start + transmit + d.propagation_s;
+  }
+
+  // A partitioned endpoint stalls the message: anything departing or
+  // arriving inside a partition window of either end is held until the
+  // window closes (the delivery a resumed link produces).
+  for (int node : {from, to}) {
+    for (const Window& w : partitions_[static_cast<std::size_t>(node)]) {
+      const double depart = sim_time_[static_cast<std::size_t>(from)];
+      if ((depart >= w.from_s && depart < w.until_s) ||
+          (arrival >= w.from_s && arrival < w.until_s)) {
+        arrival = std::max(arrival, w.until_s);
+      }
+    }
   }
 
   depart_s = sim_time_[static_cast<std::size_t>(from)];
@@ -240,6 +254,44 @@ void SimNetwork::crash(int worker) {
   ++epoch_;
   obs_peer_death();
   obs_membership_epoch(epoch_);
+}
+
+void SimNetwork::set_liveness(const LivenessConfig& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  liveness_ = cfg;
+}
+
+void SimNetwork::partition(int w, double from_s, double until_s) {
+  check_node(w);
+  if (w == kServerId) {
+    throw std::invalid_argument("SimNetwork: cannot partition the server");
+  }
+  if (until_s <= from_s) {
+    throw std::invalid_argument("SimNetwork: empty partition window");
+  }
+  bool evict = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    partitions_[static_cast<std::size_t>(w)].push_back({from_s, until_s});
+    // The whole window is known up front, so the liveness verdict is
+    // too — judge it eagerly, exactly as the TCP tracker would after
+    // the fact: silence past suspect_after_s is one suspect episode,
+    // silence past the grace window is death.
+    if (liveness_.enabled()) {
+      const double silence = until_s - from_s;
+      if (silence >= liveness_.suspect_after_s) {
+        ++suspect_count_;
+        obs_suspect();
+        evict = silence >= liveness_.dead_after_s();
+      }
+    }
+  }
+  if (evict) crash(w);
+}
+
+std::uint64_t SimNetwork::suspect_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suspect_count_;
 }
 
 std::uint64_t SimNetwork::membership_epoch() const {

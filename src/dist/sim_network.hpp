@@ -56,6 +56,7 @@
 
 #include "common/serialize.hpp"
 #include "dist/link_model.hpp"
+#include "dist/liveness.hpp"
 #include "dist/transport.hpp"
 
 namespace mdgan::dist {
@@ -100,6 +101,25 @@ class SimNetwork final : public Transport {
   std::size_t alive_worker_count() const override;
   std::uint64_t membership_epoch() const override;
 
+  // --- partitions ------------------------------------------------------
+  // The liveness policy the partition primitive judges against (the
+  // same knobs TcpOptions feeds its LivenessTracker). Unset (the
+  // default, heartbeat_interval_s == 0) a partition only delays
+  // delivery and nothing is ever suspected.
+  void set_liveness(const LivenessConfig& cfg);
+  // Deterministic twin of a real network partition: worker `w` is
+  // unreachable during [from_s, until_s) of virtual time — any message
+  // to or from it departing inside the window has its arrival floored
+  // to until_s (the stall a stalled link produces). Judged against the
+  // liveness policy eagerly (the whole window is known up front, so the
+  // outcome is too): a window outlasting suspect_after_s counts one
+  // suspect episode (suspects_total); one outlasting
+  // suspect_after_s + grace_s hardens into eviction — crash(w) — which
+  // is exactly what the TCP tracker would decide at until_s.
+  void partition(int w, double from_s, double until_s);
+  // Suspect episodes declared so far (mirrors suspects_total).
+  std::uint64_t suspect_count() const;
+
  private:
   struct Stored {
     std::uint64_t seq = 0;  // per-sender sequence, assigned at send
@@ -134,6 +154,15 @@ class SimNetwork final : public Transport {
   std::vector<std::uint64_t> link_seq_;  // messages ever sent per link
   std::vector<double> nic_out_busy_;   // per node, shared egress NIC
   std::vector<double> nic_in_busy_;    // per node, shared ingress NIC
+
+  // Partition state.
+  LivenessConfig liveness_;
+  struct Window {
+    double from_s = 0.0;
+    double until_s = 0.0;
+  };
+  std::vector<std::vector<Window>> partitions_;  // per node
+  std::uint64_t suspect_count_ = 0;
 };
 
 // DEPRECATED: the historical name of the in-process backend, kept so

@@ -77,7 +77,12 @@ void set_recv_timeout(int fd, double seconds) {
 }  // namespace
 
 TcpNetwork::TcpNetwork(int local, std::size_t n_workers, Options opts)
-    : local_(local), n_workers_(n_workers), opts_(opts) {
+    : local_(local),
+      n_workers_(n_workers),
+      opts_(opts),
+      liveness_(n_workers, LivenessConfig{opts.heartbeat_interval_s,
+                                          opts.suspect_after_s,
+                                          opts.grace_s}) {
   if (n_workers_ == 0) {
     throw std::invalid_argument("TcpNetwork: need at least one worker");
   }
@@ -149,9 +154,18 @@ std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
     throw std::runtime_error("TcpNetwork: cannot resolve host " + host);
   }
 
-  // The server may not be up yet (processes race at launch): retry the
-  // dial until the rendezvous deadline.
+  // The server may not be up yet (processes race at launch, rejoiners
+  // dial into churn): retry the dial with bounded exponential backoff
+  // plus deterministic per-worker jitter, giving up at whichever trips
+  // first — the retry budget or the rendezvous deadline.
+  constexpr double kDialBackoffCapMs = 2000.0;
   int fd = -1;
+  int attempt = 0;
+  // Small LCG seeded from the worker id: reproducible jitter that still
+  // decorrelates a thundering herd of rejoiners.
+  std::uint64_t jitter_state = 0x9e3779b97f4a7c15ull ^
+                               (static_cast<std::uint64_t>(worker_id) *
+                                0xd1342543de82ef95ull);
   while (fd < 0) {
     fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
     if (fd >= 0 &&
@@ -160,13 +174,41 @@ std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
     }
     if (fd >= 0) ::close(fd);
     fd = -1;
-    if (std::chrono::steady_clock::now() >= net->rendezvous_deadline_) {
+    ++net->dial_retries_done_;
+    if (attempt >= opts.dial_retries) {
+      ::freeaddrinfo(res);
+      throw std::runtime_error(
+          "TcpNetwork: cannot reach " + host + ":" + std::to_string(port) +
+          " after " + std::to_string(attempt + 1) +
+          " dial attempts (dial_retries exhausted)");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= net->rendezvous_deadline_) {
       ::freeaddrinfo(res);
       throw std::runtime_error("TcpNetwork: cannot reach " + host + ":" +
                                std::to_string(port) + " before the "
                                "rendezvous deadline");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    double backoff_ms = opts.dial_backoff_ms;
+    for (int i = 0; i < attempt && backoff_ms < kDialBackoffCapMs; ++i) {
+      backoff_ms *= 2.0;
+    }
+    if (backoff_ms > kDialBackoffCapMs) backoff_ms = kDialBackoffCapMs;
+    jitter_state = jitter_state * 6364136223846793005ull +
+                   1442695040888963407ull;
+    // Jitter in [0, backoff/2).
+    backoff_ms += backoff_ms * 0.5 *
+                  (static_cast<double>(jitter_state >> 40) / 16777216.0);
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(net->rendezvous_deadline_ -
+                                                  now)
+            .count();
+    if (backoff_ms > remaining_ms) backoff_ms = remaining_ms;
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+    ++attempt;
   }
   ::freeaddrinfo(res);
   set_nodelay(fd);
@@ -294,6 +336,7 @@ void TcpNetwork::accept_loop(int listen_fd) {
       std::lock_guard<std::mutex> lock(mu_);
       conns_[static_cast<std::size_t>(id)] = std::move(conn);
       registered_[static_cast<std::size_t>(id)] = true;
+      liveness_.track(id, elapsed_s());
       epoch_payload = encode_epoch_locked();
     }
     conns_[static_cast<std::size_t>(id)]->reader =
@@ -307,14 +350,22 @@ void TcpNetwork::accept_loop(int listen_fd) {
 }
 
 void TcpNetwork::pump_control() {
+  // Heartbeats and the liveness timer run every pump cycle; the
+  // broadcast work below short-circuits when nothing is queued.
+  pump_heartbeats();
   std::vector<int> deaths;
+  std::vector<Admission> admits;
   std::uint64_t epoch = 0;
   ByteBuffer epoch_payload;
   std::vector<std::pair<int, Conn*>> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (pending_deaths_.empty() && !epoch_dirty_) return;
+    if (pending_deaths_.empty() && pending_admits_.empty() &&
+        !epoch_dirty_) {
+      return;
+    }
     deaths.swap(pending_deaths_);
+    admits.swap(pending_admits_);
     epoch_dirty_ = false;
     epoch = epoch_;
     epoch_payload = encode_epoch_locked();
@@ -338,7 +389,62 @@ void TcpNetwork::pump_control() {
         break;
       }
     }
+    for (const Admission& a : admits) {
+      if (!ok) break;
+      ByteBuffer p;
+      p.write_pod<std::uint32_t>(static_cast<std::uint32_t>(a.worker));
+      p.write_pod<std::int64_t>(a.round);
+      p.write_pod<std::uint64_t>(epoch);
+      if (!write_frame(*conn, w, kServerId, w, kTagAdmit, p)) ok = false;
+    }
     if (ok) write_frame(*conn, w, kServerId, w, kTagEpoch, epoch_payload);
+  }
+}
+
+void TcpNetwork::pump_heartbeats() {
+  if (local_ != kServerId || !liveness_.config().enabled()) return;
+  const double now = elapsed_s();
+  std::vector<LivenessTracker::Transition> transitions;
+  std::vector<std::pair<int, Conn*>> targets;
+  bool ping_due = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    transitions = liveness_.advance(now);
+    ping_due = now - last_ping_s_ >= liveness_.config().heartbeat_interval_s;
+    if (ping_due) {
+      last_ping_s_ = now;
+      for (std::size_t w = 1; w <= n_workers_; ++w) {
+        if (alive_[w] && registered_[w] && conns_[w] != nullptr) {
+          targets.emplace_back(static_cast<int>(w), conns_[w].get());
+        }
+      }
+    }
+    for (const auto& t : transitions) {
+      if (t.to == PeerState::kSuspect) ++suspect_count_;
+    }
+  }
+  for (const auto& t : transitions) {
+    if (t.to == PeerState::kSuspect) {
+      obs_suspect();
+      MDGAN_LOG_WARN << "TcpNetwork: worker " << t.worker
+                     << " silent past the suspect threshold ("
+                     << liveness_.config().suspect_after_s
+                     << "s); suspected, grace window "
+                     << liveness_.config().grace_s << "s";
+    } else if (t.to == PeerState::kDead) {
+      MDGAN_LOG_WARN << "TcpNetwork: worker " << t.worker
+                     << " silent past the grace window; declaring it dead";
+      // The normal eviction path: severs the conn, queues the !death
+      // fan-out for the next pump cycle.
+      mark_dead(t.worker);
+    }
+  }
+  if (!ping_due) return;
+  ByteBuffer ping;
+  ping.write_pod<std::uint64_t>(ping_seq_++);
+  ping.write_pod<double>(now);
+  for (auto [w, conn] : targets) {
+    write_frame(*conn, w, kServerId, w, kTagPing, ping);
   }
 }
 
@@ -373,6 +479,8 @@ void TcpNetwork::grant_rejoin(int id, int fd) {
     conns_[wi] = std::move(conn);
     alive_[wi] = true;
     registered_[wi] = true;
+    liveness_.track(id, elapsed_s());
+    pending_grants_.push_back(id);  // the engine admits at a boundary
     epoch = ++epoch_;
     epoch_dirty_ = true;  // the pump tells everyone else
     epoch_payload = encode_epoch_locked();
@@ -389,14 +497,63 @@ void TcpNetwork::grant_rejoin(int id, int fd) {
   cv_.notify_all();
 }
 
-void TcpNetwork::handle_control(const Frame& f) {
+void TcpNetwork::handle_control(int peer, const Frame& f) {
   // Control payloads come off the wire; a malformed one from a confused
   // peer is dropped, never fatal — data-plane correctness must not
   // depend on any single control frame.
   try {
     ByteBuffer payload = ByteBuffer::wrap(f.payload.data(),
                                           f.payload.size());
-    if (f.tag == kTagDeath) {
+    if (local_ == kServerId) {
+      // Server side: the only worker->server control frame is the
+      // heartbeat echo. The reader loop already fed the tracker; here
+      // we only recover the RTT. A pong with a garbage payload or a
+      // mismatched source is dropped like any malformed control frame.
+      if (f.tag == kTagPong && f.src == peer) {
+        payload.read_pod<std::uint64_t>();  // sequence, unused
+        const double sent_s = payload.read_pod<double>();
+        const double rtt = elapsed_s() - sent_s;
+        if (rtt >= 0.0) obs_heartbeat_rtt(rtt);
+      }
+      return;
+    }
+    if (f.tag == kTagPing) {
+      // Echo the payload verbatim; the server computes the RTT.
+      Conn* conn = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        conn = conns_[kServerId].get();
+      }
+      if (conn != nullptr) {
+        write_frame(*conn, kServerId, local_, kServerId, kTagPong,
+                    f.payload);
+      }
+    } else if (f.tag == kTagState) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        rejoin_state_ = ByteBuffer::wrap(f.payload.data(), f.payload.size());
+      }
+      MDGAN_LOG_INFO << "TcpNetwork: rejoin state received ("
+                     << f.payload.size() << " bytes)";
+      cv_.notify_all();
+    } else if (f.tag == kTagAdmit) {
+      const auto w = payload.read_pod<std::uint32_t>();
+      const auto round = payload.read_pod<std::int64_t>();
+      const auto epoch = payload.read_pod<std::uint64_t>();
+      if (w < 1 || w > n_workers_) return;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        admissions_.push_back(
+            {static_cast<int>(w), static_cast<std::int64_t>(round)});
+        if (static_cast<int>(w) != local_) alive_[w] = true;
+        epoch_ = std::max(epoch_, epoch);
+      }
+      obs_membership_epoch(epoch);
+      MDGAN_LOG_INFO << "TcpNetwork: worker " << w
+                     << " re-admitted at round " << round << " (epoch "
+                     << epoch << ")";
+      cv_.notify_all();
+    } else if (f.tag == kTagDeath) {
       const auto w = payload.read_pod<std::uint32_t>();
       const auto epoch = payload.read_pod<std::uint64_t>();
       if (w < 1 || w > n_workers_ || static_cast<int>(w) == local_) return;
@@ -538,6 +695,7 @@ void TcpNetwork::mark_dead(int peer, const Conn* expect) {
     }
     if (!alive_[pi]) return;
     alive_[pi] = false;
+    liveness_.mark_dead(peer);
     epoch = ++epoch_;
     Conn* conn = conns_[pi].get();
     if (conn != nullptr) {
@@ -627,6 +785,7 @@ void TcpNetwork::enqueue_local(int src, const std::string& tag,
 void TcpNetwork::reader_loop(int peer, Conn* conn) {
   Frame f;
   while (!closing_.load() && read_frame(conn->fd, f)) {
+    bool reseated = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       conn->rx.any = true;
@@ -634,11 +793,17 @@ void TcpNetwork::reader_loop(int peer, Conn* conn) {
       conn->rx.tag = f.tag;
       ++conn->rx.frames;
       conn->rx.at_s = elapsed_s();
+      // Any frame is proof of life: clear suspicion (server side; the
+      // tracker is inert on workers and when heartbeats are off).
+      reseated = liveness_.heard_from(peer, elapsed_s());
+    }
+    if (reseated) {
+      MDGAN_LOG_INFO << "TcpNetwork: worker " << peer
+                     << " resumed inside the grace window; re-seated "
+                        "(no epoch change)";
     }
     if (is_control_tag(f.tag)) {
-      // Only server->worker control frames exist today; the server
-      // ignores any '!' frame a worker might send.
-      if (local_ != kServerId) handle_control(f);
+      handle_control(peer, f);
       continue;
     }
     if (local_ == kServerId) {
@@ -951,6 +1116,99 @@ TcpNetwork::ConnRxStats TcpNetwork::last_rx_of(int peer) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto* conn = conns_[static_cast<std::size_t>(peer)].get();
   return conn != nullptr ? conn->rx : ConnRxStats{};
+}
+
+std::vector<int> TcpNetwork::take_rejoin_grants() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> out;
+  out.swap(pending_grants_);
+  return out;
+}
+
+std::vector<Transport::Admission> TcpNetwork::take_admissions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Admission> out;
+  out.swap(admissions_);
+  return out;
+}
+
+void TcpNetwork::announce_admission(int worker, std::int64_t round,
+                                    ByteBuffer&& state) {
+  check_node(worker);
+  if (local_ != kServerId) return;  // only the server admits
+  // Ship the state transfer directly on the rejoiner's connection — the
+  // caller is the engine thread, the same thread that will broadcast
+  // the admission round's data frames next, so per-connection FIFO
+  // guarantees the rejoiner sees !state first. The !admit broadcast to
+  // everyone (including the rejoiner) goes via the acceptor pump like
+  // every other control fan-out.
+  Conn* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_admits_.push_back({worker, round});
+    if (alive_[static_cast<std::size_t>(worker)] &&
+        registered_[static_cast<std::size_t>(worker)]) {
+      conn = conns_[static_cast<std::size_t>(worker)].get();
+    }
+  }
+  if (conn != nullptr) {
+    write_frame(*conn, worker, kServerId, worker, kTagState, state);
+  }
+  obs_rejoin_admitted();
+  MDGAN_LOG_INFO << "TcpNetwork: shipped rejoin state to worker " << worker
+                 << " (admission round " << round << ", " << state.size()
+                 << " bytes)";
+}
+
+bool TcpNetwork::await_alive(int node, double timeout_s) {
+  check_node(node);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, deadline, [&] {
+    return closing_.load() || alive_[static_cast<std::size_t>(node)];
+  });
+  return alive_[static_cast<std::size_t>(node)];
+}
+
+std::optional<ByteBuffer> TcpNetwork::wait_rejoin_state(double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, deadline, [&] {
+    return closing_.load() || rejoin_state_.has_value();
+  });
+  std::optional<ByteBuffer> out;
+  out.swap(rejoin_state_);
+  return out;
+}
+
+bool TcpNetwork::is_suspect(int worker) const {
+  check_node(worker);
+  std::lock_guard<std::mutex> lock(mu_);
+  return liveness_.state(worker) == PeerState::kSuspect;
+}
+
+std::uint64_t TcpNetwork::suspect_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suspect_count_;
+}
+
+std::uint64_t TcpNetwork::dial_retry_count() const {
+  // Written only during connect(), before any other thread exists.
+  return dial_retries_done_;
+}
+
+void TcpNetwork::on_sink_attached() {
+  // Dial retries necessarily predate the sink (they happen inside
+  // connect()); flush the count once.
+  const std::uint64_t unflushed = dial_retries_done_ - dial_retries_flushed_;
+  obs_dial_retries(unflushed);
+  dial_retries_flushed_ = dial_retries_done_;
 }
 
 }  // namespace mdgan::dist

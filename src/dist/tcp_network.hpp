@@ -65,10 +65,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dist/liveness.hpp"
 #include "dist/transport.hpp"
 
 namespace mdgan::dist {
@@ -81,6 +83,26 @@ struct TcpOptions {
   double rendezvous_timeout_s = 30.0;
   // Blocking receive deadline; 0 waits forever.
   double receive_timeout_s = 120.0;
+  // Worker dial policy: up to 1 + dial_retries connect attempts, with
+  // bounded exponential backoff between them — attempt i sleeps
+  // min(dial_backoff_ms * 2^i, 2000ms) plus a deterministic jitter
+  // derived from (worker id, attempt), so a thundering herd of
+  // rejoiners decorrelates without losing reproducibility. The
+  // rendezvous deadline still bounds the whole dial, whichever limit
+  // trips first.
+  int dial_retries = 100;
+  double dial_backoff_ms = 25.0;
+  // Heartbeats (server endpoint): `!ping` every heartbeat_interval_s on
+  // the acceptor pump; 0 (default) disables them and with them the
+  // suspect machinery — liveness then only reacts to connection drops,
+  // the pre-liveness behavior. A worker silent for suspect_after_s is
+  // SUSPECTED (logged + counted, nothing evicted; the engine degrades
+  // exactly as it does for a slow worker); silent for a further grace_s
+  // it is declared dead and evicted through the normal !death path. Any
+  // frame from a suspect re-seats it with no epoch change.
+  double heartbeat_interval_s = 0.0;
+  double suspect_after_s = 2.0;
+  double grace_s = 8.0;
   // Scatter-gather sends: frame head and payload go out as two iovecs
   // of one sendmsg(2), so the payload (the bulk of a swap frame, which
   // the relay pays twice) is never copied into a contiguous wire
@@ -132,6 +154,19 @@ class TcpNetwork final : public Transport {
   // had dialed in before on a connection that has since died).
   bool rejoin_granted() const;
 
+  // Worker endpoint: blocks until the server's `!state` rejoin transfer
+  // arrives (the serialized core::RejoinState, opaque at this layer) or
+  // timeout_s elapses / the endpoint closes (nullopt). The engine
+  // re-admits at a round boundary, so expect up to one round of delay
+  // after the grant.
+  std::optional<ByteBuffer> wait_rejoin_state(double timeout_s);
+
+  // Liveness introspection (server endpoint; tests and drills).
+  bool is_suspect(int worker) const;
+  std::uint64_t suspect_count() const;
+  // Failed connect attempts this endpoint retried through (worker).
+  std::uint64_t dial_retry_count() const;
+
   // Blocks until membership_epoch() >= at_least (true) or timeout_s
   // elapsed / the endpoint is closing (false).
   bool wait_membership_epoch(std::uint64_t at_least, double timeout_s);
@@ -172,6 +207,12 @@ class TcpNetwork final : public Transport {
   std::size_t alive_worker_count() const override;
   std::uint64_t membership_epoch() const override;
 
+  std::vector<int> take_rejoin_grants() override;
+  std::vector<Admission> take_admissions() override;
+  void announce_admission(int worker, std::int64_t round,
+                          ByteBuffer&& state) override;
+  bool await_alive(int node, double timeout_s) override;
+
  private:
   struct Conn {
     int fd = -1;
@@ -205,8 +246,13 @@ class TcpNetwork final : public Transport {
   // old conn down, install the new one under a bumped epoch, and send
   // the !rejoin grant. Acceptor thread only.
   void grant_rejoin(int id, int fd);
-  // Worker side: dispatch one server->worker control frame.
-  void handle_control(const Frame& f);
+  // Dispatch one control frame from connection `peer` (worker side:
+  // server->worker notices; server side: !pong echoes).
+  void handle_control(int peer, const Frame& f);
+  // Server side, acceptor thread: heartbeat emission + liveness-timer
+  // advance (suspect / dead transitions). No-op unless
+  // opts_.heartbeat_interval_s > 0.
+  void pump_heartbeats();
   // !epoch payload for the current state; call with mu_ held.
   ByteBuffer encode_epoch_locked() const;
   void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload);
@@ -217,6 +263,7 @@ class TcpNetwork final : public Transport {
   // must not kill the fresh incarnation.
   void mark_dead(int peer, const Conn* expect = nullptr);
   void close_all();
+  void on_sink_attached() override;
 
   const int local_;  // kServerId for the server endpoint, else worker id
   const std::size_t n_workers_;
@@ -242,6 +289,16 @@ class TcpNetwork final : public Transport {
   std::vector<int> pending_deaths_;  // server: queued !death notices
   bool hello_acked_ = false;         // worker: first !epoch received
   bool rejoin_granted_ = false;      // worker: !rejoin received
+  std::vector<int> pending_grants_;  // server: grants not yet harvested
+  std::vector<Admission> admissions_;     // worker: !admit notices
+  std::vector<Admission> pending_admits_;  // server: !admit to broadcast
+  std::optional<ByteBuffer> rejoin_state_;  // worker: !state payload
+  LivenessTracker liveness_;         // server; advanced on the acceptor
+  double last_ping_s_ = 0.0;         // server: last heartbeat broadcast
+  std::uint64_t ping_seq_ = 0;
+  std::uint64_t suspect_count_ = 0;  // suspect episodes (mirrors metric)
+  std::uint64_t dial_retries_done_ = 0;  // worker: failed dial attempts
+  std::uint64_t dial_retries_flushed_ = 0;  // already pushed to the sink
 
   // conns_[w] is the server's connection to worker w; a worker endpoint
   // uses conns_[0] for its single connection to the server. Slots are

@@ -34,6 +34,10 @@ void Transport::set_sink(obs::Sink* sink) {
     epoch_gauge_ = nullptr;
     peer_deaths_total_ = nullptr;
     rejoins_total_ = nullptr;
+    rejoin_admitted_total_ = nullptr;
+    suspects_total_ = nullptr;
+    dial_retries_total_ = nullptr;
+    heartbeat_rtt_s_ = nullptr;
     return;
   }
   // Resolve the hot-path counters once; updates are then lock-free.
@@ -49,10 +53,18 @@ void Transport::set_sink(obs::Sink* sink) {
   epoch_gauge_ = &r.gauge("membership_epoch");
   peer_deaths_total_ = &r.counter("peer_deaths_total");
   rejoins_total_ = &r.counter("rejoins_total");
+  rejoin_admitted_total_ = &r.counter("rejoin_admitted_total");
+  suspects_total_ = &r.counter("suspects_total");
+  dial_retries_total_ = &r.counter("dial_retries_total");
+  heartbeat_rtt_s_ = &r.histogram(
+      "heartbeat_rtt_seconds",
+      {1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0});
   // An endpoint may attach the sink after membership already changed
   // (MdGan::train attaches on entry); publish the current epoch so the
   // gauge never reads behind the counter it summarizes.
   obs_membership_epoch(membership_epoch());
+  // Let the backend flush anything it counted before the sink existed.
+  on_sink_attached();
 }
 
 }  // namespace mdgan::dist

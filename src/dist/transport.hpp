@@ -146,6 +146,54 @@ class Transport {
   // out the receive timeout.
   virtual std::uint64_t membership_epoch() const = 0;
 
+  // --- rejoin / re-admission -------------------------------------------
+  // The control plane (PR 7) grants a restarted worker a connection; the
+  // hooks below are how the ROUND ENGINE turns that grant into a real
+  // late join with state transfer. Backends without unscheduled rejoin
+  // (SimNetwork) keep the defaults, which model an in-process admission:
+  // no grants ever surface, announce_admission only counts the metric.
+
+  // Server endpoint: drains the workers granted a rejoin since the last
+  // call (TcpNetwork records them in grant_rejoin). The engine admits
+  // each at the next round boundary.
+  virtual std::vector<int> take_rejoin_grants() { return {}; }
+
+  // Worker endpoints: drains the re-admissions announced by the server
+  // (`!admit` broadcasts), so survivors fold the rejoiner back into
+  // their own membership replay. `round` is the server's admission
+  // round; a survivor observing it later admits at its own next
+  // boundary (skew is bounded by per-connection FIFO: the notice always
+  // precedes the admission round's data frames).
+  struct Admission {
+    int worker = 0;
+    std::int64_t round = 0;
+  };
+  virtual std::vector<Admission> take_admissions() { return {}; }
+
+  // Server endpoint: the engine re-admitted `worker` at `round`; ship it
+  // the serialized rejoin state (`!state`) and broadcast the `!admit`
+  // notice. The default (sim / in-process: every role replays the same
+  // admission from shared knowledge, nothing crosses a wire) only bumps
+  // rejoin_admitted_total so both backends expose the same metric.
+  virtual void announce_admission(int worker, std::int64_t round,
+                                  ByteBuffer&& state) {
+    (void)worker;
+    (void)round;
+    (void)state;
+    obs_rejoin_admitted();
+  }
+
+  // Blocks until `node` is alive or `timeout_s` elapses; returns its
+  // final aliveness. The engine calls this at a SCHEDULED
+  // rejoin-with-state boundary so a role-split run waits for the
+  // restarted process to dial back in, pinning the admission round to
+  // the schedule on every role. Non-blocking backends (SimNetwork:
+  // scheduled absence never drops the endpoint) answer immediately.
+  virtual bool await_alive(int node, double timeout_s) {
+    (void)timeout_s;
+    return is_alive(node);
+  }
+
   // --- observability ---------------------------------------------------
   // Attaches a telemetry sink (nullptr detaches, the default): every
   // charged send increments the registry's bytes_total{link} /
@@ -193,6 +241,22 @@ class Transport {
   void obs_rejoin() {
     if (rejoins_total_ != nullptr) rejoins_total_->inc();
   }
+  void obs_rejoin_admitted() {
+    if (rejoin_admitted_total_ != nullptr) rejoin_admitted_total_->inc();
+  }
+  void obs_suspect() {
+    if (suspects_total_ != nullptr) suspects_total_->inc();
+  }
+  void obs_heartbeat_rtt(double seconds) {
+    if (heartbeat_rtt_s_ != nullptr) heartbeat_rtt_s_->observe(seconds);
+  }
+  void obs_dial_retries(std::uint64_t n) {
+    if (dial_retries_total_ != nullptr && n > 0) dial_retries_total_->inc(n);
+  }
+  // Instruments resolve lazily at set_sink time; a backend that counted
+  // events before the sink attached (TcpNetwork's dial retries happen
+  // inside connect(), necessarily pre-attach) flushes them here.
+  virtual void on_sink_attached() {}
 
  private:
   struct LinkObs {
@@ -205,6 +269,10 @@ class Transport {
   obs::Gauge* epoch_gauge_ = nullptr;
   obs::Counter* peer_deaths_total_ = nullptr;
   obs::Counter* rejoins_total_ = nullptr;
+  obs::Counter* rejoin_admitted_total_ = nullptr;
+  obs::Counter* suspects_total_ = nullptr;
+  obs::Counter* dial_retries_total_ = nullptr;
+  obs::Histogram* heartbeat_rtt_s_ = nullptr;
 };
 
 // "c2w" / "w2c" / "w2w": the label value of the per-link metrics and

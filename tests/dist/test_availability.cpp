@@ -87,6 +87,42 @@ TEST(AvailabilitySchedule, ValidatesArguments) {
   EXPECT_THROW(s.add_absence(1, 3, 3), std::invalid_argument);
 }
 
+TEST(AvailabilitySchedule, CrashRejoinMarksStateLossAndTransfer) {
+  AvailabilitySchedule s;
+  s.add_crash_rejoin(/*worker=*/2, /*from=*/3, /*until=*/5);
+  // Presence follows the same window as a plain absence...
+  EXPECT_TRUE(s.present(2, 2));
+  EXPECT_FALSE(s.present(2, 3));
+  EXPECT_FALSE(s.present(2, 4));
+  EXPECT_TRUE(s.present(2, 5));
+  EXPECT_FALSE(s.fail_stop_only());
+  // ...but the leave destroys the worker's state and the rejoin is a
+  // state-transfer re-admission, both visible only at their exact
+  // iterations.
+  EXPECT_TRUE(s.loses_state_at(2, 3));
+  EXPECT_FALSE(s.loses_state_at(2, 4));
+  EXPECT_FALSE(s.loses_state_at(2, 5));
+  EXPECT_TRUE(s.state_rejoin_at(2, 5));
+  EXPECT_FALSE(s.state_rejoin_at(2, 3));
+  EXPECT_FALSE(s.state_rejoin_at(2, 4));
+  EXPECT_FALSE(s.loses_state_at(1, 3));  // other workers unaffected
+  EXPECT_FALSE(s.state_rejoin_at(1, 5));
+  // A plain absence reports neither: its state stays dormant, not lost.
+  AvailabilitySchedule plain;
+  plain.add_absence(2, 3, 5);
+  EXPECT_FALSE(plain.loses_state_at(2, 3));
+  EXPECT_FALSE(plain.state_rejoin_at(2, 5));
+}
+
+TEST(AvailabilitySchedule, CrashRejoinValidatesWindow) {
+  AvailabilitySchedule s;
+  // A crash-rejoin MUST rejoin: an open-ended window is a plain
+  // fail-stop (add_leave), not a state transfer.
+  EXPECT_THROW(s.add_crash_rejoin(1, 3, 3), std::invalid_argument);
+  EXPECT_THROW(s.add_crash_rejoin(1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(s.add_crash_rejoin(1, 3, 0), std::invalid_argument);
+}
+
 TEST(AvailabilitySchedule, CrashScheduleIsTheFailStopSpecialCase) {
   CrashSchedule crashes;
   crashes.add(3, 1);

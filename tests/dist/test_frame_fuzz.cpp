@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/rejoin.hpp"
 #include "dist/frame.hpp"
 #include "dist/tcp_network.hpp"
 
@@ -212,6 +213,195 @@ TEST(FrameFuzz, GarbageHelloDoesNotStallTheAcceptor) {
   EXPECT_TRUE(server->wait_ready());
   EXPECT_TRUE(w1->wait_ready());
   EXPECT_TRUE(server->is_alive(1));
+}
+
+// --- the control-frame vocabulary under the same adversary --------------
+
+TEST(FrameFuzz, ControlTagAtTheLengthCapBoundary) {
+  // Exactly at the cap: a legal (if absurd) control tag; the reader
+  // accepts it and higher layers ignore the unknown '!' name.
+  std::string fat_tag(kMaxFrameTagBytes, 'x');
+  fat_tag[0] = kControlTagPrefix;
+  const auto wire = encode_frame(0, 1, fat_tag, ByteBuffer());
+  Pair p;
+  p.write_bytes(wire);
+  p.finish();
+  Frame f;
+  ASSERT_TRUE(read_frame(p.fd[1], f));
+  EXPECT_EQ(f.tag, fat_tag);
+  EXPECT_TRUE(is_control_tag(f.tag));
+
+  // One byte over: rejected from the length fields alone, before the
+  // tag (or a 1 GiB "!state..." body riding behind it) is allocated.
+  std::uint8_t raw[kFrameHeaderBytes + kFrameBodyFixedBytes];
+  put_le32(raw, kFrameMagic);
+  put_le32(raw + 4, kFrameBodyFixedBytes + kMaxFrameTagBytes + 1);
+  put_le32(raw + 8, 0);                       // src
+  put_le32(raw + 12, 1);                      // dst
+  put_le32(raw + 16, kMaxFrameTagBytes + 1);  // tag_len over the cap
+  Pair q;
+  q.write_bytes(raw, sizeof(raw));
+  q.finish();
+  EXPECT_FALSE(read_frame(q.fd[1], f));
+}
+
+TEST(FrameFuzz, GarbagePongInsteadOfHelloIsRejectedByTheAcceptor) {
+  // A connection whose first frame is a well-formed !pong from an
+  // unknown id — not a hello — must be turned away without crashing
+  // the acceptor or wedging the rendezvous.
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  auto server = TcpNetwork::serve(0, 1, opts);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ByteBuffer junk_pong;
+  junk_pong.write_pod<std::uint64_t>(0xdeadu);
+  const auto wire = encode_frame(42, kServerId, kTagPong, junk_pong);
+  ASSERT_GT(::write(fd, wire.data(), wire.size()), 0);
+  ::close(fd);
+
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 1, opts);
+  EXPECT_TRUE(server->wait_ready());
+  EXPECT_TRUE(w1->wait_ready());
+  EXPECT_TRUE(server->is_alive(1));
+}
+
+TEST(FrameFuzz, MalformedControlFramesAfterAValidHelloAreDropped) {
+  // A seated worker that turns hostile: truncated pongs, pongs spoofing
+  // another id, worker-bound tags aimed at the server, unknown control
+  // names. All dropped; the connection and the server survive.
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  auto server = TcpNetwork::serve(0, 1, opts);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  auto send_frame = [&](const std::vector<std::uint8_t>& wire) {
+    ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+  };
+  ByteBuffer hello;
+  hello.write_pod<std::uint32_t>(1);
+  hello.write_pod<std::uint64_t>(1);
+  send_frame(encode_frame(1, kServerId, kTagHello, hello));
+  ASSERT_TRUE(server->wait_ready());
+
+  send_frame(encode_frame(1, kServerId, kTagPong, ByteBuffer()));
+  ByteBuffer short_pong;
+  short_pong.write_pod<std::uint32_t>(7);  // u64+f64 expected
+  send_frame(encode_frame(1, kServerId, kTagPong, short_pong));
+  ByteBuffer spoofed;
+  spoofed.write_pod<std::uint64_t>(1);
+  spoofed.write_pod<double>(0.0);
+  send_frame(encode_frame(7, kServerId, kTagPong, spoofed));  // wrong src
+  ByteBuffer theta;
+  theta.write_pod<std::uint8_t>(0x7f);
+  send_frame(encode_frame(1, kServerId, kTagState, theta));  // S->W tag
+  send_frame(encode_frame(1, kServerId, "!wat", ByteBuffer()));
+
+  // The server has digested (dropped) all of it and the peer is still
+  // seated: a real data frame afterwards is delivered normally.
+  ByteBuffer data;
+  data.write_floats(std::vector<float>{3.5f}.data(), 1);
+  send_frame(encode_frame(1, kServerId, "feedback", data));
+  const auto msg = server->receive_tagged(kServerId, "feedback");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->from, 1);
+  EXPECT_TRUE(server->is_alive(1));
+  ::close(fd);
+}
+
+TEST(FrameFuzz, TruncatedStateAndAdmitFramesDoNotKillTheWorker) {
+  // The mirror image: a hostile/corrupt *server* feeding a worker
+  // endpoint truncated !admit bodies and a truncated θ inside a
+  // well-framed !state. The control pump drops the former; the latter
+  // is stored verbatim and fails loudly (and cleanly) only at
+  // RejoinState::decode.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &alen),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  std::thread fake_server([listen_fd] {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(fd, 0);
+    Frame hello;
+    ASSERT_TRUE(read_frame(fd, hello));
+    EXPECT_EQ(hello.tag, kTagHello);
+    auto send_frame = [&](const std::string& tag, const ByteBuffer& pay) {
+      const auto wire = encode_frame(kServerId, 1, tag, pay);
+      ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+                static_cast<ssize_t>(wire.size()));
+    };
+    // An empty !ping: echoed verbatim, nothing to parse.
+    send_frame(kTagPing, ByteBuffer());
+    // A truncated !admit (u32 only; u32+i64+u64 expected) and one whose
+    // fields parse but point at a nonsense worker.
+    ByteBuffer cut;
+    cut.write_pod<std::uint32_t>(1);
+    send_frame(kTagAdmit, cut);
+    ByteBuffer bogus;
+    bogus.write_pod<std::uint32_t>(999);
+    bogus.write_pod<std::int64_t>(4);
+    bogus.write_pod<std::uint64_t>(2);
+    send_frame(kTagAdmit, bogus);
+    // A well-framed !state carrying a truncated θ payload.
+    ByteBuffer theta;
+    theta.write_pod<std::uint8_t>(1);  // the RejoinState version byte
+    theta.write_pod<std::uint32_t>(0xffffu);  // then: nothing
+    send_frame(kTagState, theta);
+    // Finally the legitimate hello-ack so wait_ready can succeed.
+    ByteBuffer epoch;
+    epoch.write_pod<std::uint64_t>(1);
+    epoch.write_pod<std::uint32_t>(1);
+    epoch.write_pod<std::uint8_t>(1);
+    send_frame(kTagEpoch, epoch);
+    // The worker's reply to the ping must arrive — proof the reader
+    // thread survived everything that preceded it.
+    Frame pong;
+    EXPECT_TRUE(read_frame(fd, pong));
+    EXPECT_EQ(pong.tag, kTagPong);
+    ::close(fd);
+  });
+
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  auto w1 = TcpNetwork::connect("127.0.0.1", port, 1, 1, opts);
+  EXPECT_TRUE(w1->wait_ready());
+  auto payload = w1->wait_rejoin_state(10.0);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_THROW(core::RejoinState::decode(*payload), std::runtime_error);
+  fake_server.join();
+  ::close(listen_fd);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// The partition-tolerance layer: LivenessTracker's alive -> suspect ->
+// grace-window -> dead state machine (pure, time-fed, no sockets) and
+// SimNetwork::partition, its deterministic virtual-clock twin.
+#include "dist/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/sim_network.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+LivenessConfig cfg(double hb = 0.1, double suspect = 1.0,
+                   double grace = 3.0) {
+  LivenessConfig c;
+  c.heartbeat_interval_s = hb;
+  c.suspect_after_s = suspect;
+  c.grace_s = grace;
+  return c;
+}
+
+TEST(LivenessTracker, SilenceSuspectsThenGraceKills) {
+  LivenessTracker t(2, cfg());
+  t.track(1, 0.0);
+  t.track(2, 0.0);
+  EXPECT_EQ(t.state(1), PeerState::kAlive);
+
+  // Under the suspect threshold: nothing fires.
+  EXPECT_TRUE(t.advance(0.9).empty());
+  EXPECT_EQ(t.state(1), PeerState::kAlive);
+
+  // Worker 2 keeps talking; worker 1 goes silent past suspect_after_s.
+  t.heard_from(2, 1.5);
+  auto fired = t.advance(1.6);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].worker, 1);
+  EXPECT_EQ(fired[0].to, PeerState::kSuspect);
+  EXPECT_EQ(t.state(1), PeerState::kSuspect);
+  EXPECT_EQ(t.state(2), PeerState::kAlive);
+  EXPECT_EQ(t.suspect_episodes(), 1u);
+
+  // Still inside the grace window: suspect, not dead. (Worker 2 keeps
+  // talking throughout.)
+  t.heard_from(2, 3.5);
+  EXPECT_TRUE(t.advance(3.9).empty());
+  EXPECT_EQ(t.state(1), PeerState::kSuspect);
+
+  // Silence outlives suspect_after_s + grace_s: suspicion hardens.
+  fired = t.advance(4.1);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].worker, 1);
+  EXPECT_EQ(fired[0].to, PeerState::kDead);
+  EXPECT_EQ(t.state(1), PeerState::kDead);
+}
+
+TEST(LivenessTracker, FrameInsideGraceReseatsWithoutDeath) {
+  LivenessTracker t(1, cfg());
+  t.track(1, 0.0);
+  auto fired = t.advance(1.5);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].to, PeerState::kSuspect);
+
+  // A frame arrives before the grace window closes: heard_from reports
+  // the re-seat and the peer is alive again — no death, no episode
+  // beyond the one already counted.
+  EXPECT_TRUE(t.heard_from(1, 2.0));
+  EXPECT_EQ(t.state(1), PeerState::kAlive);
+  EXPECT_EQ(t.suspect_episodes(), 1u);
+  EXPECT_TRUE(t.advance(2.5).empty());
+
+  // A second silence counts a second episode.
+  fired = t.advance(3.5);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].to, PeerState::kSuspect);
+  EXPECT_EQ(t.suspect_episodes(), 2u);
+  // heard_from on a merely-alive peer reports no re-seat.
+  EXPECT_TRUE(t.heard_from(1, 3.6));
+  EXPECT_FALSE(t.heard_from(1, 3.7));
+}
+
+TEST(LivenessTracker, LongSilenceFallsThroughBothStatesInOneAdvance) {
+  LivenessTracker t(1, cfg());
+  t.track(1, 0.0);
+  // One late advance (a stalled pump) must still produce both
+  // transitions, in order.
+  auto fired = t.advance(100.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].to, PeerState::kSuspect);
+  EXPECT_EQ(fired[1].to, PeerState::kDead);
+  EXPECT_EQ(t.state(1), PeerState::kDead);
+  EXPECT_EQ(t.suspect_episodes(), 1u);
+}
+
+TEST(LivenessTracker, DeadAndUntrackedPeersAreNotJudged) {
+  LivenessTracker t(2, cfg());
+  t.track(1, 0.0);
+  t.advance(100.0);  // worker 1 dies; worker 2 was never tracked
+  EXPECT_EQ(t.state(1), PeerState::kDead);
+  EXPECT_EQ(t.state(2), PeerState::kUntracked);
+
+  // A stray frame from a dead or untracked id must not resurrect it —
+  // resurrection goes through the rejoin grant (track()).
+  EXPECT_FALSE(t.heard_from(1, 101.0));
+  EXPECT_FALSE(t.heard_from(2, 101.0));
+  EXPECT_EQ(t.state(1), PeerState::kDead);
+  EXPECT_EQ(t.state(2), PeerState::kUntracked);
+  EXPECT_TRUE(t.advance(200.0).empty());
+
+  // track() (the grant path) revives; mark_dead (a dropped connection)
+  // stops the judging immediately.
+  t.track(1, 201.0);
+  EXPECT_EQ(t.state(1), PeerState::kAlive);
+  t.mark_dead(1);
+  EXPECT_EQ(t.state(1), PeerState::kDead);
+
+  // Out-of-range ids are ignored, not UB.
+  EXPECT_FALSE(t.heard_from(0, 1.0));
+  EXPECT_FALSE(t.heard_from(99, 1.0));
+  EXPECT_EQ(t.state(99), PeerState::kUntracked);
+}
+
+TEST(LivenessTracker, DisabledConfigNeverSuspects) {
+  LivenessTracker t(1, cfg(/*hb=*/0.0));
+  t.track(1, 0.0);
+  EXPECT_TRUE(t.advance(1e9).empty());
+  EXPECT_EQ(t.state(1), PeerState::kAlive);
+  EXPECT_EQ(t.suspect_episodes(), 0u);
+}
+
+// --- SimNetwork::partition ----------------------------------------------
+
+TEST(SimNetworkPartition, StallsDeliveryUntilTheWindowCloses) {
+  SimNetwork net(2);
+  net.partition(1, 1.0, 5.0);
+  // Departure inside the window: arrival floored to the window close.
+  net.advance_time(1, 2.0);
+  net.send(1, kServerId, "t", ByteBuffer());
+  auto msg = net.receive_tagged(kServerId, "t");
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_DOUBLE_EQ(net.sim_time(kServerId), 5.0);
+  // An unpartitioned worker is unaffected.
+  net.send(2, kServerId, "u", ByteBuffer());
+  net.receive_tagged(kServerId, "u");
+  EXPECT_DOUBLE_EQ(net.sim_time(2), 0.0);
+  // Without a liveness policy a partition never suspects or evicts.
+  EXPECT_EQ(net.suspect_count(), 0u);
+  EXPECT_TRUE(net.is_alive(1));
+}
+
+TEST(SimNetworkPartition, JudgedAgainstTheLivenessPolicy) {
+  SimNetwork net(2);
+  net.set_liveness(cfg(/*hb=*/0.1, /*suspect=*/1.0, /*grace=*/3.0));
+  // Longer than suspect_after_s but inside the grace window: one
+  // suspect episode, no eviction — the re-seat path.
+  net.partition(1, 0.0, 2.0);
+  EXPECT_EQ(net.suspect_count(), 1u);
+  EXPECT_TRUE(net.is_alive(1));
+  // Outliving suspect + grace hardens into the same eviction the TCP
+  // tracker performs.
+  net.partition(2, 0.0, 10.0);
+  EXPECT_EQ(net.suspect_count(), 2u);
+  EXPECT_FALSE(net.is_alive(2));
+  // Shorter than suspect_after_s: invisible to liveness.
+  net.partition(1, 20.0, 20.5);
+  EXPECT_EQ(net.suspect_count(), 2u);
+  EXPECT_TRUE(net.is_alive(1));
+}
+
+TEST(SimNetworkPartition, ValidatesArguments) {
+  SimNetwork net(1);
+  EXPECT_THROW(net.partition(kServerId, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.partition(1, 2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(net.partition(1, 3.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::dist

@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <functional>
@@ -16,7 +20,9 @@
 #include <vector>
 
 #include "core/md_gan.hpp"
+#include "core/rejoin.hpp"
 #include "data/synthetic.hpp"
+#include "dist/frame.hpp"
 #include "dist/sim_network.hpp"
 
 namespace mdgan::dist {
@@ -529,6 +535,274 @@ TEST(TcpMdGan, ServerSurvivesWorkerVanishingMidRun) {
   for (float v : got) EXPECT_TRUE(std::isfinite(v));
   EXPECT_FALSE(server->is_alive(2));
   EXPECT_GE(server->membership_epoch(), 1u);
+}
+
+// --- heartbeats and the suspect machinery over real sockets -------------
+
+// A raw socket that completes a valid hello but never answers a !ping:
+// the only way to make a "silent but connected" worker, since a real
+// TcpNetwork endpoint echoes pings automatically.
+int raw_hello(std::uint16_t port, int worker_id, std::size_t n_workers) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ByteBuffer hello;
+  hello.write_pod<std::uint32_t>(static_cast<std::uint32_t>(worker_id));
+  hello.write_pod<std::uint64_t>(n_workers);
+  const auto wire = encode_frame(worker_id, kServerId, kTagHello, hello);
+  EXPECT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  return fd;
+}
+
+TEST(TcpLiveness, SilentWorkerIsSuspectedThenReseatedByAFrame) {
+  TcpOptions opts = fast_opts();
+  opts.heartbeat_interval_s = 0.05;
+  opts.suspect_after_s = 0.4;
+  opts.grace_s = 30.0;  // far away: this test must not reach death
+  auto server = TcpNetwork::serve(0, 1, opts);
+  const int fd = raw_hello(server->port(), 1, 1);
+  ASSERT_TRUE(server->wait_ready());
+  const auto epoch0 = server->membership_epoch();
+
+  // Silence past suspect_after_s: suspected, counted, NOT evicted.
+  ASSERT_TRUE(eventually([&] { return server->is_suspect(1); }));
+  EXPECT_GE(server->suspect_count(), 1u);
+  EXPECT_TRUE(server->is_alive(1));
+
+  // Any frame before the grace window closes re-seats the worker under
+  // the same id — no death, no rejoin cycle, no epoch change.
+  const auto wire = encode_frame(1, kServerId, "fb", payload_of(1, 1.f));
+  ASSERT_EQ(::write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_TRUE(eventually([&] { return !server->is_suspect(1); }));
+  EXPECT_TRUE(server->is_alive(1));
+  EXPECT_EQ(server->membership_epoch(), epoch0);
+  ::close(fd);
+}
+
+TEST(TcpLiveness, SilenceOutlivingTheGraceWindowIsDeath) {
+  TcpOptions opts = fast_opts();
+  opts.heartbeat_interval_s = 0.05;
+  opts.suspect_after_s = 0.3;
+  opts.grace_s = 0.4;
+  auto server = TcpNetwork::serve(0, 1, opts);
+  const int fd = raw_hello(server->port(), 1, 1);
+  ASSERT_TRUE(server->wait_ready());
+
+  // Total silence falls through suspect into the normal death path:
+  // eviction, epoch bump — exactly what a dropped connection causes.
+  ASSERT_TRUE(eventually([&] { return !server->is_alive(1); }));
+  EXPECT_GE(server->suspect_count(), 1u);
+  EXPECT_GE(server->membership_epoch(), 1u);
+  ::close(fd);
+}
+
+// --- dial retry and backoff ---------------------------------------------
+
+TEST(TcpDial, ExhaustedRetryBudgetFailsFast) {
+  // Reserve an ephemeral port, then free it: nothing listens there.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr),
+                          &alen),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  TcpOptions opts = fast_opts();
+  opts.dial_retries = 3;
+  opts.dial_backoff_ms = 5.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    TcpNetwork::connect("127.0.0.1", dead_port, 1, 1, opts);
+    FAIL() << "expected the dial to exhaust its retry budget";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("dial_retries exhausted"),
+              std::string::npos)
+        << e.what();
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // 4 attempts with 5/10/20 ms backoffs (+jitter): nowhere near the
+  // 20 s rendezvous deadline.
+  EXPECT_LT(waited, 2.0);
+}
+
+TEST(TcpDial, BackoffRidesOutAServerThatStartsLate) {
+  // Reserve a port for the server to come up on, late.
+  int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t alen = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr),
+                          &alen),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  TcpOptions opts = fast_opts();
+  opts.dial_retries = 500;
+  opts.dial_backoff_ms = 10.0;
+  std::unique_ptr<TcpNetwork> server;
+  std::thread late_server([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    server = TcpNetwork::serve(port, 1, opts);
+  });
+  // The worker dials into the void, retries, and converges once the
+  // listener appears.
+  auto w1 = TcpNetwork::connect("127.0.0.1", port, 1, 1, opts);
+  late_server.join();
+  ASSERT_TRUE(server->wait_ready());
+  ASSERT_TRUE(w1->wait_ready());
+  EXPECT_TRUE(server->is_alive(1));
+  EXPECT_GE(w1->dial_retry_count(), 1u);
+}
+
+// The rejoin-to-training acceptance property over real sockets: worker
+// 2's process dies at round 2 (its endpoint is destroyed), a NEW
+// process re-dials, is granted a rejoin, receives the `!state`
+// transfer, adopts it, and trains rounds 4..5 — and the server's final
+// generator is bit-identical to the in-process simulator replaying the
+// same crash-rejoin schedule.
+TEST(TcpMdGan, RealRestartWithStateTransferMatchesSimulator) {
+  const std::uint64_t seed = 41;
+  const std::size_t n_workers = 2, per_shard = 16;
+  const std::int64_t iters = 5;
+  const auto arch = gan::make_arch(gan::ArchKind::kMlpMnist);
+  core::MdGanConfig cfg;
+  cfg.hp.batch = 8;
+  cfg.hp.disc_steps = 1;
+  cfg.k = 2;
+  cfg.swap_enabled = false;
+  cfg.parallel_workers = false;
+
+  AvailabilitySchedule sched;
+  sched.add_crash_rejoin(/*worker=*/2, /*from=*/2, /*until=*/4);
+
+  auto full = data::make_synthetic_digits(n_workers * per_shard, seed);
+  Rng split_rng(seed);
+  const auto shards = data::split_iid(full, n_workers, split_rng);
+
+  SimNetwork sim(n_workers);
+  core::MdGan reference(arch, cfg, shards, seed, sim, &sched);
+  reference.train(iters);
+  const auto want = reference.generator().flatten_parameters();
+  ASSERT_EQ(reference.iterations_run(), iters);
+
+  auto server = TcpNetwork::serve(0, n_workers, fast_opts());
+  const auto port = server->port();
+  std::vector<float> got;
+  std::vector<std::string> errors(3);
+  std::thread server_thread([&] {
+    try {
+      core::MdGanConfig scfg = cfg;
+      scfg.shard_size = per_shard;
+      core::MdGan md(arch, scfg, {}, seed, *server, &sched,
+                     core::NodeRole::server());
+      md.train(iters);
+      got = md.generator().flatten_parameters();
+    } catch (const std::exception& e) {
+      errors[0] = e.what();
+    }
+  });
+  std::thread w1_thread([&] {
+    try {
+      auto net = TcpNetwork::connect("127.0.0.1", port, 1, n_workers,
+                                     fast_opts());
+      core::MdGan md(arch, cfg, {shards[0]}, seed, *net, &sched,
+                     core::NodeRole::worker(1));
+      md.train(iters);
+    } catch (const std::exception& e) {
+      errors[1] = e.what();
+    }
+  });
+  std::thread w2_thread([&] {
+    try {
+      // Incarnation 1: trains round 1, observes its own scheduled
+      // state loss at round 2 and stops; destroying the endpoint is
+      // the kill -9.
+      {
+        auto net = TcpNetwork::connect("127.0.0.1", port, 2, n_workers,
+                                       fast_opts());
+        core::MdGan md(arch, cfg, {shards[1]}, seed, *net, &sched,
+                       core::NodeRole::worker(2));
+        md.train(iters);
+        if (md.iterations_run() >= iters) {
+          throw std::runtime_error("incarnation 1 should have died early");
+        }
+      }
+      // Incarnation 2: a fresh process image re-dials. The first hello
+      // can race the server noticing the EOF (still a live duplicate);
+      // retry until the rejoin is granted.
+      std::unique_ptr<TcpNetwork> net;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(15);
+      while (std::chrono::steady_clock::now() < deadline) {
+        net = TcpNetwork::connect("127.0.0.1", port, 2, n_workers,
+                                  fast_opts());
+        if (net->wait_ready() && net->rejoin_granted()) break;
+        net.reset();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      if (net == nullptr) {
+        throw std::runtime_error("rejoin was never granted");
+      }
+      auto payload = net->wait_rejoin_state(20.0);
+      if (!payload.has_value()) {
+        throw std::runtime_error("no !state transfer arrived");
+      }
+      core::RejoinState st = core::RejoinState::decode(*payload);
+      if (st.admission_round != 4) {
+        throw std::runtime_error("admitted at round " +
+                                 std::to_string(st.admission_round) +
+                                 ", expected 4");
+      }
+      core::MdGan md(arch, cfg, {shards[1]}, seed, *net, &sched,
+                     core::NodeRole::worker(2));
+      const auto admitted_at = st.admission_round;
+      md.adopt_rejoin_state(std::move(st));
+      md.train_from(admitted_at, iters);
+    } catch (const std::exception& e) {
+      errors[2] = e.what();
+    }
+  });
+  server_thread.join();
+  w1_thread.join();
+  w2_thread.join();
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    EXPECT_TRUE(errors[i].empty()) << "role " << i << ": " << errors[i];
+  }
+
+  // Bit-identical generator to the simulated crash-rejoin...
+  EXPECT_EQ(got, want);
+  // ...and the identical data-plane ledger: the whole grant / !state /
+  // !admit exchange rides the control plane, which is never charged.
+  for (auto kind : {LinkKind::kServerToWorker, LinkKind::kWorkerToServer}) {
+    EXPECT_EQ(server->totals(kind).bytes, sim.totals(kind).bytes);
+    EXPECT_EQ(server->totals(kind).messages, sim.totals(kind).messages);
+  }
 }
 
 }  // namespace
