@@ -83,24 +83,65 @@ std::size_t RoundEngine::present_count() const {
       std::count(present_.begin() + 1, present_.end(), true));
 }
 
+void RoundEngine::stage_readmission(int w, std::int64_t admit_at,
+                                    std::int64_t iter) {
+  const auto wi = static_cast<std::size_t>(w);
+  if (!lost_[wi]) {
+    // The grant (or the server's !admit) is authoritative evidence
+    // that w's previous incarnation died and a fresh one dialed back
+    // in — even when the death and restart both landed inside a single
+    // round window, so no boundary ever observed alive == false.
+    // Replay the permanent leave now: the current round must exclude
+    // the silent fresh incarnation (its discriminator state died with
+    // the old process), and the re-admission below rebirths it.
+    if (present_[wi]) {
+      present_[wi] = false;
+      MDGAN_LOG_WARN << "iteration " << iter << ": worker " << w
+                     << " restarted within one round window; replaying "
+                        "its fail-stop before re-admission, "
+                     << present_count() << " present";
+      delegate_.on_leave(w, true, iter);
+    }
+    lost_[wi] = true;
+  }
+  pending_readmit_[w] = admit_at;
+}
+
 void RoundEngine::harvest_readmissions(std::int64_t iter) {
   if (cfg_.role.runs_server()) {
     // A rejoin grant is a transport-level event (a dead worker's id
     // dialed back with --role=rejoin); the server turns it into a
-    // protocol admission at the next round boundary — here.
+    // protocol admission at the NEXT round boundary, iter + 1, and
+    // announces that round before this round's data frames go out —
+    // per-connection FIFO then has every survivor holding the !admit
+    // by its own iter + 1 boundary, so all roles admit on the same
+    // round. Grants covered by a scheduled crash-rejoin are left for
+    // the schedule's own readmit (SPMD shared knowledge already pins
+    // that admission round everywhere).
     for (int w : net_.take_rejoin_grants()) {
-      if (w >= 1 && w <= static_cast<int>(net_.n_workers())) {
-        pending_readmit_[w] = iter;
+      if (w < 1 || w > static_cast<int>(net_.n_workers())) continue;
+      if (availability_ != nullptr &&
+          availability_->within_crash_rejoin(w, iter)) {
+        continue;
       }
+      stage_readmission(w, iter + 1, iter);
+      net_.announce_admission(w, iter + 1);
     }
     return;
   }
   // Worker roles learn admissions from the server's `!admit` broadcast,
-  // which pins the admission round the server chose.
+  // which pins the admission round the server chose. A rejoiner's own
+  // engine starts from the transferred state and is already admitted;
+  // it must not replay its own fail-stop.
   for (const auto& a : net_.take_admissions()) {
-    if (a.worker >= 1 && a.worker <= static_cast<int>(net_.n_workers())) {
-      pending_readmit_[a.worker] = a.round;
+    if (a.worker < 1 || a.worker > static_cast<int>(net_.n_workers())) {
+      continue;
     }
+    if (cfg_.role.kind == NodeRole::Kind::kWorker &&
+        a.worker == cfg_.role.worker_id) {
+      continue;
+    }
+    stage_readmission(a.worker, a.round, iter);
   }
 }
 
@@ -116,7 +157,7 @@ void RoundEngine::readmit(int w, std::int64_t iter) {
   // so the rejoiner receives the post-admission view.
   delegate_.on_readmit(w, iter);
   if (cfg_.role.runs_server()) {
-    net_.announce_admission(w, iter, delegate_.make_rejoin_state(w, iter));
+    net_.ship_rejoin_state(w, delegate_.make_rejoin_state(w, iter));
   }
 }
 
@@ -139,7 +180,10 @@ bool RoundEngine::process_membership(std::int64_t iter) {
         availability_ == nullptr || availability_->present(w, iter);
     const bool now = alive && scheduled;
     if (now == present_[wi]) {
-      if (now) pending_readmit_.erase(w);  // already in: nothing pending
+      // A pending_readmit_ entry for a present worker is NOT stale:
+      // the grant behind it proves the present incarnation is a silent
+      // restart (death and re-dial inside one round window). The drain
+      // below replays its fail-stop and re-admits it.
       continue;
     }
     if (now && (lost_[wi] || state_rejoin)) {
@@ -149,6 +193,23 @@ bool RoundEngine::process_membership(std::int64_t iter) {
         // a grant to surface.
         pending_readmit_.erase(w);
         readmit(w, iter);
+        if (cfg_.role.runs_server()) {
+          // The re-dial that made this worker alive again surfaced a
+          // transport grant; absorb it — the schedule owns this
+          // admission. Grants for OTHER workers that happened to land
+          // in the same drain are unscheduled and staged normally.
+          for (int g : net_.take_rejoin_grants()) {
+            if (g == w || g < 1 || g > static_cast<int>(net_.n_workers())) {
+              continue;
+            }
+            if (availability_ != nullptr &&
+                availability_->within_crash_rejoin(g, iter)) {
+              continue;
+            }
+            stage_readmission(g, iter + 1, iter);
+            net_.announce_admission(g, iter + 1);
+          }
+        }
         continue;
       }
       // Transport-level revival of a worker that already failed-stop:
@@ -206,9 +267,11 @@ bool RoundEngine::process_membership(std::int64_t iter) {
   }
   // Unscheduled (granted) re-admissions whose round arrived: a worker
   // the protocol lost to a real fail-stop, whose restarted process was
-  // granted rejoin. Requires the transport to actually see it alive;
-  // an entry for a never-lost worker is stale (the scheduled path beat
-  // it) and is dropped.
+  // granted rejoin. Requires the transport to actually see it alive.
+  // The re-admission is seeded from the AGREED admission round
+  // (it->second, the round the server announced) even when this role
+  // observes it late — the rebirth tuple must be identical on every
+  // role or the reborn discriminators diverge.
   for (auto it = pending_readmit_.begin(); it != pending_readmit_.end();) {
     const int w = it->first;
     const auto wi = static_cast<std::size_t>(w);
@@ -217,6 +280,8 @@ bool RoundEngine::process_membership(std::int64_t iter) {
       continue;
     }
     if (!lost_[wi]) {
+      // Only reachable when the scheduled path re-admitted w after the
+      // entry was staged; the admission already happened, drop it.
       it = pending_readmit_.erase(it);
       continue;
     }
@@ -226,7 +291,7 @@ bool RoundEngine::process_membership(std::int64_t iter) {
       ++it;  // keep waiting: the grant outlives a slow reconnect
       continue;
     }
-    readmit(w, iter);
+    readmit(w, it->second);
     it = pending_readmit_.erase(it);
   }
   if (self_state_lost) {

@@ -222,11 +222,19 @@ class RoundEngine {
   // scheduled crash-rejoin (its incarnation is over; the re-admission
   // happens through a fresh process + state transfer).
   bool process_membership(std::int64_t iter);
-  // Drains the transport's rejoin grants (server roles) / admission
-  // broadcasts (worker roles) into pending_readmit_.
+  // Drains the transport's rejoin grants (server roles, admitting at
+  // iter + 1 and announcing that round) / admission broadcasts (worker
+  // roles, at the server's announced round) into pending_readmit_.
   void harvest_readmissions(std::int64_t iter);
-  // Re-admits `w` at `iter`: flips membership, fires on_readmit, and —
-  // on server roles — ships the state-transfer payload.
+  // Stages `w` for re-admission at round `admit_at`. If w was never
+  // marked lost — its death and restart both fell inside one round
+  // window, so no boundary observed it dead — the grant itself is the
+  // proof of the lost incarnation: the permanent leave is replayed
+  // here (on_leave + lost_) before the entry is staged.
+  void stage_readmission(int w, std::int64_t admit_at, std::int64_t iter);
+  // Re-admits `w` seeded from admission round `iter`: flips membership,
+  // fires on_readmit, and — on server roles — ships the state-transfer
+  // payload.
   void readmit(int w, std::int64_t iter);
   // Anyone scheduled present at some iteration > iter (and not already
   // transport-dead)?
@@ -270,10 +278,12 @@ class RoundEngine {
   // id) must not re-admit them to the protocol.
   std::vector<bool> lost_;
   // State-transfer re-admissions waiting for their round: worker ->
-  // admission round. Server roles enqueue here when the transport
-  // surfaces a rejoin grant; worker roles when an `!admit` broadcast
-  // arrives. Entries for workers that were never lost (e.g. the
-  // schedule already re-admitted them) are dropped, not replayed.
+  // agreed admission round. Server roles enqueue here when the
+  // transport surfaces a rejoin grant (admission at the next boundary,
+  // announced via `!admit` before the current round's data frames);
+  // worker roles when the `!admit` broadcast arrives. The stored round
+  // also seeds the discriminator rebirth, so it must be the SAME value
+  // on every role even when a role applies the admission late.
   std::map<int, std::int64_t> pending_readmit_;
   std::int64_t stale_dropped_ = 0;
 

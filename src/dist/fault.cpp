@@ -65,6 +65,16 @@ bool AvailabilitySchedule::state_rejoin_at(int worker,
   return false;
 }
 
+bool AvailabilitySchedule::within_crash_rejoin(int worker,
+                                               std::int64_t iter) const {
+  const auto it = crash_rejoins_.find(worker);
+  if (it == crash_rejoins_.end()) return false;
+  for (const auto& [from, until] : it->second) {
+    if (from <= iter && iter <= until) return true;
+  }
+  return false;
+}
+
 bool AvailabilitySchedule::present(int worker, std::int64_t iter) const {
   const auto it = transitions_.find(worker);
   if (it == transitions_.end()) return true;

@@ -79,6 +79,12 @@ class AvailabilitySchedule {
   // re-admits (fresh discriminator, `!state` shipping) instead of
   // waking a dormant one.
   bool state_rejoin_at(int worker, std::int64_t iter) const;
+  // Is `iter` inside one of worker's scheduled crash-rejoin absences
+  // [from, until]? `until` itself counts — that is the admission
+  // boundary. The engine uses this to classify a transport-level rejoin
+  // grant as already owned by the schedule (the scheduled readmit
+  // absorbs it) versus an unscheduled restart it must admit itself.
+  bool within_crash_rejoin(int worker, std::int64_t iter) const;
 
   bool empty() const { return transitions_.empty(); }
   // Number of scheduled transitions.

@@ -26,13 +26,16 @@
 //   !state   S->W  rejoin state transfer: an opaque core-level payload
 //                  (core::RejoinState — generator θ, admission round,
 //                  holder map, swap RNG state). Sent to a granted
-//                  rejoiner when the engine re-admits it at the next
-//                  round boundary; always precedes that round's data
-//                  frames on the connection.
+//                  rejoiner when the engine re-admits it at the
+//                  admission round's boundary; always precedes that
+//                  round's data frames on the connection.
 //   !admit   S->W  re-admission notice, broadcast to every live worker:
 //                  u32 readmitted worker id, i64 admission round,
-//                  u64 epoch. Lets survivors fold the rejoiner back
-//                  into their membership replay.
+//                  u64 epoch. Written on the server's ENGINE thread
+//                  before the prior round's data frames, so
+//                  per-connection FIFO guarantees every survivor holds
+//                  it by the admission round's own boundary — all roles
+//                  admit (and seed the rebirth) on the same round.
 //   !ping    S->W  heartbeat probe: u64 sequence, f64 send timestamp
 //                  (server clock, seconds). The worker echoes the
 //                  payload verbatim.

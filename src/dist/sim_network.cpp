@@ -105,14 +105,24 @@ void SimNetwork::send(int from, int to, const std::string& tag,
 
   // A partitioned endpoint stalls the message: anything departing or
   // arriving inside a partition window of either end is held until the
-  // window closes (the delivery a resumed link produces).
-  for (int node : {from, to}) {
-    for (const Window& w : partitions_[static_cast<std::size_t>(node)]) {
-      const double depart = sim_time_[static_cast<std::size_t>(from)];
-      if ((depart >= w.from_s && depart < w.until_s) ||
-          (arrival >= w.from_s && arrival < w.until_s)) {
-        arrival = std::max(arrival, w.until_s);
+  // window closes (the delivery a resumed link produces). Flooring the
+  // arrival into one window can push it inside ANOTHER (overlapping or
+  // adjacent, possibly one already iterated), so rescan until the
+  // arrival reaches a fixed point.
+  {
+    const double depart = sim_time_[static_cast<std::size_t>(from)];
+    for (;;) {
+      double next = arrival;
+      for (int node : {from, to}) {
+        for (const Window& w : partitions_[static_cast<std::size_t>(node)]) {
+          if ((depart >= w.from_s && depart < w.until_s) ||
+              (next >= w.from_s && next < w.until_s)) {
+            next = std::max(next, w.until_s);
+          }
+        }
       }
+      if (next == arrival) break;
+      arrival = next;
     }
   }
 

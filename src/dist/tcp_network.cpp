@@ -354,18 +354,15 @@ void TcpNetwork::pump_control() {
   // broadcast work below short-circuits when nothing is queued.
   pump_heartbeats();
   std::vector<int> deaths;
-  std::vector<Admission> admits;
   std::uint64_t epoch = 0;
   ByteBuffer epoch_payload;
   std::vector<std::pair<int, Conn*>> targets;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (pending_deaths_.empty() && pending_admits_.empty() &&
-        !epoch_dirty_) {
+    if (pending_deaths_.empty() && !epoch_dirty_) {
       return;
     }
     deaths.swap(pending_deaths_);
-    admits.swap(pending_admits_);
     epoch_dirty_ = false;
     epoch = epoch_;
     epoch_payload = encode_epoch_locked();
@@ -388,14 +385,6 @@ void TcpNetwork::pump_control() {
         ok = false;
         break;
       }
-    }
-    for (const Admission& a : admits) {
-      if (!ok) break;
-      ByteBuffer p;
-      p.write_pod<std::uint32_t>(static_cast<std::uint32_t>(a.worker));
-      p.write_pod<std::int64_t>(a.round);
-      p.write_pod<std::uint64_t>(epoch);
-      if (!write_frame(*conn, w, kServerId, w, kTagAdmit, p)) ok = false;
     }
     if (ok) write_frame(*conn, w, kServerId, w, kTagEpoch, epoch_payload);
   }
@@ -541,14 +530,18 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
       const auto round = payload.read_pod<std::int64_t>();
       const auto epoch = payload.read_pod<std::uint64_t>();
       if (w < 1 || w > n_workers_) return;
+      std::uint64_t pub = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
         admissions_.push_back(
             {static_cast<int>(w), static_cast<std::int64_t>(round)});
         if (static_cast<int>(w) != local_) alive_[w] = true;
-        epoch_ = std::max(epoch_, epoch);
+        // Publish the post-max epoch, never the raw broadcast value: an
+        // !admit overtaken by a newer !epoch/!death must not regress
+        // the membership_epoch gauge.
+        pub = epoch_ = std::max(epoch_, epoch);
       }
-      obs_membership_epoch(epoch);
+      obs_membership_epoch(pub);
       MDGAN_LOG_INFO << "TcpNetwork: worker " << w
                      << " re-admitted at round " << round << " (epoch "
                      << epoch << ")";
@@ -558,17 +551,18 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
       const auto epoch = payload.read_pod<std::uint64_t>();
       if (w < 1 || w > n_workers_ || static_cast<int>(w) == local_) return;
       bool fresh = false;
+      std::uint64_t pub = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (alive_[w]) {
           alive_[w] = false;
           fresh = true;
         }
-        epoch_ = std::max(epoch_, epoch);
+        pub = epoch_ = std::max(epoch_, epoch);
       }
       if (fresh) {
         obs_peer_death();
-        obs_membership_epoch(epoch);
+        obs_membership_epoch(pub);
         if (!closing_.load()) {
           MDGAN_LOG_WARN << "TcpNetwork: death notice for worker " << w
                          << " (epoch " << epoch
@@ -580,6 +574,7 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
       const auto epoch = payload.read_pod<std::uint64_t>();
       const auto n = payload.read_pod<std::uint32_t>();
       if (n != n_workers_) return;
+      std::uint64_t pub = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (epoch >= epoch_) {
@@ -593,18 +588,20 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
           }
         }
         hello_acked_ = true;
+        pub = epoch_;
       }
-      obs_membership_epoch(epoch);
+      obs_membership_epoch(pub);
       cv_.notify_all();
     } else if (f.tag == kTagRejoin) {
       const auto epoch = payload.read_pod<std::uint64_t>();
+      std::uint64_t pub = 0;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        epoch_ = std::max(epoch_, epoch);
+        pub = epoch_ = std::max(epoch_, epoch);
         rejoin_granted_ = true;
       }
       obs_rejoin();
-      obs_membership_epoch(epoch);
+      obs_membership_epoch(pub);
       MDGAN_LOG_INFO << "TcpNetwork: rejoin granted under epoch " << epoch;
       cv_.notify_all();
     }
@@ -1132,20 +1129,54 @@ std::vector<Transport::Admission> TcpNetwork::take_admissions() {
   return out;
 }
 
-void TcpNetwork::announce_admission(int worker, std::int64_t round,
-                                    ByteBuffer&& state) {
+void TcpNetwork::announce_admission(int worker, std::int64_t round) {
   check_node(worker);
   if (local_ != kServerId) return;  // only the server admits
-  // Ship the state transfer directly on the rejoiner's connection — the
-  // caller is the engine thread, the same thread that will broadcast
-  // the admission round's data frames next, so per-connection FIFO
-  // guarantees the rejoiner sees !state first. The !admit broadcast to
-  // everyone (including the rejoiner) goes via the acceptor pump like
-  // every other control fan-out.
+  // The caller is the ENGINE thread, and `round` is strictly in the
+  // future of the round it is currently processing: writing the !admit
+  // here — before that round's data frames go out on the same
+  // connections — is what pins the admission round across roles. A
+  // survivor must consume its round-R data frames before it can reach
+  // its round-R+1 membership boundary, so per-connection FIFO puts the
+  // !admit in its hands no later than that boundary, i.e. at or before
+  // the admission round itself. The async acceptor pump gives no such
+  // guarantee, which is why this broadcast does not go through it.
+  std::uint64_t epoch = 0;
+  std::vector<std::pair<int, Conn*>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_;
+    for (std::size_t w = 1; w <= n_workers_; ++w) {
+      if (alive_[w] && registered_[w] && conns_[w] != nullptr) {
+        targets.emplace_back(static_cast<int>(w), conns_[w].get());
+      }
+    }
+  }
+  // Writes outside mu_ (they can block). A Conn* can only be replaced
+  // by the acceptor's grant_rejoin, which parks the old conn in
+  // retired_ with fd -1: a straggling write fails harmlessly and the
+  // identity-checked mark_dead spares the fresh incarnation — the same
+  // contract the data-plane send() relies on.
+  ByteBuffer p;
+  p.write_pod<std::uint32_t>(static_cast<std::uint32_t>(worker));
+  p.write_pod<std::int64_t>(round);
+  p.write_pod<std::uint64_t>(epoch);
+  for (auto [w, conn] : targets) {
+    write_frame(*conn, w, kServerId, w, kTagAdmit, p);
+  }
+  MDGAN_LOG_INFO << "TcpNetwork: announced admission of worker " << worker
+                 << " at round " << round << " (epoch " << epoch << ")";
+}
+
+void TcpNetwork::ship_rejoin_state(int worker, ByteBuffer&& state) {
+  check_node(worker);
+  if (local_ != kServerId) return;  // only the server admits
+  // Also engine-thread: the rejoiner receives !state before the
+  // admission round's data frames on its (fresh) connection, so it can
+  // adopt the transferred generator before the first batch lands.
   Conn* conn = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_admits_.push_back({worker, round});
     if (alive_[static_cast<std::size_t>(worker)] &&
         registered_[static_cast<std::size_t>(worker)]) {
       conn = conns_[static_cast<std::size_t>(worker)].get();
@@ -1156,8 +1187,7 @@ void TcpNetwork::announce_admission(int worker, std::int64_t round,
   }
   obs_rejoin_admitted();
   MDGAN_LOG_INFO << "TcpNetwork: shipped rejoin state to worker " << worker
-                 << " (admission round " << round << ", " << state.size()
-                 << " bytes)";
+                 << " (" << state.size() << " bytes)";
 }
 
 bool TcpNetwork::await_alive(int node, double timeout_s) {

@@ -209,8 +209,8 @@ class TcpNetwork final : public Transport {
 
   std::vector<int> take_rejoin_grants() override;
   std::vector<Admission> take_admissions() override;
-  void announce_admission(int worker, std::int64_t round,
-                          ByteBuffer&& state) override;
+  void announce_admission(int worker, std::int64_t round) override;
+  void ship_rejoin_state(int worker, ByteBuffer&& state) override;
   bool await_alive(int node, double timeout_s) override;
 
  private:
@@ -290,8 +290,7 @@ class TcpNetwork final : public Transport {
   bool hello_acked_ = false;         // worker: first !epoch received
   bool rejoin_granted_ = false;      // worker: !rejoin received
   std::vector<int> pending_grants_;  // server: grants not yet harvested
-  std::vector<Admission> admissions_;     // worker: !admit notices
-  std::vector<Admission> pending_admits_;  // server: !admit to broadcast
+  std::vector<Admission> admissions_;  // worker: !admit notices
   std::optional<ByteBuffer> rejoin_state_;  // worker: !state payload
   LivenessTracker liveness_;         // server; advanced on the acceptor
   double last_ping_s_ = 0.0;         // server: last heartbeat broadcast

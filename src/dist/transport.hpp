@@ -151,7 +151,8 @@ class Transport {
   // hooks below are how the ROUND ENGINE turns that grant into a real
   // late join with state transfer. Backends without unscheduled rejoin
   // (SimNetwork) keep the defaults, which model an in-process admission:
-  // no grants ever surface, announce_admission only counts the metric.
+  // no grants ever surface, announce_admission is a no-op and
+  // ship_rejoin_state only counts the metric.
 
   // Server endpoint: drains the workers granted a rejoin since the last
   // call (TcpNetwork records them in grant_rejoin). The engine admits
@@ -160,25 +161,37 @@ class Transport {
 
   // Worker endpoints: drains the re-admissions announced by the server
   // (`!admit` broadcasts), so survivors fold the rejoiner back into
-  // their own membership replay. `round` is the server's admission
-  // round; a survivor observing it later admits at its own next
-  // boundary (skew is bounded by per-connection FIFO: the notice always
-  // precedes the admission round's data frames).
+  // their own membership replay. `round` is the admission round the
+  // server chose — strictly in the future of the round whose boundary
+  // announced it, and every role (server included) applies it at that
+  // same boundary. Agreement is guaranteed because the server writes
+  // the `!admit` on its engine thread BEFORE the prior round's data
+  // frames: per-connection FIFO then forces every survivor to have
+  // consumed it by the time it reaches the admission round's own
+  // membership boundary.
   struct Admission {
     int worker = 0;
     std::int64_t round = 0;
   };
   virtual std::vector<Admission> take_admissions() { return {}; }
 
-  // Server endpoint: the engine re-admitted `worker` at `round`; ship it
-  // the serialized rejoin state (`!state`) and broadcast the `!admit`
-  // notice. The default (sim / in-process: every role replays the same
-  // admission from shared knowledge, nothing crosses a wire) only bumps
-  // rejoin_admitted_total so both backends expose the same metric.
-  virtual void announce_admission(int worker, std::int64_t round,
-                                  ByteBuffer&& state) {
+  // Server endpoint: broadcast the `!admit` notice pinning `worker`'s
+  // admission to `round` (see take_admissions for the ordering
+  // contract). The default (sim / in-process: every role replays the
+  // same admission from shared knowledge, nothing crosses a wire) is a
+  // no-op.
+  virtual void announce_admission(int worker, std::int64_t round) {
     (void)worker;
     (void)round;
+  }
+
+  // Server endpoint: the engine re-admitted `worker`; ship it the
+  // serialized rejoin state (`!state`). Called at the admission round
+  // itself, after the delegate rebirthed the discriminator, so the
+  // payload carries the post-admission view. Both backends bump
+  // rejoin_admitted_total here so the metric is backend-agnostic.
+  virtual void ship_rejoin_state(int worker, ByteBuffer&& state) {
+    (void)worker;
     (void)state;
     obs_rejoin_admitted();
   }
