@@ -382,6 +382,24 @@ void bench_obs(Harness& h) {
     volatile std::uint64_t sink = c.value();
     (void)sink;
   });
+
+  // Flight recorder: enabled record = one fetch_add + a slot write
+  // (the ring wraps freely — overwrite IS the steady state); disabled
+  // record = one relaxed load, same contract as the disabled span.
+  obs::FlightRecorder flight(1024);
+  flight.set_enabled(true);
+  h.run("BM_FlightRecord", 0, [&] {
+    flight.record(obs::FlightKind::kSuspect, 1, 2, 3, 0.5);
+    volatile std::uint64_t sink = flight.recorded();
+    (void)sink;
+  });
+
+  obs::FlightRecorder flight_off(1024);
+  h.run("BM_FlightRecordDisabled", 0, [&] {
+    flight_off.record(obs::FlightKind::kSuspect, 1, 2, 3, 0.5);
+    volatile std::uint64_t sink = flight_off.recorded();
+    (void)sink;
+  });
 }
 
 void bench_adam_step(Harness& h) {

@@ -46,6 +46,25 @@ if [ "${1:-}" = "--tsan" ]; then
   exit 0
 fi
 
+# `ci.sh --asan`: AddressSanitizer pass over the dist/core/obs tests in
+# its own build tree, then a traced sim run fed through the trace-merge
+# tool — the JSON parser and merger chew on real generated input under
+# the allocator checks — and exit.
+if [ "${1:-}" = "--asan" ]; then
+  cmake -B build-asan -S . -DMDGAN_ASAN=ON \
+    -DMDGAN_BUILD_BENCHES=OFF -DMDGAN_BUILD_EXAMPLES=ON
+  cmake --build build-asan -j"$(nproc)"
+  cd build-asan && ctest --output-on-failure -R '^(dist|core|obs)_'
+  echo "--- asan smoke: traced sim run through the trace merger"
+  ./mdgan_node --role=sim --workers=2 --iters=2 \
+    --trace-out=asan_trace.json --metrics-out=asan_metrics.jsonl \
+    --flight-out=asan_flight.jsonl
+  ./mdgan_trace_merge --out=asan_merged.json --time=virtual \
+    asan_trace.json
+  echo "asan pass clean"
+  exit 0
+fi
+
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 cd build && ctest --output-on-failure -j"$(nproc)"
@@ -150,6 +169,81 @@ assert c["feedback_bytes_total{link=w2c}"] == c["bytes_total{link=w2c}"], \
 print("telemetry OK: traces + metrics parse, spans/rounds/bytes all match")
 PY
 
+echo "--- smoke: cluster trace merge (3 workers, per-node traces + flows)"
+# Every endpoint writes its own Chrome trace; mdgan_trace_merge must
+# fuse them into ONE timeline where each recv:<tag> span is bound to
+# its originating send:<tag> span by a flow arrow — broadcast (c2w),
+# feedback (w2c) and the relayed swap (w2w) included. The server's file
+# goes first: its heartbeat-RTT clock-offset estimates are the
+# authority for aligning the worker timelines.
+MERGE_FLAGS="--workers=3 --iters=4 --k=2 --heartbeat-ms=100"
+./mdgan_node --role=server --port=0 $MERGE_FLAGS \
+  --trace-out=trace_node0.json > merge_server.log 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(grep -oE 'listening on 0.0.0.0:[0-9]+' merge_server.log \
+         | grep -oE '[0-9]+$' || true)
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "trace-merge server never listened"; exit 1; }
+for w in 1 2 3; do
+  ./mdgan_node --role=worker --id="$w" --connect=127.0.0.1:"$PORT" \
+    $MERGE_FLAGS --trace-out=trace_node"$w".json \
+    > merge_w"$w".log 2>&1 &
+  eval "W${w}_PID=\$!"
+done
+for pid in "$W1_PID" "$W2_PID" "$W3_PID" "$SERVER_PID"; do
+  wait "$pid" || { echo "trace-merge process $pid failed"; exit 1; }
+done
+./mdgan_trace_merge --out=trace_merged.json \
+  trace_node0.json trace_node1.json trace_node2.json trace_node3.json \
+  | tee trace_merge.log
+python3 - <<'PY'
+import json
+
+with open("trace_merged.json") as f:
+    doc = json.load(f)
+st = doc["mergeStats"]
+assert st["files"] == 4, st
+assert st["flows_unmatched"] == 0, st
+assert st["flows_bound"] > 0, st
+
+events = doc["traceEvents"]
+# One process track per node in the merged view.
+tracks = {e["args"]["name"] for e in events
+          if e.get("name") == "process_name"}
+for want in ("node 0 (server)", "node 1 (worker)", "node 2 (worker)",
+             "node 3 (worker)"):
+    assert want in tracks, f"missing track {want!r} in {sorted(tracks)}"
+
+# Flow-event inventory: arrows come in s/f pairs, one per bound flow,
+# and the start of each pair sits on a send while the finish sits on a
+# recv carrying the same flow id.
+starts = [e for e in events if e.get("ph") == "s"]
+finishes = [e for e in events if e.get("ph") == "f"]
+assert len(starts) == len(finishes) == st["flows_bound"], (
+    len(starts), len(finishes), st)
+by_flow = {}
+for e in events:
+    if e.get("ph") == "X" and e.get("args", {}).get("flow"):
+        by_flow.setdefault(e["args"]["flow"], []).append(e["name"])
+bound_recvs = set()
+for s, f in zip(starts, finishes):
+    names = by_flow[s["id"]]
+    sends = [n for n in names if n.startswith("send:")]
+    recvs = [n for n in names if n.startswith("recv:")]
+    assert len(sends) == 1, (s["id"], names)
+    assert len(recvs) == 1, (f["id"], names)
+    assert sends[0][5:] == recvs[0][5:], names
+    bound_recvs.add(recvs[0])
+for want in ("recv:gen_batches", "recv:feedback", "recv:disc_swap"):
+    assert want in bound_recvs, f"{want} has no flow arrow: {bound_recvs}"
+print("trace-merge OK: %d flows bound, arrows for %s" %
+      (st["flows_bound"], ", ".join(sorted(bound_recvs))))
+PY
+
 echo "--- smoke: mdgan_node async loopback (server receive loop, 2 workers)"
 ASYNC_FLAGS="--workers=2 --iters=3 --server-mode=async"
 ./mdgan_node --role=sim $ASYNC_FLAGS | tee mdgan_async_sim.log
@@ -209,7 +303,8 @@ echo "--- drill: kill -9 a worker mid-run (unscheduled fail-stop + rejoin)"
 KILL_FLAGS="--workers=3 --iters=30 --k=2 --swap=0 --recv-timeout=15 \
   --log-level=info"
 ./mdgan_node --role=server --port=0 $KILL_FLAGS \
-  --metrics-out=kill_metrics.jsonl > kill_server.log 2>&1 &
+  --metrics-out=kill_metrics.jsonl --flight-out=kill_flight.jsonl \
+  > kill_server.log 2>&1 &
 SERVER_PID=$!
 PORT=""
 for _ in $(seq 1 100); do
@@ -280,6 +375,25 @@ print("kill-drill metrics OK: deaths=%d rejoins=%d admitted=%d "
       (c["peer_deaths_total"], c["rejoins_total"],
        c["rejoin_admitted_total"], c["readmitted_feedback_total"],
        g["membership_epoch"]))
+
+# The flight recorder must tell the same story as a causal sequence:
+# worker 3's death, then the rejoin grant, then its admission back
+# into training — in that order, in one JSONL artifact.
+events = [json.loads(l) for l in open("kill_flight.jsonl")]
+assert events, "flight recorder left no events"
+def first_index(kind, node):
+    for i, e in enumerate(events):
+        if e["kind"] == kind and e["node"] == node:
+            return i
+    raise AssertionError(f"no {kind!r} event for node {node}: "
+                         f"{[(e['kind'], e['node']) for e in events]}")
+death = first_index("death", 3)
+grant = first_index("rejoin_grant", 3)
+admit = first_index("admission", 3)
+assert death < grant < admit, (death, grant, admit)
+assert any(e["kind"] == "epoch" for e in events), "no epoch bump recorded"
+print("kill-drill flight OK: %d events, death@%d < grant@%d < admit@%d" %
+      (len(events), death, grant, admit))
 PY
 echo "kill-drill OK: a killed worker was re-admitted back into training"
 

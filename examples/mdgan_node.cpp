@@ -32,7 +32,18 @@
 // --metrics-interval rounds plus a final summary line whose per-link
 // byte counters equal the printed traffic totals exactly;
 // --trace-compute additionally records the high-frequency GEMM /
-// thread-pool spans. --log-level=debug|info|warn|error (also the
+// thread-pool spans. --flight-out=PATH arms the flight recorder: a
+// bounded ring of lifecycle events (deaths, suspects, rejoin grants,
+// admissions, stale drops) dumped as JSONL on exit AND from the
+// fatal-signal path, so a crashed node still leaves its post-mortem.
+// Per-node trace files merge into one Perfetto timeline with
+// cross-node flow arrows via ./mdgan_trace_merge (pass the server's
+// file first). A fifth role probes a live server for a one-shot JSON
+// snapshot (round, phase, epoch, liveness table, metrics registry):
+//
+//   ./mdgan_node --role=stats --connect=host:29471
+//
+// --log-level=debug|info|warn|error (also the
 // MDGAN_LOG_LEVEL env var) sets the stderr log threshold, and every
 // line is prefixed with elapsed seconds, level and this node's id.
 //
@@ -358,6 +369,29 @@ int run_rejoin_probe(const NodeConfig& nc, const std::string& connect,
   return 0;
 }
 
+// Live introspection: dial a running server, send a `!stats` probe and
+// print the JSON snapshot it answers with — current round and phase,
+// membership epoch, the per-worker liveness table and the full metrics
+// registry (byte counters equal to the server's printed traffic
+// totals). One shot, no join, no membership side effects.
+int run_stats_probe(const std::string& connect, double timeout_s) {
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "mdgan_node: --connect wants host:port\n");
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+  const auto snap = dist::fetch_stats(host, port, timeout_s);
+  if (!snap.has_value()) {
+    std::fprintf(stderr, "stats: no reply from %s\n", connect.c_str());
+    return 1;
+  }
+  std::printf("%s\n", snap->c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,13 +409,18 @@ int main(int argc, char** argv) {
     sc.metrics_path = flags.get("metrics-out", "");
     sc.metrics_interval = flags.get_int("metrics-interval", 1);
     sc.compute_spans = flags.get_bool("trace-compute", false);
+    sc.flight_path = flags.get("flight-out", "");
     std::unique_ptr<obs::Sink> sink;
-    if (!sc.trace_path.empty() || !sc.metrics_path.empty()) {
+    if (!sc.trace_path.empty() || !sc.metrics_path.empty() ||
+        !sc.flight_path.empty()) {
       sink = std::make_unique<obs::Sink>(sc);
       nc.cfg.sink = sink.get();
       // Serves the unwired instrumentation points (GEMM, pool fan-out);
       // their kCompute spans stay off unless --trace-compute asked.
       obs::install_global_sink(sink.get());
+      // A SIGSEGV/abort still dumps the flight ring and the last
+      // pre-serialized metrics snapshot before the process dies.
+      obs::install_fatal_handlers();
     }
 
     int rc = 2;
@@ -398,10 +437,13 @@ int main(int argc, char** argv) {
     } else if (role == "rejoin") {
       rc = run_rejoin_probe(nc, flags.get("connect", "127.0.0.1:29471"),
                             id, topts);
+    } else if (role == "stats") {
+      rc = run_stats_probe(flags.get("connect", "127.0.0.1:29471"),
+                           flags.get_double("stats-timeout", 5.0));
     } else {
       std::fprintf(stderr,
-                   "mdgan_node: --role must be sim, server, worker or "
-                   "rejoin\n");
+                   "mdgan_node: --role must be sim, server, worker, "
+                   "rejoin or stats\n");
     }
     if (sink) {
       obs::install_global_sink(nullptr);

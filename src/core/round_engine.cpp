@@ -41,6 +41,7 @@ RoundEngine::RoundEngine(dist::Transport& net, RoundEngineConfig cfg,
   }
 
   if (cfg_.sink != nullptr) {
+    if (cfg_.sink->flight().enabled()) flight_ = &cfg_.sink->flight();
     obs::Registry& r = cfg_.sink->registry();
     rounds_total_ = &r.counter("rounds_total");
     stale_dropped_total_ = &r.counter("feedback_stale_dropped_total");
@@ -149,6 +150,10 @@ void RoundEngine::readmit(int w, std::int64_t iter) {
   const auto wi = static_cast<std::size_t>(w);
   lost_[wi] = false;
   present_[wi] = true;
+  if (flight_ != nullptr) {
+    flight_->record(obs::FlightKind::kAdmission, w, iter, 0,
+                    net_.max_sim_time());
+  }
   MDGAN_LOG_INFO << "iteration " << iter << ": worker " << w
                  << " re-admitted with transferred state, "
                  << present_count() << " present";
@@ -418,6 +423,11 @@ void RoundEngine::collect_async(std::vector<int> waiting, std::size_t k_eff,
     if (applied > cfg_.max_staleness) {
       ++stale_dropped_;  // bounded staleness: too old to apply safely
       if (stale_dropped_total_ != nullptr) stale_dropped_total_->inc();
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightKind::kStaleDrop, msg->from, iter,
+                        static_cast<std::int64_t>(applied),
+                        net_.max_sim_time());
+      }
       continue;
     }
     delegate_.apply_async(std::move(*msg), applied, k_eff);
@@ -429,6 +439,11 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
   std::int64_t last_completed = first_iter - 1;
   obs::Tracer* tr = trace();
   const int self = span_node();
+  // Publish where the engine is for the !stats introspection frame;
+  // phase strings are literals (the sink stores only the pointer).
+  const auto live = [this](std::int64_t round, const char* phase) {
+    if (cfg_.sink != nullptr) cfg_.sink->set_live(round, phase);
+  };
   for (std::int64_t i = first_iter; i < first_iter + rounds; ++i) {
     // Simulated round time = critical-path delta across the round (max
     // over workers' paths into the server, + server apply + swap).
@@ -437,6 +452,7 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
     bool stop = false;
     {
       obs::Span s(tr, "phase:membership", obs::Cat::kPhase, self, i);
+      live(i, "membership");
       net_.begin_iteration(i);
       stop = !process_membership(i);
     }
@@ -463,14 +479,17 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
 
     if (cfg_.role.runs_server()) {
       obs::Span s(tr, "phase:broadcast", obs::Cat::kPhase, self, i);
+      live(i, "broadcast");
       delegate_.broadcast(discs, k_eff);
     }
     {
       obs::Span s(tr, "phase:local", obs::Cat::kPhase, self, i);
+      live(i, "local");
       delegate_.local_work(discs);
     }
     if (cfg_.role.runs_server()) {
       obs::Span s(tr, "phase:collect", obs::Cat::kPhase, self, i);
+      live(i, "collect");
       auto senders = delegate_.feedback_senders(discs);
       if (cfg_.mode == ServerMode::kSync) {
         collect_sync(std::move(senders), k_eff, i);
@@ -481,6 +500,7 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
 
     if (cfg_.swap_enabled && i % cfg_.swap_period == 0) {
       obs::Span s(tr, "phase:swap", obs::Cat::kPhase, self, i);
+      live(i, "swap");
       delegate_.swap(i, present_workers());
     }
     // Clamped at 0: a crash can remove the node that held the max clock
@@ -494,6 +514,7 @@ std::int64_t RoundEngine::run(std::int64_t first_iter, std::int64_t rounds) {
     }
     last_completed = i;
   }
+  live(last_completed, "idle");
   return last_completed;
 }
 

@@ -293,6 +293,9 @@ class RoundEngine {
   obs::Counter* stale_dropped_total_ = nullptr;
   obs::Histogram* round_duration_s_ = nullptr;
   obs::Histogram* feedback_staleness_ = nullptr;
+  // Flight recorder (null when disabled): lifecycle events the engine
+  // owns — admissions applied and stale-feedback drops.
+  obs::FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace mdgan::core

@@ -17,6 +17,11 @@ void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
+void put_le64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_le32(out, static_cast<std::uint32_t>(v));
+  put_le32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
 }  // namespace
 
 std::uint32_t read_le32(const std::uint8_t* p) {
@@ -26,9 +31,15 @@ std::uint32_t read_le32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]) << 24;
 }
 
+std::uint64_t read_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_le32(p)) |
+         static_cast<std::uint64_t>(read_le32(p + 4)) << 32;
+}
+
 std::vector<std::uint8_t> encode_frame_head(int src, int dst,
                                             const std::string& tag,
-                                            std::size_t payload_size) {
+                                            std::size_t payload_size,
+                                            const TraceCtx& ctx) {
   const std::size_t body_len =
       kFrameBodyFixedBytes + tag.size() + payload_size;
   if (body_len > kMaxFrameBodyBytes) {
@@ -41,15 +52,19 @@ std::vector<std::uint8_t> encode_frame_head(int src, int dst,
   put_le32(out, static_cast<std::uint32_t>(src));
   put_le32(out, static_cast<std::uint32_t>(dst));
   put_le32(out, static_cast<std::uint32_t>(tag.size()));
+  put_le32(out, ctx.node);
+  put_le32(out, ctx.seq);
+  put_le64(out, ctx.span);
   out.insert(out.end(), tag.begin(), tag.end());
   return out;
 }
 
 std::vector<std::uint8_t> encode_frame(int src, int dst,
                                        const std::string& tag,
-                                       const ByteBuffer& payload) {
+                                       const ByteBuffer& payload,
+                                       const TraceCtx& ctx) {
   std::vector<std::uint8_t> out =
-      encode_frame_head(src, dst, tag, payload.size());
+      encode_frame_head(src, dst, tag, payload.size(), ctx);
   out.insert(out.end(), payload.data(), payload.data() + payload.size());
   return out;
 }
@@ -74,6 +89,9 @@ Frame decode_frame_body(const std::uint8_t* body, std::size_t len) {
   f.src = static_cast<std::int32_t>(read_le32(body));
   f.dst = static_cast<std::int32_t>(read_le32(body + 4));
   const std::uint32_t tag_len = read_le32(body + 8);
+  f.ctx.node = read_le32(body + 12);
+  f.ctx.seq = read_le32(body + 16);
+  f.ctx.span = read_le64(body + 20);
   if (tag_len > kMaxFrameTagBytes ||
       kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > len) {
     throw std::runtime_error("decode_frame_body: tag overruns body");
@@ -113,6 +131,9 @@ bool read_frame(int fd, Frame& out) {
   out.src = static_cast<std::int32_t>(read_le32(fixed));
   out.dst = static_cast<std::int32_t>(read_le32(fixed + 4));
   const std::uint32_t tag_len = read_le32(fixed + 8);
+  out.ctx.node = read_le32(fixed + 12);
+  out.ctx.seq = read_le32(fixed + 16);
+  out.ctx.span = read_le64(fixed + 20);
   if (tag_len > kMaxFrameTagBytes ||
       kFrameBodyFixedBytes + static_cast<std::size_t>(tag_len) > body_len) {
     return false;  // tag overruns the announced body (or is absurd)

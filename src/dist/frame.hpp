@@ -7,8 +7,20 @@
 //   i32  src       sending node id
 //   i32  dst       destination node id
 //   u32  tag_len   length of the tag string
+//   u32  ctx_node  trace context: originating node id
+//   u32  ctx_seq   trace context: per-(src,dst)-link sequence number
+//   u64  ctx_span  trace context: flow/span id (0 = frame not traced)
 //   ...  tag       tag bytes (no terminator)
-//   ...  payload   body_len - 12 - tag_len bytes, the ByteBuffer verbatim
+//   ...  payload   body_len - 28 - tag_len bytes, the ByteBuffer verbatim
+//
+// The trace-context triple is stamped by the sending transport when a
+// tracer is attached, relayed verbatim through the server on W->W swap
+// frames, and copied onto the receiver's recv:<tag> span, so a merged
+// cluster trace can draw a flow arrow from every send to its matching
+// recv. ctx_span == 0 (the default) means "untraced"; control frames
+// and telemetry-off runs leave the triple zero. The context lives in
+// the frame HEAD, not the payload, so traffic accounting (payload
+// bytes only) is unchanged by tracing.
 //
 // All integers are explicitly little-endian (common/serialize), so a
 // frame produced on any host parses identically on any other. Tags
@@ -39,8 +51,23 @@
 //   !ping    S->W  heartbeat probe: u64 sequence, f64 send timestamp
 //                  (server clock, seconds). The worker echoes the
 //                  payload verbatim.
-//   !pong    W->S  heartbeat echo: the !ping payload verbatim; the
-//                  server recovers the RTT from the echoed timestamp.
+//   !ping    S->W  heartbeat probe: u64 sequence, f64 send timestamp
+//                  (server clock, seconds), then optionally i64 server
+//                  tracer nanoseconds (-1 when the server runs without
+//                  a tracer). The worker echoes the payload verbatim,
+//                  appending its own i64 tracer nanoseconds when it has
+//                  one — the server pairs the two stamps with the RTT
+//                  midpoint to estimate the per-worker trace-clock
+//                  offset (NTP style, minimum-RTT sample wins).
+//   !pong    W->S  heartbeat echo: the !ping payload verbatim (plus the
+//                  optional worker clock stamp); the server recovers
+//                  the RTT from the echoed timestamp.
+//   !stats   any->S one-shot introspection: a client dials the server,
+//                  sends !hello-position frame tagged !stats (empty
+//                  payload), and receives a single !stats reply whose
+//                  payload is a JSON snapshot (registry counters,
+//                  liveness table, round/phase, membership epoch); the
+//                  server then closes the connection. Never charged.
 //
 // The codec is pure (bytes in, bytes out) so the framing cost is
 // measurable in bench_micro_ops without sockets, and fuzzable in tests.
@@ -59,8 +86,10 @@ namespace mdgan::dist {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4d444731u;  // "MDG1"
 inline constexpr std::size_t kFrameHeaderBytes = 8;  // magic + body_len
-// src + dst + tag_len, the fixed part of the body.
-inline constexpr std::size_t kFrameBodyFixedBytes = 12;
+// src + dst + tag_len + trace context (node, seq, span), the fixed part
+// of the body. tag_len stays at offset 8 so incremental decoders and
+// the frame fuzzer's corruption offsets are stable across revisions.
+inline constexpr std::size_t kFrameBodyFixedBytes = 28;
 // Reject absurd frames before allocating (a corrupt stream must not
 // drive a 4 GiB allocation). Generous: the largest real message is a
 // full CNN discriminator swap, a few tens of MB.
@@ -86,24 +115,41 @@ inline constexpr char kTagState[] = "!state";
 inline constexpr char kTagAdmit[] = "!admit";
 inline constexpr char kTagPing[] = "!ping";
 inline constexpr char kTagPong[] = "!pong";
+inline constexpr char kTagStats[] = "!stats";
+
+// Compact causal-trace context carried in every frame head. `span` is
+// the flow id the sender's send:<tag> trace event carries (0 = frame
+// not traced), `node` the originating node, `seq` the per-link
+// sequence the sender assigned.
+struct TraceCtx {
+  std::uint32_t node = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t span = 0;
+
+  bool traced() const { return span != 0; }
+};
 
 struct Frame {
   int src = 0;
   int dst = 0;
+  TraceCtx ctx;
   std::string tag;
   ByteBuffer payload;
 };
 
-// Little-endian u32 off a raw wire pointer (for incremental decoders
-// that read the fixed body fields straight off a socket buffer).
+// Little-endian u32/u64 off a raw wire pointer (for incremental
+// decoders that read the fixed body fields straight off a socket
+// buffer).
 std::uint32_t read_le32(const std::uint8_t* p);
+std::uint64_t read_le64(const std::uint8_t* p);
 
 // Serializes header + body into one contiguous buffer, ready for a
 // single write(2). Copies the payload; the scatter-gather send path
 // uses encode_frame_head + an iovec over the payload instead.
 std::vector<std::uint8_t> encode_frame(int src, int dst,
                                        const std::string& tag,
-                                       const ByteBuffer& payload);
+                                       const ByteBuffer& payload,
+                                       const TraceCtx& ctx = {});
 
 // Everything of the frame *before* the payload bytes — header, fixed
 // body fields and tag — announcing a payload of `payload_size` bytes.
@@ -112,7 +158,8 @@ std::vector<std::uint8_t> encode_frame(int src, int dst,
 // would, without ever copying the payload into a wire buffer.
 std::vector<std::uint8_t> encode_frame_head(int src, int dst,
                                             const std::string& tag,
-                                            std::size_t payload_size);
+                                            std::size_t payload_size,
+                                            const TraceCtx& ctx = {});
 
 // Parses the 8-byte header. Returns the body length; throws
 // std::runtime_error on a bad magic or an oversized body.

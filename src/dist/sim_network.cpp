@@ -18,6 +18,7 @@ SimNetwork::SimNetwork(std::size_t n_workers) : n_workers_(n_workers) {
   sim_time_.assign(n_workers_ + 1, 0.0);
   link_busy_.assign((n_workers_ + 1) * (n_workers_ + 1), 0.0);
   link_seq_.assign((n_workers_ + 1) * (n_workers_ + 1), 0);
+  flow_seq_.assign((n_workers_ + 1) * (n_workers_ + 1), 0);
   nic_out_busy_.assign(n_workers_ + 1, 0.0);
   nic_in_busy_.assign(n_workers_ + 1, 0.0);
   partitions_.resize(n_workers_ + 1);
@@ -50,6 +51,7 @@ void SimNetwork::send(int from, int to, const std::string& tag,
   // callbacks may re-enter sim_time()).
   obs::Tracer* tracer = obs_tracer();
   double depart_s = -1.0, arrive_s = -1.0;
+  std::uint64_t flow = 0;
   const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
   {
   std::lock_guard<std::mutex> lock(mu_);
@@ -129,12 +131,19 @@ void SimNetwork::send(int from, int to, const std::string& tag,
   depart_s = sim_time_[static_cast<std::size_t>(from)];
   arrive_s = arrival;
 
+  // Flow id for the merged cluster trace: per-directed-link sequence,
+  // assigned under mu_ so program order on one link is sequence order.
+  flow = flow_id(from, to,
+                 static_cast<std::uint32_t>(
+                     ++flow_seq_[pair_index(from, to)]));
+
   Stored s;
   s.seq = send_seq_[static_cast<std::size_t>(from)]++;
   s.msg.from = from;
   s.msg.tag = tag;
   s.msg.payload = std::move(payload);
   s.msg.arrival_s = arrival;
+  s.msg.flow = flow;
   mailbox_[static_cast<std::size_t>(to)].push_back(std::move(s));
   }  // mu_ released before touching the tracer
 
@@ -148,6 +157,7 @@ void SimNetwork::send(int from, int to, const std::string& tag,
     ev.sim_t0 = depart_s;
     ev.sim_t1 = arrive_s;
     ev.bytes = n_bytes;
+    ev.flow = flow;
     tracer->emit(ev);
   }
 }
@@ -192,6 +202,7 @@ std::optional<Message> SimNetwork::receive_tagged(int node,
     ev.sim_t0 = out->arrival_s;
     ev.sim_t1 = clock_after;
     ev.bytes = out->payload.size();
+    ev.flow = out->flow;
     tracer->emit(ev);
   }
   return out;
@@ -262,7 +273,7 @@ void SimNetwork::crash(int worker) {
   alive_[static_cast<std::size_t>(worker)] = false;
   mailbox_[static_cast<std::size_t>(worker)].clear();
   ++epoch_;
-  obs_peer_death();
+  obs_peer_death(worker, sim_time_[static_cast<std::size_t>(worker)]);
   obs_membership_epoch(epoch_);
 }
 
@@ -291,7 +302,7 @@ void SimNetwork::partition(int w, double from_s, double until_s) {
       const double silence = until_s - from_s;
       if (silence >= liveness_.suspect_after_s) {
         ++suspect_count_;
-        obs_suspect();
+        obs_suspect(w);
         evict = silence >= liveness_.dead_after_s();
       }
     }

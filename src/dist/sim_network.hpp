@@ -152,6 +152,7 @@ class SimNetwork final : public Transport {
   std::vector<double> sim_time_;       // per node
   std::vector<double> link_busy_;      // per directed link, pair_index
   std::vector<std::uint64_t> link_seq_;  // messages ever sent per link
+  std::vector<std::uint64_t> flow_seq_;  // trace flow ids, per link
   std::vector<double> nic_out_busy_;   // per node, shared egress NIC
   std::vector<double> nic_in_busy_;    // per node, shared ingress NIC
 

@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/log.hpp"
@@ -89,6 +90,7 @@ TcpNetwork::TcpNetwork(int local, std::size_t n_workers, Options opts)
   alive_.assign(n_workers_ + 1, true);
   registered_.assign(n_workers_ + 1, false);
   recv_seq_.assign(n_workers_ + 1, 0);
+  flow_seq_.assign(n_workers_ + 1, 0);
   conns_.resize(n_workers_ + 1);
   start_ = std::chrono::steady_clock::now();
   rendezvous_deadline_ =
@@ -285,7 +287,15 @@ void TcpNetwork::accept_loop(int listen_fd) {
     set_recv_timeout(fd, 5.0);
     Frame hello;
     int id = -1;
-    if (read_frame(fd, hello) && hello.tag == kTagHello &&
+    const bool got_hello = read_frame(fd, hello);
+    // A `!stats` probe in hello position is not a join: answer with one
+    // snapshot frame and move on. Any client may dial it at any time.
+    if (got_hello && hello.tag == kTagStats) {
+      serve_stats(fd);
+      ::close(fd);
+      continue;
+    }
+    if (got_hello && hello.tag == kTagHello &&
         hello.payload.size() >= 12) {
       const auto claimed = hello.payload.read_pod<std::uint32_t>();
       const auto n = hello.payload.read_pod<std::uint64_t>();
@@ -347,6 +357,68 @@ void TcpNetwork::accept_loop(int listen_fd) {
     cv_.notify_all();
   }
   ::close(listen_fd);
+}
+
+namespace {
+const char* peer_state_name(PeerState s) {
+  switch (s) {
+    case PeerState::kUntracked:
+      return "untracked";
+    case PeerState::kAlive:
+      return "alive";
+    case PeerState::kSuspect:
+      return "suspect";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+}  // namespace
+
+void TcpNetwork::serve_stats(int fd) {
+  obs::Sink* sink = this->sink();
+  std::ostringstream os;
+  os << "{\"kind\":\"stats\",\"node\":" << local_
+     << ",\"n_workers\":" << n_workers_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    os << ",\"epoch\":" << epoch_
+       << ",\"round\":" << (sink != nullptr ? sink->live_round() : -1)
+       << ",\"phase\":\""
+       << (sink != nullptr ? sink->live_phase() : "unknown") << '"'
+       << ",\"workers\":[";
+    for (std::size_t w = 1; w <= n_workers_; ++w) {
+      if (w > 1) os << ',';
+      os << "{\"id\":" << w << ",\"alive\":"
+         << (alive_[w] ? "true" : "false") << ",\"registered\":"
+         << (registered_[w] ? "true" : "false") << ",\"liveness\":\""
+         << peer_state_name(liveness_.state(static_cast<int>(w))) << '"';
+      const Conn* c = conns_[w].get();
+      if (c != nullptr && c->rx.any) {
+        os << ",\"last_rx_tag\":\"" << c->rx.tag
+           << "\",\"last_rx_s\":" << c->rx.at_s
+           << ",\"rx_frames\":" << c->rx.frames;
+      }
+      os << '}';
+    }
+    os << ']';
+  }
+  // The registry serializes itself (own mutex) — embed the exact same
+  // snapshot shape the metrics JSONL stream uses, so the byte counters
+  // a client reads here equal totals(LinkKind) at this instant.
+  if (sink != nullptr) {
+    os << ",\"metrics\":";
+    sink->registry().write_snapshot_json(
+        os, "stats", sink->live_round(),
+        static_cast<double>(sink->tracer().now_ns()) / 1e9, elapsed_s());
+  }
+  os << '}';
+  const std::string snap = os.str();
+  ByteBuffer payload;
+  payload.append_raw(reinterpret_cast<const std::uint8_t*>(snap.data()),
+                     snap.size());
+  const auto wire = encode_frame(local_, local_, kTagStats, payload);
+  write_exact(fd, wire.data(), wire.size());
 }
 
 void TcpNetwork::pump_control() {
@@ -414,13 +486,14 @@ void TcpNetwork::pump_heartbeats() {
   }
   for (const auto& t : transitions) {
     if (t.to == PeerState::kSuspect) {
-      obs_suspect();
+      obs_suspect(t.worker);
       MDGAN_LOG_WARN << "TcpNetwork: worker " << t.worker
                      << " silent past the suspect threshold ("
                      << liveness_.config().suspect_after_s
                      << "s); suspected, grace window "
                      << liveness_.config().grace_s << "s";
     } else if (t.to == PeerState::kDead) {
+      obs_grace_death(t.worker);
       MDGAN_LOG_WARN << "TcpNetwork: worker " << t.worker
                      << " silent past the grace window; declaring it dead";
       // The normal eviction path: severs the conn, queues the !death
@@ -432,6 +505,11 @@ void TcpNetwork::pump_heartbeats() {
   ByteBuffer ping;
   ping.write_pod<std::uint64_t>(ping_seq_++);
   ping.write_pod<double>(now);
+  // Trace-clock stamp for offset estimation: the worker echoes this and
+  // appends its own, and the pong handler pairs the two with the RTT
+  // midpoint. -1 = no tracer attached here, nothing to align against.
+  obs::Tracer* tracer = obs_tracer();
+  ping.write_pod<std::int64_t>(tracer != nullptr ? tracer->now_ns() : -1);
   for (auto [w, conn] : targets) {
     write_frame(*conn, w, kServerId, w, kTagPing, ping);
   }
@@ -474,7 +552,7 @@ void TcpNetwork::grant_rejoin(int id, int fd) {
     epoch_dirty_ = true;  // the pump tells everyone else
     epoch_payload = encode_epoch_locked();
   }
-  obs_rejoin();
+  obs_rejoin(id, epoch);
   obs_membership_epoch(epoch);
   MDGAN_LOG_INFO << "TcpNetwork: granting rejoin to worker " << id
                  << " (epoch " << epoch << ")";
@@ -503,19 +581,41 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
         const double sent_s = payload.read_pod<double>();
         const double rtt = elapsed_s() - sent_s;
         if (rtt >= 0.0) obs_heartbeat_rtt(rtt);
+        // Extended echo: our trace-clock stamp came back with the
+        // worker's own appended. The worker's stamp was taken roughly
+        // mid-flight, so server_send + RTT/2 estimates the same instant
+        // on OUR clock — the difference is the per-worker trace-clock
+        // offset (NTP style; the tracer keeps the minimum-RTT sample).
+        obs::Tracer* tracer = obs_tracer();
+        if (tracer != nullptr && rtt >= 0.0 && payload.remaining() >= 16) {
+          const auto sent_ns = payload.read_pod<std::int64_t>();
+          const auto worker_ns = payload.read_pod<std::int64_t>();
+          if (sent_ns >= 0 && worker_ns >= 0) {
+            const auto rtt_ns = static_cast<std::int64_t>(rtt * 1e9);
+            tracer->offer_clock_offset(
+                peer, sent_ns + rtt_ns / 2 - worker_ns, rtt);
+          }
+        }
       }
       return;
     }
     if (f.tag == kTagPing) {
-      // Echo the payload verbatim; the server computes the RTT.
+      // Echo the payload verbatim (appending our trace-clock stamp when
+      // the ping carries the server's); the server computes the RTT.
       Conn* conn = nullptr;
       {
         std::lock_guard<std::mutex> lock(mu_);
         conn = conns_[kServerId].get();
       }
       if (conn != nullptr) {
-        write_frame(*conn, kServerId, local_, kServerId, kTagPong,
-                    f.payload);
+        ByteBuffer echo;
+        echo.append_raw(f.payload.data(), f.payload.size());
+        if (f.payload.size() >= 24) {  // u64 + f64 + i64: stamped ping
+          obs::Tracer* tracer = obs_tracer();
+          echo.write_pod<std::int64_t>(tracer != nullptr ? tracer->now_ns()
+                                                         : -1);
+        }
+        write_frame(*conn, kServerId, local_, kServerId, kTagPong, echo);
       }
     } else if (f.tag == kTagState) {
       {
@@ -561,7 +661,7 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
         pub = epoch_ = std::max(epoch_, epoch);
       }
       if (fresh) {
-        obs_peer_death();
+        obs_peer_death(static_cast<int>(w), elapsed_s());
         obs_membership_epoch(pub);
         if (!closing_.load()) {
           MDGAN_LOG_WARN << "TcpNetwork: death notice for worker " << w
@@ -600,7 +700,7 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
         pub = epoch_ = std::max(epoch_, epoch);
         rejoin_granted_ = true;
       }
-      obs_rejoin();
+      obs_rejoin(local_, epoch);
       obs_membership_epoch(pub);
       MDGAN_LOG_INFO << "TcpNetwork: rejoin granted under epoch " << epoch;
       cv_.notify_all();
@@ -714,7 +814,7 @@ void TcpNetwork::mark_dead(int peer, const Conn* expect) {
       epoch_dirty_ = true;
     }
   }
-  obs_peer_death();
+  obs_peer_death(peer, elapsed_s());
   obs_membership_epoch(epoch);
   if (!closing_.load()) {
     // Drop diagnostics BEFORE the fail-stop mapping takes effect: who
@@ -738,12 +838,13 @@ void TcpNetwork::mark_dead(int peer, const Conn* expect) {
 
 bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
                              const std::string& tag,
-                             const ByteBuffer& payload) {
+                             const ByteBuffer& payload,
+                             const TraceCtx& ctx) {
   if (opts_.scatter_gather) {
     // Two iovecs — frame head, payload — gathered by the kernel: the
     // payload bytes go from the ByteBuffer straight onto the socket,
     // never through a contiguous wire buffer.
-    auto head = encode_frame_head(src, dst, tag, payload.size());
+    auto head = encode_frame_head(src, dst, tag, payload.size(), ctx);
     iovec iov[2];
     iov[0] = {head.data(), head.size()};
     iov[1] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
@@ -755,7 +856,7 @@ bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
     }
     return true;
   }
-  const auto wire = encode_frame(src, dst, tag, payload);
+  const auto wire = encode_frame(src, dst, tag, payload, ctx);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   if (conn.fd < 0 || !write_exact(conn.fd, wire.data(), wire.size())) {
     mark_dead(peer, &conn);
@@ -765,7 +866,7 @@ bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
 }
 
 void TcpNetwork::enqueue_local(int src, const std::string& tag,
-                               ByteBuffer&& payload) {
+                               ByteBuffer&& payload, std::uint64_t flow) {
   std::lock_guard<std::mutex> lock(mu_);
   charge(src, local_, tag, payload.size());
   ingress_window_ += payload.size();
@@ -775,6 +876,7 @@ void TcpNetwork::enqueue_local(int src, const std::string& tag,
   s.msg.tag = tag;
   s.msg.payload = std::move(payload);
   s.msg.arrival_s = elapsed_s();
+  s.msg.flow = flow;
   mailbox_.push_back(std::move(s));
   cv_.notify_all();
 }
@@ -795,6 +897,7 @@ void TcpNetwork::reader_loop(int peer, Conn* conn) {
       reseated = liveness_.heard_from(peer, elapsed_s());
     }
     if (reseated) {
+      obs_reseat(peer);
       MDGAN_LOG_INFO << "TcpNetwork: worker " << peer
                      << " resumed inside the grace window; re-seated "
                         "(no epoch change)";
@@ -806,7 +909,7 @@ void TcpNetwork::reader_loop(int peer, Conn* conn) {
     if (local_ == kServerId) {
       if (f.src != peer) continue;  // a worker may only speak as itself
       if (f.dst == kServerId) {
-        enqueue_local(f.src, f.tag, std::move(f.payload));
+        enqueue_local(f.src, f.tag, std::move(f.payload), f.ctx.span);
       } else if (f.dst >= 1 && f.dst <= static_cast<int>(n_workers_) &&
                  f.dst != peer) {
         // Relay W->W through the star. Charged on the logical
@@ -822,12 +925,16 @@ void TcpNetwork::reader_loop(int peer, Conn* conn) {
           }
         }
         if (dst_conn != nullptr) {
-          write_frame(*dst_conn, f.dst, f.src, f.dst, f.tag, f.payload);
+          // Preserve the ORIGINAL sender's trace context across the
+          // relay so the merged trace draws one W->W arrow, not a
+          // W->S->W pair with a broken middle.
+          write_frame(*dst_conn, f.dst, f.src, f.dst, f.tag, f.payload,
+                      f.ctx);
         }
       }
     } else {
       if (f.dst == local_) {
-        enqueue_local(f.src, f.tag, std::move(f.payload));
+        enqueue_local(f.src, f.tag, std::move(f.payload), f.ctx.span);
       }
     }
   }
@@ -854,6 +961,7 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
 
   int route = to;  // which connection carries the frame
   Conn* conn = nullptr;
+  std::uint32_t flow_seq = 0;
   if (local_ == kServerId) {
     // Wait out the rendezvous if this worker has not dialed in yet.
     std::unique_lock<std::mutex> lock(mu_);
@@ -868,6 +976,7 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
                                " never joined the rendezvous");
     }
     conn = conns_[static_cast<std::size_t>(to)].get();
+    flow_seq = ++flow_seq_[static_cast<std::size_t>(to)];
   } else {
     route = kServerId;  // star topology: everything goes via the server
     std::lock_guard<std::mutex> lock(mu_);
@@ -875,13 +984,22 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
       return;  // fail-stop: a dead endpoint moves no bytes
     }
     conn = conns_[kServerId].get();
+    flow_seq = ++flow_seq_[static_cast<std::size_t>(to)];
   }
 
   if (conn == nullptr) return;
   obs::Tracer* tracer = obs_tracer();
   const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
   const double sim_t0 = tracer != nullptr ? elapsed_s() : -1.0;
-  if (!write_frame(*conn, route, local_, to, tag, payload)) return;
+  // Stamp the frame with this send's causal context even when no tracer
+  // is attached: the receiver may be tracing, and the stamp is what its
+  // recv:<tag> span carries. flow_seq is assigned under mu_, so program
+  // order on one link is sequence order (same rule as the simulator).
+  TraceCtx ctx;
+  ctx.node = static_cast<std::uint32_t>(local_);
+  ctx.seq = flow_seq;
+  ctx.span = flow_id(local_, to, flow_seq);
+  if (!write_frame(*conn, route, local_, to, tag, payload, ctx)) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     charge(local_, to, tag, payload.size());
@@ -896,6 +1014,7 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
     ev.sim_t0 = sim_t0;
     ev.sim_t1 = elapsed_s();
     ev.bytes = payload.size();
+    ev.flow = ctx.span;
     tracer->emit(ev);
   }
 }
@@ -950,6 +1069,7 @@ std::optional<Message> TcpNetwork::receive_tagged(int node,
         ev.sim_t0 = out.arrival_s;
         ev.sim_t1 = elapsed_s();
         ev.bytes = out.payload.size();
+        ev.flow = out.flow;
         tracer->emit(ev);
       }
       return out;
@@ -1005,6 +1125,7 @@ std::optional<Message> TcpNetwork::try_receive_tagged(int node,
     ev.sim_t0 = out->arrival_s;
     ev.sim_t1 = elapsed_s();
     ev.bytes = out->payload.size();
+    ev.flow = out->flow;
     tracer->emit(ev);
   }
   return out;
@@ -1185,7 +1306,7 @@ void TcpNetwork::ship_rejoin_state(int worker, ByteBuffer&& state) {
   if (conn != nullptr) {
     write_frame(*conn, worker, kServerId, worker, kTagState, state);
   }
-  obs_rejoin_admitted();
+  obs_rejoin_admitted(worker, static_cast<std::int64_t>(state.size()));
   MDGAN_LOG_INFO << "TcpNetwork: shipped rejoin state to worker " << worker
                  << " (" << state.size() << " bytes)";
 }
@@ -1239,6 +1360,46 @@ void TcpNetwork::on_sink_attached() {
   const std::uint64_t unflushed = dial_retries_done_ - dial_retries_flushed_;
   obs_dial_retries(unflushed);
   dial_retries_flushed_ = dial_retries_done_;
+  // Tell the tracer which cluster node this process records for — the
+  // trace merger reads it back out of the file head (localNode) to pick
+  // the clock-offset reference.
+  obs::Tracer* tracer = obs_tracer();
+  if (tracer != nullptr) tracer->set_local_node(local_);
+}
+
+std::optional<std::string> fetch_stats(const std::string& host,
+                                       std::uint16_t port,
+                                       double timeout_s) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0) {
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return std::nullopt;
+  set_nodelay(fd);
+  if (timeout_s > 0.0) set_recv_timeout(fd, timeout_s);
+  const auto wire = encode_frame(kServerId, kServerId, kTagStats, {});
+  std::optional<std::string> out;
+  Frame reply;
+  if (write_exact(fd, wire.data(), wire.size()) &&
+      read_frame(fd, reply) && reply.tag == kTagStats) {
+    out = std::string(reinterpret_cast<const char*>(reply.payload.data()),
+                      reply.payload.size());
+  }
+  ::close(fd);
+  return out;
 }
 
 }  // namespace mdgan::dist

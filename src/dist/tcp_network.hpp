@@ -70,12 +70,11 @@
 #include <thread>
 #include <vector>
 
+#include "dist/frame.hpp"
 #include "dist/liveness.hpp"
 #include "dist/transport.hpp"
 
 namespace mdgan::dist {
-
-struct Frame;  // dist/frame.hpp
 
 struct TcpOptions {
   // Deadline for the rendezvous: the server waits this long for all
@@ -233,10 +232,19 @@ class TcpNetwork final : public Transport {
   // Frames + writes one message to `conn`; returns false (and marks
   // `peer` dead, if `conn` is still its current connection) when the
   // connection is gone.
+  // `ctx` is the causal trace context stamped into the frame head: the
+  // sender's flow id on first hop, or the ORIGINAL sender's context
+  // preserved verbatim on the W->W relay.
   bool write_frame(Conn& conn, int peer, int src, int dst,
-                   const std::string& tag, const ByteBuffer& payload);
+                   const std::string& tag, const ByteBuffer& payload,
+                   const TraceCtx& ctx = {});
   void reader_loop(int peer, Conn* conn);
   void accept_loop(int listen_fd);
+  // Answers a `!stats` probe on a freshly accepted connection: one
+  // frame carrying a JSON snapshot of epoch, live round/phase, the
+  // per-worker liveness table and (when a sink is attached) the full
+  // metrics registry. The caller closes the fd.
+  void serve_stats(int fd);
   // Server side: drains queued death notices and epoch bumps into
   // !death / !epoch broadcasts. Runs on the acceptor thread so no
   // mark_dead caller ever writes control frames while holding a
@@ -255,7 +263,8 @@ class TcpNetwork final : public Transport {
   void pump_heartbeats();
   // !epoch payload for the current state; call with mu_ held.
   ByteBuffer encode_epoch_locked() const;
-  void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload);
+  void enqueue_local(int src, const std::string& tag, ByteBuffer&& payload,
+                     std::uint64_t flow = 0);
   void charge(int src, int dst, const std::string& tag, std::size_t bytes);
   // Marks `peer` dead (fail-stop). When `expect` is non-null the mark
   // only applies if `expect` is still peer's current connection — a
@@ -278,6 +287,7 @@ class TcpNetwork final : public Transport {
   std::vector<bool> registered_;  // per worker id; server endpoint only
   std::vector<Stored> mailbox_;   // the local node's mailbox
   std::vector<std::uint64_t> recv_seq_;  // per sender, assigned at enqueue
+  std::vector<std::uint32_t> flow_seq_;  // per destination, trace flow ids
   LinkTotals totals_[3];
   std::uint64_t ingress_window_ = 0;  // the local node's open window
   std::uint64_t ingress_max_ = 0;
@@ -311,5 +321,16 @@ class TcpNetwork final : public Transport {
   std::mutex close_mu_;  // serializes close() vs destructor
   bool closed_ = false;  // under close_mu_
 };
+
+// One-shot live introspection: dial a serving TcpNetwork endpoint,
+// send a `!stats` probe in place of the hello and return the JSON
+// snapshot it answers with (see serve_stats for the shape). Returns
+// nullopt when the dial, the probe or the reply fails within
+// `timeout_s`. Any client may call this at any time — the server's
+// acceptor answers between rendezvous/rejoin duties without touching
+// membership.
+std::optional<std::string> fetch_stats(const std::string& host,
+                                       std::uint16_t port,
+                                       double timeout_s = 5.0);
 
 }  // namespace mdgan::dist

@@ -31,6 +31,7 @@ void Transport::set_sink(obs::Sink* sink) {
   sink_ = sink;
   if (sink_ == nullptr) {
     for (auto& l : link_obs_) l = {};
+    flight_ = nullptr;
     epoch_gauge_ = nullptr;
     peer_deaths_total_ = nullptr;
     rejoins_total_ = nullptr;
@@ -50,6 +51,7 @@ void Transport::set_sink(obs::Sink* sink) {
     l.messages = &r.counter("messages_total", label);
     l.feedback_bytes = &r.counter("feedback_bytes_total", label);
   }
+  flight_ = sink_->flight().enabled() ? &sink_->flight() : nullptr;
   epoch_gauge_ = &r.gauge("membership_epoch");
   peer_deaths_total_ = &r.counter("peer_deaths_total");
   rejoins_total_ = &r.counter("rejoins_total");

@@ -67,7 +67,22 @@ struct Message {
   // SimNetwork's link model (0 under the zero model), measured wall
   // clock under TcpNetwork.
   double arrival_s = 0.0;
+  // Cross-node flow id assigned by the SENDING transport and carried in
+  // the frame head (TCP) or the mailbox entry (sim); the receiver's
+  // recv:<tag> trace event echoes it so a merged cluster trace can bind
+  // the two spans with a flow arrow. 0 = untraced.
+  std::uint64_t flow = 0;
 };
+
+// Deterministic flow-id scheme shared by both transports: the directed
+// link endpoints packed with a per-link 1-based sequence. Unique across
+// the cluster without coordination, stable across runs of the same
+// schedule, and never 0 for a real send.
+inline std::uint64_t flow_id(int from, int to, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(from + 1) << 48) |
+         (static_cast<std::uint64_t>(to + 1) << 32) |
+         static_cast<std::uint64_t>(seq);
+}
 
 class Transport {
  public:
@@ -191,9 +206,8 @@ class Transport {
   // payload carries the post-admission view. Both backends bump
   // rejoin_admitted_total here so the metric is backend-agnostic.
   virtual void ship_rejoin_state(int worker, ByteBuffer&& state) {
-    (void)worker;
+    obs_rejoin_admitted(worker, static_cast<std::int64_t>(state.size()));
     (void)state;
-    obs_rejoin_admitted();
   }
 
   // Blocks until `node` is alive or `timeout_s` elapses; returns its
@@ -242,29 +256,65 @@ class Transport {
 
   // Control-plane instruments (membership_epoch gauge,
   // peer_deaths_total / rejoins_total counters). Relaxed atomics like
-  // obs_charge: safe under any backend lock.
+  // obs_charge: safe under any backend lock. Each also records the
+  // matching flight-recorder lifecycle event (obs/flight_recorder.hpp),
+  // so the post-mortem JSONL carries the same sequence the counters
+  // summarize — with worker ids and timestamps the counters lose.
   void obs_membership_epoch(std::uint64_t epoch) {
     if (epoch_gauge_ != nullptr) {
       epoch_gauge_->set(static_cast<double>(epoch));
     }
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kEpochBump, -1,
+                      static_cast<std::int64_t>(epoch));
+    }
   }
-  void obs_peer_death() {
+  void obs_peer_death(int worker = -1, double sim_s = -1.0) {
     if (peer_deaths_total_ != nullptr) peer_deaths_total_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kPeerDeath, worker, 0, 0, sim_s);
+    }
   }
-  void obs_rejoin() {
+  void obs_rejoin(int worker = -1, std::uint64_t epoch = 0) {
     if (rejoins_total_ != nullptr) rejoins_total_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kRejoinGrant, worker,
+                      static_cast<std::int64_t>(epoch));
+    }
   }
-  void obs_rejoin_admitted() {
+  void obs_rejoin_admitted(int worker = -1, std::int64_t state_bytes = -1) {
     if (rejoin_admitted_total_ != nullptr) rejoin_admitted_total_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kStateTransfer, worker, state_bytes);
+    }
   }
-  void obs_suspect() {
+  void obs_suspect(int worker = -1) {
     if (suspects_total_ != nullptr) suspects_total_->inc();
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kSuspect, worker);
+    }
+  }
+  void obs_reseat(int worker) {
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kReseat, worker);
+    }
+  }
+  void obs_grace_death(int worker) {
+    if (flight_ != nullptr) {
+      flight_->record(obs::FlightKind::kGraceDeath, worker);
+    }
   }
   void obs_heartbeat_rtt(double seconds) {
     if (heartbeat_rtt_s_ != nullptr) heartbeat_rtt_s_->observe(seconds);
   }
   void obs_dial_retries(std::uint64_t n) {
-    if (dial_retries_total_ != nullptr && n > 0) dial_retries_total_->inc(n);
+    if (dial_retries_total_ != nullptr && n > 0) {
+      dial_retries_total_->inc(n);
+      if (flight_ != nullptr) {
+        flight_->record(obs::FlightKind::kDialRetry, -1,
+                        static_cast<std::int64_t>(n));
+      }
+    }
   }
   // Instruments resolve lazily at set_sink time; a backend that counted
   // events before the sink attached (TcpNetwork's dial retries happen
@@ -279,6 +329,7 @@ class Transport {
   };
   obs::Sink* sink_ = nullptr;
   LinkObs link_obs_[3];
+  obs::FlightRecorder* flight_ = nullptr;  // enabled recorder, else null
   obs::Gauge* epoch_gauge_ = nullptr;
   obs::Counter* peer_deaths_total_ = nullptr;
   obs::Counter* rejoins_total_ = nullptr;

@@ -1,0 +1,183 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+
+namespace mdgan::obs {
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kEpochBump:
+      return "epoch";
+    case FlightKind::kPeerDeath:
+      return "death";
+    case FlightKind::kSuspect:
+      return "suspect";
+    case FlightKind::kReseat:
+      return "reseat";
+    case FlightKind::kGraceDeath:
+      return "grace_death";
+    case FlightKind::kRejoinGrant:
+      return "rejoin_grant";
+    case FlightKind::kAdmission:
+      return "admission";
+    case FlightKind::kStateTransfer:
+      return "state_transfer";
+    case FlightKind::kStaleDrop:
+      return "stale_drop";
+    case FlightKind::kDialRetry:
+      return "dial_retry";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// --- async-signal-safe formatting ----------------------------------------
+// Manual integer rendering into caller-provided stack buffers: the fatal
+// path may not touch malloc, stdio, or locks.
+
+char* fmt_u64(char* p, std::uint64_t v) {
+  char tmp[20];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) *p++ = tmp[--n];
+  return p;
+}
+
+char* fmt_i64(char* p, std::int64_t v) {
+  if (v < 0) {
+    *p++ = '-';
+    return fmt_u64(p, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  }
+  return fmt_u64(p, static_cast<std::uint64_t>(v));
+}
+
+char* fmt_str(char* p, const char* s) {
+  while (*s != '\0') *p++ = *s++;
+  return p;
+}
+
+// sim_s as a fixed six-decimal value via integer microseconds —
+// printf("%f") is not on the signal-safe list, integer math is.
+char* fmt_sim_s(char* p, double sim_s) {
+  const auto micros = static_cast<std::int64_t>(sim_s * 1e6 + 0.5);
+  p = fmt_i64(p, micros / 1000000);
+  *p++ = '.';
+  std::int64_t frac = micros % 1000000;
+  for (std::int64_t div = 100000; div > 0; div /= 10) {
+    *p++ = static_cast<char>('0' + frac / div);
+    frac %= div;
+  }
+  return p;
+}
+
+// One JSONL line for `ev` into `buf` (must hold >= 192 bytes); returns
+// the byte count. Shared by the ostream and fd paths so both emit
+// byte-identical lines.
+std::size_t format_event(const FlightEvent& ev, char* buf) {
+  char* p = buf;
+  p = fmt_str(p, "{\"t_ns\":");
+  p = fmt_i64(p, ev.wall_ns);
+  p = fmt_str(p, ",\"kind\":\"");
+  p = fmt_str(p, flight_kind_name(ev.kind));
+  p = fmt_str(p, "\",\"node\":");
+  p = fmt_i64(p, ev.node);
+  p = fmt_str(p, ",\"a\":");
+  p = fmt_i64(p, ev.a);
+  p = fmt_str(p, ",\"b\":");
+  p = fmt_i64(p, ev.b);
+  if (ev.sim_s >= 0.0) {
+    p = fmt_str(p, ",\"sim_s\":");
+    p = fmt_sim_s(p, ev.sim_s);
+  }
+  p = fmt_str(p, "}\n");
+  return static_cast<std::size_t>(p - buf);
+}
+
+void write_all(int fd, const char* p, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r = ::write(fd, p + done, n - done);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return;  // dying anyway; a short dump beats a hung handler
+    }
+    done += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_(round_up_pow2(capacity == 0 ? 1 : capacity)) {}
+
+void FlightRecorder::record(FlightKind kind, int node, std::int64_t a,
+                            std::int64_t b, double sim_s) {
+  if (!enabled()) return;
+  FlightEvent ev;
+  ev.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  ev.sim_s = sim_s;
+  ev.node = node;
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  const std::uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+  ring_[slot & (ring_.size() - 1)] = ev;
+  if (slot >= ring_.size()) {
+    Counter* c = drop_counter_.load(std::memory_order_relaxed);
+    if (c != nullptr) c->inc();
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(head, ring_.size());
+  std::vector<FlightEvent> out;
+  out.reserve(n);
+  // Oldest surviving event first: with a wrapped ring that is the slot
+  // the NEXT record would overwrite.
+  const std::uint64_t start = head > ring_.size() ? head : 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) & (ring_.size() - 1)]);
+  }
+  return out;
+}
+
+void FlightRecorder::write_jsonl(std::ostream& os) const {
+  char buf[192];
+  for (const FlightEvent& ev : snapshot()) {
+    os.write(buf, static_cast<std::streamsize>(format_event(ev, buf)));
+  }
+}
+
+void FlightRecorder::dump_to_fd(int fd) const {
+  // Mirrors snapshot()/write_jsonl without touching heap or streams.
+  char buf[192];
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      head < ring_.size() ? head : static_cast<std::uint64_t>(ring_.size());
+  const std::uint64_t start = head > ring_.size() ? head : 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const FlightEvent& ev = ring_[(start + i) & (ring_.size() - 1)];
+    write_all(fd, buf, format_event(ev, buf));
+  }
+}
+
+}  // namespace mdgan::obs

@@ -1,0 +1,113 @@
+// Failure flight recorder: a bounded lock-free ring of structured
+// lifecycle events — membership epoch bumps, peer deaths, suspect /
+// re-seat / grace-eviction transitions, rejoin grants, admissions,
+// !state transfer sizes, stale-feedback drops, dial retries — recorded
+// from the round engine and both transports, and dumped as JSONL on
+// normal exit AND from the async-signal-safe fatal path, so a crashed
+// or killed node leaves a post-mortem artifact next to its metrics.
+//
+// Contracts:
+//  * record() against a disabled recorder is one relaxed load — the
+//    zero-overhead discipline of the tracer, pinned by the obs tests
+//    and BM_FlightRecordDisabled.
+//  * An enabled record() is wait-free and allocation-free: one
+//    fetch_add on the head cursor plus a fixed-size slot write. The
+//    ring holds the most recent `capacity` events; older ones are
+//    overwritten and counted (dropped(), plus the optional
+//    events_dropped_total counter).
+//  * dump_to_fd() is async-signal-safe: write(2) and integer
+//    formatting only — no malloc, no stdio, no locks. It is what the
+//    fatal-signal handler calls; write_jsonl() is the ostream twin for
+//    normal exits.
+//
+// Readers racing live writers may observe a torn slot at the wrap
+// boundary; acceptable for a post-mortem artifact (the dump is taken
+// either after the run or when the process is already dying).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace mdgan::obs {
+
+enum class FlightKind : std::uint8_t {
+  kEpochBump,      // a: new epoch
+  kPeerDeath,      // node: the dead peer; a: epoch after the bump
+  kSuspect,        // node: the suspected worker
+  kReseat,         // node: worker that resumed inside the grace window
+  kGraceDeath,     // node: worker evicted after the grace window
+  kRejoinGrant,    // node: rejoiner; a: epoch of the grant
+  kAdmission,      // node: readmitted worker; a: admission round
+  kStateTransfer,  // node: recipient; a: serialized state bytes
+  kStaleDrop,      // node: sender; a: round received; b: staleness
+  kDialRetry,      // a: retry attempts represented by this event
+};
+const char* flight_kind_name(FlightKind kind);
+
+struct FlightEvent {
+  std::int64_t wall_ns = 0;  // since the recorder's construction
+  double sim_s = -1.0;       // virtual/transport clock; < 0 = unknown
+  std::int32_t node = -1;    // subject worker/peer; -1 = not node-scoped
+  FlightKind kind = FlightKind::kEpochBump;
+  std::int64_t a = 0;        // kind-specific, see FlightKind
+  std::int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  // `capacity` is rounded up to a power of two (slot indexing masks).
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Master switch; disabled (the default) record() is one relaxed load.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Overflow accounting: bump this counter (events_dropped_total) every
+  // time the ring overwrites an event the dump will no longer show.
+  void set_drop_counter(Counter* counter) {
+    drop_counter_.store(counter, std::memory_order_relaxed);
+  }
+
+  void record(FlightKind kind, int node, std::int64_t a = 0,
+              std::int64_t b = 0, double sim_s = -1.0);
+
+  std::size_t capacity() const { return ring_.size(); }
+  // Events ever recorded / overwritten by the ring wrapping.
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    return h > ring_.size() ? h - ring_.size() : 0;
+  }
+
+  // The surviving events, oldest first.
+  std::vector<FlightEvent> snapshot() const;
+
+  // JSONL, one event per line, oldest first:
+  //   {"t_ns":..,"kind":"death","node":3,"a":4,"b":0,"sim_s":1.25}
+  // ("sim_s" omitted when unknown.) write_jsonl is the normal-exit
+  // path; dump_to_fd writes the identical lines async-signal-safely.
+  void write_jsonl(std::ostream& os) const;
+  void dump_to_fd(int fd) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<Counter*> drop_counter_{nullptr};
+  std::atomic<std::uint64_t> head_{0};
+  std::vector<FlightEvent> ring_;
+};
+
+}  // namespace mdgan::obs

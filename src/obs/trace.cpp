@@ -62,6 +62,25 @@ std::int64_t Tracer::now_ns() const {
       .count();
 }
 
+void Tracer::offer_clock_offset(int node, std::int64_t offset_ns,
+                                double rtt_s) {
+  std::lock_guard<std::mutex> lock(offsets_mu_);
+  for (auto& [n, off] : offsets_) {
+    if (n != node) continue;
+    // Queueing delay only inflates RTT, so the tightest RTT carries the
+    // best midpoint estimate — keep it.
+    if (off.rtt_s >= 0.0 && off.rtt_s <= rtt_s) return;
+    off = ClockOffset{offset_ns, rtt_s};
+    return;
+  }
+  offsets_.push_back({node, ClockOffset{offset_ns, rtt_s}});
+}
+
+std::vector<std::pair<int, ClockOffset>> Tracer::clock_offsets() const {
+  std::lock_guard<std::mutex> lock(offsets_mu_);
+  return offsets_;
+}
+
 Tracer::ThreadBuf* Tracer::local_buf() {
   if (t_slot.tracer_id == id_) {
     return static_cast<ThreadBuf*>(t_slot.buf);
@@ -130,7 +149,28 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
                          : (pid == 99 ? "local compute" : nullptr);
   }
 
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Head fields for the trace merger: which node this file records, and
+  // the heartbeat-estimated offsets of peer trace clocks relative to
+  // ours (TCP only; absent keys mean "no sample"). Chrome/Perfetto
+  // ignore unknown top-level keys.
+  os << "{\"displayTimeUnit\":\"ms\"";
+  if (local_node() >= 0) os << ",\"localNode\":" << local_node();
+  {
+    auto offsets = clock_offsets();
+    std::sort(offsets.begin(), offsets.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (!offsets.empty()) {
+      os << ",\"clockOffsets\":{";
+      bool first_off = true;
+      for (const auto& [node, off] : offsets) {
+        if (!first_off) os << ',';
+        first_off = false;
+        os << '"' << node << "\":" << off.offset_ns;
+      }
+      os << '}';
+    }
+  }
+  os << ",\"traceEvents\":[";
   bool first = true;
   for (const auto& [pid, fixed_name] : pids) {
     if (!first) os << ',';
@@ -169,6 +209,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     if (ev.sim_t1 >= 0.0) arg("%s\"sim_t1_s\":%.9g", ev.sim_t1);
     if (ev.bytes > 0) {
       arg("%s\"bytes\":%llu", static_cast<unsigned long long>(ev.bytes));
+    }
+    if (ev.flow != 0) {
+      arg("%s\"flow\":%llu", static_cast<unsigned long long>(ev.flow));
     }
     os << "}}";
   }

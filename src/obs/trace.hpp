@@ -53,6 +53,22 @@ struct TraceEvent {
   double sim_t1 = -1.0;
   std::int64_t iter = -1;        // global round; < 0 = not round-scoped
   std::uint64_t bytes = 0;       // payload size for kNet events
+  std::uint64_t flow = 0;        // cross-node flow id; 0 = no flow. The
+                                 // sender's send:<tag> and the receiver's
+                                 // recv:<tag> carry the SAME id (shipped in
+                                 // the frame head), which is what lets the
+                                 // trace merger draw a Perfetto flow arrow
+                                 // between them.
+};
+
+// Per-peer trace-clock offset sample (TCP only; sim traces share one
+// virtual clock and need none). offset_ns is "how far ahead of OUR
+// trace epoch that node's trace epoch runs": their_ns + offset_ns ≈
+// our_ns. Estimated from heartbeat RTT midpoints; the minimum-RTT
+// sample is kept because queueing delay only ever inflates RTT.
+struct ClockOffset {
+  std::int64_t offset_ns = 0;
+  double rtt_s = -1.0;  // RTT of the kept sample; < 0 = no sample yet
 };
 
 class Tracer {
@@ -97,6 +113,22 @@ class Tracer {
   // Nanoseconds since the tracer's construction (the trace epoch).
   std::int64_t now_ns() const;
 
+  // The protocol node this process records for (-1 = unknown). Written
+  // into the trace head so the merger knows which file is which node —
+  // and which one (the server) is the clock-offset reference.
+  void set_local_node(int node) {
+    local_node_.store(node, std::memory_order_relaxed);
+  }
+  int local_node() const {
+    return local_node_.load(std::memory_order_relaxed);
+  }
+
+  // Records a clock-offset sample for `node` (see ClockOffset); keeps
+  // the minimum-RTT sample. Called from the heartbeat pump on pongs.
+  void offer_clock_offset(int node, std::int64_t offset_ns, double rtt_s);
+  // Snapshot of all offset samples, keyed by node id.
+  std::vector<std::pair<int, ClockOffset>> clock_offsets() const;
+
   // Records `ev` into this thread's buffer (no-op when disabled).
   void emit(const TraceEvent& ev);
 
@@ -126,11 +158,14 @@ class Tracer {
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
   std::atomic<bool> capture_compute_{false};
+  std::atomic<int> local_node_{-1};
   std::size_t max_events_ = 1u << 18;
   std::atomic<std::uint64_t> dropped_{0};
   std::function<double(int)> sim_clock_;
   mutable std::mutex mu_;  // guards bufs_ registration and snapshot
   std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  mutable std::mutex offsets_mu_;  // guards offsets_ (heartbeat-rate, cold)
+  std::vector<std::pair<int, ClockOffset>> offsets_;
 };
 
 // RAII span: captures wall + sim start at construction, emits a

@@ -1,0 +1,289 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/json.hpp"
+
+namespace mdgan::obs {
+
+namespace {
+
+// One X span, normalized out of its source file. `seq` is the global
+// read order (file order, then position), the stable tiebreak that
+// keeps the merged output byte-deterministic when timestamps collide.
+struct MergedEvent {
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  unsigned tid = 0;
+  double ts = 0.0;   // microseconds, merged time base
+  double dur = 0.0;  // microseconds
+  long long iter = -1;
+  double sim_t0 = -1.0;
+  double sim_t1 = -1.0;
+  unsigned long long bytes = 0;
+  unsigned long long flow = 0;
+};
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+void write_track_name(std::ostream& os, int pid) {
+  if (pid == 0) {
+    os << "node 0 (server)";
+  } else if (pid == 99) {
+    os << "local compute";
+  } else if (pid >= 100) {
+    os << "node " << (pid - 100) << " local compute";
+  } else {
+    os << "node " << pid << " (worker)";
+  }
+}
+
+}  // namespace
+
+bool merge_traces(const std::vector<std::string>& inputs, MergeTime mode,
+                  std::ostream& out, MergeStats* stats,
+                  std::string* error) {
+  // Sim runs trace the whole cluster into one file sharing the virtual
+  // clock; multi-process TCP runs leave one file per node and only the
+  // estimated wall offsets to align them.
+  if (mode == MergeTime::kAuto) {
+    mode = inputs.size() <= 1 ? MergeTime::kVirtual : MergeTime::kWall;
+  }
+
+  MergeStats st;
+  st.files = inputs.size();
+  std::vector<MergedEvent> evs;
+  // node -> tracer-clock offset (ns) relative to the reference node.
+  // The first file carrying an offset for a node wins — pass the
+  // server's file first, its heartbeat estimates are the authority.
+  std::map<int, long long> offsets;
+
+  // First pass collects offsets from every file, so a worker file
+  // listed before the server's still lands on the shifted timeline.
+  std::vector<json::Value> docs(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    std::string perr;
+    if (!json::parse(inputs[i], &docs[i], &perr) || !docs[i].is_object()) {
+      if (error != nullptr) {
+        *error = "input " + std::to_string(i) + ": " +
+                 (perr.empty() ? "not a JSON object" : perr);
+      }
+      return false;
+    }
+    const json::Value* co = docs[i].find("clockOffsets");
+    if (co != nullptr && co->is_object()) {
+      for (const auto& [key, v] : co->object) {
+        if (v.is_number()) {
+          offsets.emplace(std::stoi(key), static_cast<long long>(v.number));
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const json::Value& doc = docs[i];
+    const json::Value* ln = doc.find("localNode");
+    const int local =
+        ln != nullptr ? static_cast<int>(ln->num_or(-1.0)) : -1;
+    double shift_us = 0.0;
+    if (mode == MergeTime::kWall && local > 0) {
+      const auto it = offsets.find(local);
+      if (it != offsets.end()) {
+        shift_us = static_cast<double>(it->second) / 1e3;
+      }
+    }
+    const json::Value* tev = doc.find("traceEvents");
+    if (tev == nullptr || !tev->is_array()) {
+      if (error != nullptr) {
+        *error = "input " + std::to_string(i) + ": no traceEvents array";
+      }
+      return false;
+    }
+    for (const json::Value& ev : tev->array) {
+      const json::Value* ph = ev.find("ph");
+      if (ph == nullptr || ph->str_or("") != "X") continue;  // meta etc.
+      MergedEvent m;
+      const json::Value* name = ev.find("name");
+      const json::Value* cat = ev.find("cat");
+      m.name = name != nullptr ? name->str_or("") : "";
+      m.cat = cat != nullptr ? cat->str_or("") : "";
+      const json::Value* pid = ev.find("pid");
+      const json::Value* tid = ev.find("tid");
+      const json::Value* ts = ev.find("ts");
+      const json::Value* dur = ev.find("dur");
+      m.pid = pid != nullptr ? static_cast<int>(pid->num_or(0.0)) : 0;
+      m.tid = tid != nullptr ? static_cast<unsigned>(tid->num_or(0.0)) : 0;
+      m.ts = ts != nullptr ? ts->num_or(0.0) : 0.0;
+      m.dur = dur != nullptr ? dur->num_or(0.0) : 0.0;
+      if (const json::Value* args = ev.find("args");
+          args != nullptr && args->is_object()) {
+        if (const auto* v = args->find("iter")) {
+          m.iter = static_cast<long long>(v->num_or(-1.0));
+        }
+        if (const auto* v = args->find("sim_t0_s")) {
+          m.sim_t0 = v->num_or(-1.0);
+        }
+        if (const auto* v = args->find("sim_t1_s")) {
+          m.sim_t1 = v->num_or(-1.0);
+        }
+        if (const auto* v = args->find("bytes")) {
+          m.bytes = static_cast<unsigned long long>(v->num_or(0.0));
+        }
+        if (const auto* v = args->find("flow")) {
+          m.flow = static_cast<unsigned long long>(v->num_or(0.0));
+        }
+      }
+      // Every file numbers its process-local compute track 99; give
+      // each node its own lane in the merged view.
+      if (m.pid == 99 && local >= 0) m.pid = 100 + local;
+      if (mode == MergeTime::kVirtual) {
+        if (m.sim_t0 < 0.0 || m.sim_t1 < 0.0) {
+          ++st.dropped_no_sim;
+          continue;
+        }
+        m.ts = m.sim_t0 * 1e6;
+        m.dur = std::max(0.0, m.sim_t1 - m.sim_t0) * 1e6;
+      } else {
+        m.ts += shift_us;
+      }
+      evs.push_back(std::move(m));
+    }
+  }
+
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const MergedEvent& a, const MergedEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.tid < b.tid;
+                   });
+  st.events = evs.size();
+
+  // Flow binding: each wire span's flow id is stamped identically on
+  // the send and its receive; the first send wins (ids are unique per
+  // run by construction).
+  std::unordered_map<unsigned long long, std::size_t> send_of;
+  send_of.reserve(evs.size());
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    if (evs[i].flow != 0 && starts_with(evs[i].name, "send:")) {
+      send_of.emplace(evs[i].flow, i);
+    }
+  }
+
+  out << "{\"displayTimeUnit\":\"ms\"";
+  char buf[512];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      ",\"mergeStats\":{\"files\":%zu,\"events\":%zu,\"flows_bound\":",
+      st.files, st.events);
+  out.write(buf, n);
+  // flows are counted below; buffer the event body, then stitch the
+  // stats in — a second pass over evs would do too, but the body is
+  // already a single deterministic stream, so write it once.
+  std::ostringstream body;
+  std::map<int, bool> pids;
+  for (const auto& ev : evs) pids.emplace(ev.pid, true);
+  bool first = true;
+  for (const auto& [pid, unused] : pids) {
+    (void)unused;
+    body << (first ? "" : ",")
+         << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"";
+    write_track_name(body, pid);
+    body << "\"}},\n{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":"
+         << pid << ",\"tid\":0,\"args\":{\"sort_index\":" << pid << "}}";
+    first = false;
+  }
+  for (const auto& ev : evs) {
+    body << (first ? "" : ",");
+    first = false;
+    n = std::snprintf(buf, sizeof(buf),
+                      "\n{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":%d,"
+                      "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f,\"args\":{",
+                      json::quote(ev.name).c_str(),
+                      json::quote(ev.cat).c_str(), ev.pid, ev.tid, ev.ts,
+                      ev.dur);
+    body.write(buf, n);
+    bool first_arg = true;
+    const auto arg = [&](const char* fmt, auto value) {
+      n = std::snprintf(buf, sizeof(buf), fmt, first_arg ? "" : ",", value);
+      body.write(buf, n);
+      first_arg = false;
+    };
+    if (ev.iter >= 0) arg("%s\"iter\":%lld", ev.iter);
+    if (ev.sim_t0 >= 0.0) arg("%s\"sim_t0_s\":%.9g", ev.sim_t0);
+    if (ev.sim_t1 >= 0.0) arg("%s\"sim_t1_s\":%.9g", ev.sim_t1);
+    if (ev.bytes > 0) arg("%s\"bytes\":%llu", ev.bytes);
+    if (ev.flow != 0) arg("%s\"flow\":%llu", ev.flow);
+    body << "}}";
+  }
+  // Arrows after the spans they connect, in merged-timeline order of
+  // the receive — deterministic, and Perfetto does not care.
+  for (const auto& ev : evs) {
+    if (ev.flow == 0 || !starts_with(ev.name, "recv:")) continue;
+    const auto it = send_of.find(ev.flow);
+    if (it == send_of.end()) {
+      ++st.flows_unmatched;
+      continue;
+    }
+    ++st.flows_bound;
+    const MergedEvent& send = evs[it->second];
+    // The arrow leaves at the end of the send span and lands inside the
+    // receive span; a skewed wall clock could put the landing before
+    // the takeoff, so clamp into the receive span's extent.
+    const double s_ts = send.ts + send.dur;
+    const double f_ts =
+        std::min(std::max(ev.ts, s_ts), ev.ts + std::max(0.0, ev.dur));
+    n = std::snprintf(buf, sizeof(buf),
+                      ",\n{\"name\":\"flow\",\"cat\":\"net\",\"ph\":\"s\","
+                      "\"id\":%llu,\"pid\":%d,\"tid\":%u,\"ts\":%.3f},"
+                      "\n{\"name\":\"flow\",\"cat\":\"net\",\"ph\":\"f\","
+                      "\"bp\":\"e\",\"id\":%llu,\"pid\":%d,\"tid\":%u,"
+                      "\"ts\":%.3f}",
+                      ev.flow, send.pid, send.tid, s_ts, ev.flow, ev.pid,
+                      ev.tid, f_ts);
+    body.write(buf, n);
+  }
+
+  n = std::snprintf(buf, sizeof(buf),
+                    "%zu,\"flows_unmatched\":%zu,\"dropped_no_sim\":%zu},"
+                    "\"traceEvents\":[",
+                    st.flows_bound, st.flows_unmatched, st.dropped_no_sim);
+  out.write(buf, n);
+  out << body.str() << "\n]}\n";
+  if (stats != nullptr) *stats = st;
+  return true;
+}
+
+bool merge_trace_files(const std::vector<std::string>& paths,
+                       MergeTime mode, const std::string& out_path,
+                       MergeStats* stats, std::string* error) {
+  std::vector<std::string> inputs;
+  inputs.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream is(p);
+    if (!is) {
+      if (error != nullptr) *error = "cannot read " + p;
+      return false;
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    inputs.push_back(std::move(ss).str());
+  }
+  std::ofstream os(out_path, std::ios::trunc);
+  if (!os) {
+    if (error != nullptr) *error = "cannot write " + out_path;
+    return false;
+  }
+  return merge_traces(inputs, mode, os, stats, error);
+}
+
+}  // namespace mdgan::obs

@@ -1,0 +1,53 @@
+// Trace merge: fuses the per-node Chrome trace files a cluster run
+// leaves behind into ONE Perfetto-loadable timeline with cross-node
+// flow arrows. Every wire span carries a flow id (dist/frame.hpp trace
+// context), identical on the sender's `send:<tag>` span and the
+// receiver's `recv:<tag>` span; the merger binds each such pair with a
+// Chrome flow-event arrow ("s" on the send, "f" on the receive), so a
+// broadcast, feedback or swap message can be followed across process
+// boundaries with a click.
+//
+// Two time bases:
+//  - kVirtual: re-time every span from its sim_t0_s/sim_t1_s args (the
+//    transport's shared virtual clock). Exact cross-node alignment —
+//    and byte-deterministic output for deterministic runs, which the
+//    tests pin. Spans without sim stamps are dropped (counted).
+//  - kWall: keep each file's wall timestamps, shifted into the
+//    reference node's clock by the heartbeat-RTT-midpoint offsets the
+//    server's tracer estimated ("clockOffsets" head key; node 0 is the
+//    reference). Right for multi-process TCP runs, where no shared
+//    clock exists.
+// kAuto picks kVirtual for a single input file (sim runs trace every
+// node into one file) and kWall for several.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mdgan::obs {
+
+enum class MergeTime { kAuto, kVirtual, kWall };
+
+struct MergeStats {
+  std::size_t files = 0;
+  std::size_t events = 0;           // X spans written
+  std::size_t flows_bound = 0;      // recv spans bound to their send
+  std::size_t flows_unmatched = 0;  // recv spans whose send is missing
+  std::size_t dropped_no_sim = 0;   // kVirtual: spans without sim stamps
+};
+
+// Merges the given Chrome trace JSON documents (file contents, not
+// paths). On success writes the merged trace to `out` and fills
+// `*stats` (may be null). On a parse failure returns false with a
+// message naming the failing input's index in `*error` (may be null).
+bool merge_traces(const std::vector<std::string>& inputs, MergeTime mode,
+                  std::ostream& out, MergeStats* stats, std::string* error);
+
+// File-path convenience wrapper: reads every input, writes `out_path`.
+bool merge_trace_files(const std::vector<std::string>& paths,
+                       MergeTime mode, const std::string& out_path,
+                       MergeStats* stats, std::string* error);
+
+}  // namespace mdgan::obs

@@ -48,16 +48,46 @@ TEST(Frame, EmptyTagAndEmptyPayload) {
 
 TEST(Frame, HeaderBytesArePinnedLittleEndian) {
   // magic "MDG1" (0x4d444731) then body_len, both LSB-first; then
-  // src=1, dst=0, tag_len=1, 't'.
-  const auto wire = encode_frame(1, 0, "t", ByteBuffer{});
+  // src=1, dst=0, tag_len=1, the trace context triple, 't'.
+  TraceCtx ctx;
+  ctx.node = 1;
+  ctx.seq = 2;
+  ctx.span = 0x0102030405060708ull;
+  const auto wire = encode_frame(1, 0, "t", ByteBuffer{}, ctx);
   const std::uint8_t expect[] = {0x31, 0x47, 0x44, 0x4d,  // magic
-                                 0x0d, 0x00, 0x00, 0x00,  // body_len 13
+                                 0x1d, 0x00, 0x00, 0x00,  // body_len 29
                                  0x01, 0x00, 0x00, 0x00,  // src
                                  0x00, 0x00, 0x00, 0x00,  // dst
                                  0x01, 0x00, 0x00, 0x00,  // tag_len
+                                 0x01, 0x00, 0x00, 0x00,  // ctx_node
+                                 0x02, 0x00, 0x00, 0x00,  // ctx_seq
+                                 0x08, 0x07, 0x06, 0x05,  // ctx_span lo
+                                 0x04, 0x03, 0x02, 0x01,  // ctx_span hi
                                  't'};
   ASSERT_EQ(wire.size(), sizeof(expect));
   EXPECT_EQ(std::memcmp(wire.data(), expect, sizeof(expect)), 0);
+}
+
+TEST(Frame, TraceContextRoundTripsAndDefaultsToUntraced) {
+  TraceCtx ctx;
+  ctx.node = 3;
+  ctx.seq = 41;
+  ctx.span = 0xdeadbeefcafef00dull;
+  const auto wire = encode_frame(3, kServerId, "feedback", payload_of(2), ctx);
+  const auto body_len = decode_frame_header(wire.data());
+  Frame f = decode_frame_body(wire.data() + kFrameHeaderBytes, body_len);
+  EXPECT_TRUE(f.ctx.traced());
+  EXPECT_EQ(f.ctx.node, 3u);
+  EXPECT_EQ(f.ctx.seq, 41u);
+  EXPECT_EQ(f.ctx.span, 0xdeadbeefcafef00dull);
+
+  // Default-encoded frames carry a zero (untraced) context.
+  const auto plain = encode_frame(3, kServerId, "feedback", payload_of(2));
+  Frame g = decode_frame_body(plain.data() + kFrameHeaderBytes,
+                              decode_frame_header(plain.data()));
+  EXPECT_FALSE(g.ctx.traced());
+  EXPECT_EQ(g.ctx.node, 0u);
+  EXPECT_EQ(g.ctx.seq, 0u);
 }
 
 TEST(Frame, BadMagicAndBadLengthsThrow) {

@@ -128,7 +128,7 @@ TEST(FrameFuzz, OversizeBodyLenIsRejectedBeforeAllocation) {
 TEST(FrameFuzz, TagLengthOverrunsAreRejected) {
   // (a) tag_len larger than the whole body.
   {
-    std::uint8_t body[kFrameBodyFixedBytes];
+    std::uint8_t body[kFrameBodyFixedBytes] = {};
     put_le32(body, 1);                              // src
     put_le32(body + 4, 0);                          // dst
     put_le32(body + 8, 64);                         // tag_len > remaining 0
@@ -138,7 +138,7 @@ TEST(FrameFuzz, TagLengthOverrunsAreRejected) {
   // (b) tag_len over the cap, inside an otherwise plausible body —
   // must be rejected before a tag that large is ever allocated.
   {
-    std::uint8_t wire[kFrameHeaderBytes + kFrameBodyFixedBytes];
+    std::uint8_t wire[kFrameHeaderBytes + kFrameBodyFixedBytes] = {};
     put_le32(wire, kFrameMagic);
     put_le32(wire + 4, kFrameBodyFixedBytes + kMaxFrameTagBytes + 1);
     put_le32(wire + 8, 1);
@@ -233,7 +233,7 @@ TEST(FrameFuzz, ControlTagAtTheLengthCapBoundary) {
 
   // One byte over: rejected from the length fields alone, before the
   // tag (or a 1 GiB "!state..." body riding behind it) is allocated.
-  std::uint8_t raw[kFrameHeaderBytes + kFrameBodyFixedBytes];
+  std::uint8_t raw[kFrameHeaderBytes + kFrameBodyFixedBytes] = {};
   put_le32(raw, kFrameMagic);
   put_le32(raw + 4, kFrameBodyFixedBytes + kMaxFrameTagBytes + 1);
   put_le32(raw + 8, 0);                       // src

@@ -24,6 +24,8 @@
 #include "data/synthetic.hpp"
 #include "dist/frame.hpp"
 #include "dist/sim_network.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
 
 namespace mdgan::dist {
 namespace {
@@ -803,6 +805,98 @@ TEST(TcpMdGan, RealRestartWithStateTransferMatchesSimulator) {
     EXPECT_EQ(server->totals(kind).bytes, sim.totals(kind).bytes);
     EXPECT_EQ(server->totals(kind).messages, sim.totals(kind).messages);
   }
+}
+
+// Live introspection: a `!stats` probe against a running server must
+// return a snapshot whose per-link byte counters equal the transport
+// accountant's totals EXACTLY (both charged on the same guarded path),
+// plus the liveness table and the engine's published round/phase.
+TEST(TcpNetwork, StatsProbeMatchesTheAccountantExactly) {
+  obs::Sink sink;
+  auto server = TcpNetwork::serve(0, 2, fast_opts());
+  server->set_sink(&sink);
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 2,
+                                fast_opts());
+  auto w2 = TcpNetwork::connect("127.0.0.1", server->port(), 2, 2,
+                                fast_opts());
+  ASSERT_TRUE(server->wait_ready());
+
+  // One message of each traffic class, then a published engine state.
+  server->send(kServerId, 1, "gen_batches", payload_of(8));
+  ASSERT_TRUE(w1->receive_tagged(1, "gen_batches").has_value());
+  w1->send(1, kServerId, "feedback", payload_of(16));
+  ASSERT_TRUE(server->receive_tagged(kServerId, "feedback").has_value());
+  w1->send(1, 2, "disc_swap", payload_of(4));
+  ASSERT_TRUE(w2->receive_tagged(2, "disc_swap").has_value());
+  w2->send(2, kServerId, "feedback", payload_of(16));
+  ASSERT_TRUE(server->receive_tagged(kServerId, "feedback").has_value());
+  sink.set_live(7, "collect");
+
+  const auto reply = fetch_stats("127.0.0.1", server->port());
+  ASSERT_TRUE(reply.has_value());
+
+  obs::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(obs::json::parse(*reply, &doc, &err)) << err << "\n"
+                                                    << *reply;
+  EXPECT_EQ(doc.find("kind")->str_or(""), "stats");
+  EXPECT_EQ(doc.find("node")->num_or(-1.0), 0.0);
+  EXPECT_EQ(doc.find("n_workers")->num_or(-1.0), 2.0);
+  EXPECT_EQ(doc.find("epoch")->num_or(-1.0), 0.0);
+  EXPECT_EQ(doc.find("round")->num_or(-2.0), 7.0);
+  EXPECT_EQ(doc.find("phase")->str_or(""), "collect");
+
+  const obs::json::Value* workers = doc.find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  ASSERT_EQ(workers->array.size(), 2u);
+  for (const auto& w : workers->array) {
+    const obs::json::Value* alive = w.find("alive");
+    const obs::json::Value* registered = w.find("registered");
+    ASSERT_NE(alive, nullptr);
+    ASSERT_NE(registered, nullptr);
+    EXPECT_TRUE(alive->boolean);
+    EXPECT_TRUE(registered->boolean);
+    EXPECT_EQ(w.find("liveness")->str_or(""), "alive");
+    // Both workers sent at least one user frame over their connection.
+    const obs::json::Value* rx = w.find("rx_frames");
+    ASSERT_NE(rx, nullptr);
+    EXPECT_GE(rx->num_or(0.0), 1.0);
+  }
+
+  const obs::json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::json::Value* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto counter = [&](const char* key) {
+    const obs::json::Value* v = counters->find(key);
+    return v != nullptr ? v->num_or(-1.0) : -1.0;
+  };
+  EXPECT_EQ(counter("bytes_total{link=c2w}"),
+            static_cast<double>(
+                server->totals(LinkKind::kServerToWorker).bytes));
+  EXPECT_EQ(counter("bytes_total{link=w2c}"),
+            static_cast<double>(
+                server->totals(LinkKind::kWorkerToServer).bytes));
+  EXPECT_EQ(counter("bytes_total{link=w2w}"),
+            static_cast<double>(
+                server->totals(LinkKind::kWorkerToWorker).bytes));
+  EXPECT_EQ(counter("messages_total{link=w2c}"),
+            static_cast<double>(
+                server->message_count(LinkKind::kWorkerToServer)));
+
+  // The probe rides the control plane: it must not perturb the ledger.
+  const auto before = server->totals(LinkKind::kWorkerToServer).bytes;
+  ASSERT_TRUE(fetch_stats("127.0.0.1", server->port()).has_value());
+  EXPECT_EQ(server->totals(LinkKind::kWorkerToServer).bytes, before);
+
+  // A probe against a closed port reports failure, not a hang.
+  const auto port = server->port();
+  w1.reset();
+  w2.reset();
+  server.reset();
+  EXPECT_FALSE(fetch_stats("127.0.0.1", port, /*timeout_s=*/1.0)
+                   .has_value());
 }
 
 }  // namespace

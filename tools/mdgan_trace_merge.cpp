@@ -1,0 +1,54 @@
+// mdgan_trace_merge: fuse the per-node Chrome trace files of one
+// cluster run into a single Perfetto-loadable timeline with cross-node
+// flow arrows (see src/obs/trace_merge.hpp for the time-base rules):
+//
+//   ./mdgan_trace_merge --out=merged.json \
+//       server_trace.json w1_trace.json w2_trace.json w3_trace.json
+//
+// Pass the server's file first: it carries the heartbeat-estimated
+// clock offsets that align the worker timelines in wall mode.
+// --time=virtual|wall|auto (default auto: one input = virtual, several
+// = wall) overrides the time base. Prints the merge stats and exits 0
+// on success.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "obs/trace_merge.hpp"
+
+int main(int argc, char** argv) {
+  mdgan::CliFlags flags(argc, argv);
+  const std::string out = flags.get("out", "");
+  const std::string time = flags.get("time", "auto");
+  const std::vector<std::string>& inputs = flags.positional();
+  if (out.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: mdgan_trace_merge --out=PATH "
+                 "[--time=auto|virtual|wall] trace.json [trace.json...]\n");
+    return 2;
+  }
+  mdgan::obs::MergeTime mode;
+  if (time == "auto") {
+    mode = mdgan::obs::MergeTime::kAuto;
+  } else if (time == "virtual") {
+    mode = mdgan::obs::MergeTime::kVirtual;
+  } else if (time == "wall") {
+    mode = mdgan::obs::MergeTime::kWall;
+  } else {
+    std::fprintf(stderr, "mdgan_trace_merge: unknown --time=%s\n",
+                 time.c_str());
+    return 2;
+  }
+  mdgan::obs::MergeStats st;
+  std::string error;
+  if (!mdgan::obs::merge_trace_files(inputs, mode, out, &st, &error)) {
+    std::fprintf(stderr, "mdgan_trace_merge: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("trace-merge: files=%zu events=%zu flows_bound=%zu "
+              "flows_unmatched=%zu dropped_no_sim=%zu -> %s\n",
+              st.files, st.events, st.flows_bound, st.flows_unmatched,
+              st.dropped_no_sim, out.c_str());
+  return 0;
+}
