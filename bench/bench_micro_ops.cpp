@@ -340,6 +340,60 @@ void bench_wire_path(Harness& h) {
   }
 }
 
+void bench_broadcast_fanout(Harness& h) {
+  // The server's per-round broadcast compose for W workers over k
+  // generated batches (transport excluded). Legacy path: serialize each
+  // recipient's two batches into its own contiguous buffer —
+  // O(W * batch-bytes) of allocation and copying per round. SharedBuf
+  // path: serialize each batch ONCE and share the refcounted blob
+  // across every frame — O(k * batch-bytes) plus W tiny headers. The
+  // B/iter column is the win the zero-copy broadcast bought.
+  const std::size_t n_workers = 16, k = 2, floats = 8 * 784;
+  std::vector<std::vector<float>> batches(k, std::vector<float>(floats));
+  Rng rng(13);
+  for (auto& b : batches) rng.fill_normal(b.data(), b.size(), 0.f, 1.f);
+  std::vector<int> labels(8, 3);
+
+  h.run("BM_BroadcastFanoutCopy/16x6272", 0, [&] {
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < n_workers; ++p) {
+      ByteBuffer out;
+      for (std::size_t j : {p % k, (p + 1) % k}) {
+        out.write_pod<std::uint32_t>(static_cast<std::uint32_t>(j));
+        out.write_floats(batches[j].data(), batches[j].size());
+        for (int y : labels) out.write_pod<std::int32_t>(y);
+      }
+      total += out.size();
+    }
+    volatile std::size_t sink = total;
+    (void)sink;
+  });
+
+  h.run("BM_BroadcastFanout/16x6272", 0, [&] {
+    std::vector<dist::SharedBuf::Segment> blobs;
+    blobs.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      auto blob = std::make_shared<ByteBuffer>();
+      blob->write_floats(batches[j].data(), batches[j].size());
+      for (int y : labels) blob->write_pod<std::int32_t>(y);
+      blobs.push_back(std::move(blob));
+    }
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < n_workers; ++p) {
+      dist::SharedBuf out;
+      for (std::size_t j : {p % k, (p + 1) % k}) {
+        ByteBuffer head;
+        head.write_pod<std::uint32_t>(static_cast<std::uint32_t>(j));
+        out.append(std::make_shared<const ByteBuffer>(std::move(head)));
+        out.append(blobs[j]);
+      }
+      total += out.size();
+    }
+    volatile std::size_t sink = total;
+    (void)sink;
+  });
+}
+
 void bench_derangement(Harness& h) {
   for (std::size_t n : {std::size_t{10}, std::size_t{50}}) {
     Rng rng(9);
@@ -433,6 +487,7 @@ int main(int argc, char** argv) {
   bench_swap_serialization(h);
   bench_feedback_compression(h);
   bench_wire_path(h);
+  bench_broadcast_fanout(h);
   bench_derangement(h);
   bench_obs(h);
   bench_adam_step(h);

@@ -73,6 +73,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/rejoin.hpp"
@@ -126,6 +127,15 @@ struct MdGanConfig {
   // step by 1/(1 + damping * staleness). 0 (default) disables damping,
   // which keeps the async trajectory identical to the pre-engine one.
   float async_staleness_damping = 0.f;
+  // Pipelined rounds: with the async server, snapshot θ and start
+  // generating + serializing round i+1's batches on a background thread
+  // while round i's feedbacks drain (double-buffered generator state;
+  // the latent draw order from server_rng_ is unchanged). In sync mode
+  // the flag is accepted but the overlap stays transport-level (async
+  // connection writers): the barrier fold re-forwards this round's
+  // latents against unchanged parameters, so a sync run is bit-identical
+  // with or without the flag.
+  bool pipeline = false;
   // §VII-2 feedback compression on the W->C link.
   dist::CompressionConfig feedback_compression;
   // Churn-resilience budget for every blocking receive in the protocol
@@ -177,6 +187,7 @@ class MdGan {
         dist::Transport& net,
         const dist::AvailabilitySchedule* availability = nullptr,
         NodeRole role = NodeRole::in_process());
+  ~MdGan();  // joins any in-flight pipeline prefetch
 
   // Runs `iters` global iterations (= generator updates in sync mode;
   // in async mode one iteration still processes every participant but
@@ -278,6 +289,15 @@ class MdGan {
 
   void server_generate_and_send(const std::vector<std::size_t>& discs,
                                 std::size_t k_eff);
+  // Pipelined double-buffer (cfg_.pipeline, async server roles): draws
+  // round `next_iter`'s latents from server_rng_ on the calling engine
+  // thread — the RNG stream order is exactly what the plain path would
+  // consume — snapshots θ, and spawns prefetch_thread_ to forward the
+  // snapshot and serialize each batch into its shared wire blob while
+  // the current round's feedbacks drain. server_generate_and_send
+  // adopts the result when its k_eff matches, else discards it.
+  void server_prefetch_round(std::int64_t next_iter, std::size_t k_eff);
+  void join_prefetch();
   // Worker-side phase of one round for the participants this process
   // embodies (in-process: all of them, fanned out over the cluster
   // pool; kWorker: the ones this worker hosts; kServer: none).
@@ -329,6 +349,11 @@ class MdGan {
   // update step (index = batch id).
   std::vector<Tensor> latent_batches_;
   std::vector<std::vector<int>> latent_labels_;
+  // In-flight pipelined round (latents + θ snapshot + the blobs the
+  // prefetch thread fills); null when no prefetch is outstanding.
+  struct PendingRound;
+  std::unique_ptr<PendingRound> pending_round_;
+  std::thread prefetch_thread_;
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<Disc> discs_;

@@ -41,6 +41,15 @@ void SimNetwork::begin_iteration(std::int64_t /*iter*/) {
 }
 
 void SimNetwork::send(int from, int to, const std::string& tag,
+                      SharedBuf&& payload) {
+  // In-process there is no iovec to exploit: credit what the sharing
+  // saved and deliver the concatenation, which charges the accountant
+  // byte-for-byte like the segmented TCP write does.
+  obs_broadcast_saved(payload.shared_bytes());
+  send(from, to, tag, payload.concat());
+}
+
+void SimNetwork::send(int from, int to, const std::string& tag,
                       ByteBuffer&& payload) {
   check_node(from);
   check_node(to);

@@ -70,6 +70,11 @@ class SimNetwork final : public Transport {
   void begin_iteration(std::int64_t iter) override;
   void send(int from, int to, const std::string& tag,
             ByteBuffer&& payload) override;
+  // Segmented sends charge exactly as their concatenation would (the
+  // TCP-vs-sim totals exactness contract), after crediting the bytes
+  // the refcounting shared across recipients.
+  void send(int from, int to, const std::string& tag,
+            SharedBuf&& payload) override;
   // Returns std::nullopt if no matching message is queued or the node
   // has crashed (never blocks: senders run in the same process).
   std::optional<Message> receive_tagged(int node,

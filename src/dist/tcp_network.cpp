@@ -62,6 +62,32 @@ bool write_iovecs(int fd, iovec* iov, std::size_t n) {
   return true;
 }
 
+// Puts one staged frame (head + payload segments) on the wire. The
+// gathered path hands every segment to sendmsg as its own iovec — the
+// payload bytes go from the shared buffers straight onto the socket;
+// the legacy path concatenates first. Both produce the identical byte
+// stream.
+bool write_out(int fd, const std::vector<std::uint8_t>& head,
+               const SharedBuf& body, bool scatter_gather) {
+  if (scatter_gather) {
+    std::vector<iovec> iov;
+    iov.reserve(1 + body.segments().size());
+    iov.push_back({const_cast<std::uint8_t*>(head.data()), head.size()});
+    for (const auto& seg : body.segments()) {
+      iov.push_back(
+          {const_cast<std::uint8_t*>(seg->data()), seg->size()});
+    }
+    return write_iovecs(fd, iov.data(), iov.size());
+  }
+  std::vector<std::uint8_t> wire;
+  wire.reserve(head.size() + body.size());
+  wire.insert(wire.end(), head.begin(), head.end());
+  for (const auto& seg : body.segments()) {
+    wire.insert(wire.end(), seg->data(), seg->data() + seg->size());
+  }
+  return write_exact(fd, wire.data(), wire.size());
+}
+
 void set_nodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -231,6 +257,7 @@ std::unique_ptr<TcpNetwork> TcpNetwork::connect(const std::string& host,
   net->conns_[kServerId] = std::move(conn);
   net->conns_[kServerId]->reader = std::thread(
       [raw = net.get(), raw_conn] { raw->reader_loop(kServerId, raw_conn); });
+  net->spawn_writer(kServerId, raw_conn);
   return net;
 }
 
@@ -247,13 +274,14 @@ void TcpNetwork::close_all() {
   if (acceptor_.joinable()) acceptor_.join();
   for (auto& conn : conns_) {
     if (!conn) continue;
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
-    if (conn->reader.joinable()) conn->reader.join();
+    // flush=true: let the writer drain frames already accepted into its
+    // queue (bounded linger) before the fd is severed.
+    retire_conn_threads(*conn, /*flush=*/true);
     if (conn->fd >= 0) ::close(conn->fd);
     conn->fd = -1;
   }
-  // Retired connections (replaced by a rejoin) already had their reader
-  // joined and fd closed when they were retired.
+  // Retired connections (replaced by a rejoin) already had their
+  // threads joined and fd closed when they were retired.
 }
 
 void TcpNetwork::accept_loop(int listen_fd) {
@@ -351,6 +379,7 @@ void TcpNetwork::accept_loop(int listen_fd) {
     }
     conns_[static_cast<std::size_t>(id)]->reader =
         std::thread([this, id, raw] { reader_loop(id, raw); });
+    spawn_writer(id, raw);
     // Hello ack: current epoch + live bitmap, so a late joiner learns of
     // any deaths that predate it.
     write_frame(*raw, id, kServerId, id, kTagEpoch, epoch_payload);
@@ -517,20 +546,21 @@ void TcpNetwork::pump_heartbeats() {
 
 void TcpNetwork::grant_rejoin(int id, int fd) {
   const auto wi = static_cast<std::size_t>(id);
-  // Retire the dead incarnation first: sever its fd, join its reader,
+  // Retire the dead incarnation first: flag its writer dead (frames
+  // still queued to the old incarnation drop — the peer restarted; its
+  // new life must not replay them), sever its fd, join both threads,
   // then close the fd under its own write_mu — the lock acquisition is
-  // the barrier that drains any straggling writer before the fd number
-  // can be reused. The Conn object itself is parked in retired_, never
-  // destroyed until close_all, so a sender still holding the old Conn*
-  // fails on fd == -1 instead of touching freed memory.
+  // the barrier that drains any straggling producer before the fd
+  // number can be reused. The Conn object itself is parked in retired_,
+  // never destroyed until close_all, so a sender still holding the old
+  // Conn* fails on the dead flag instead of touching freed memory.
   std::unique_ptr<Conn> old;
   {
     std::lock_guard<std::mutex> lock(mu_);
     old = std::move(conns_[wi]);
   }
   if (old) {
-    if (old->fd >= 0) ::shutdown(old->fd, SHUT_RDWR);
-    if (old->reader.joinable()) old->reader.join();
+    retire_conn_threads(*old, /*flush=*/false);
     std::lock_guard<std::mutex> wlock(old->write_mu);
     if (old->fd >= 0) ::close(old->fd);
     old->fd = -1;
@@ -557,6 +587,7 @@ void TcpNetwork::grant_rejoin(int id, int fd) {
   MDGAN_LOG_INFO << "TcpNetwork: granting rejoin to worker " << id
                  << " (epoch " << epoch << ")";
   conns_[wi]->reader = std::thread([this, id, raw] { reader_loop(id, raw); });
+  spawn_writer(id, raw);
   ByteBuffer grant;
   grant.write_pod<std::uint64_t>(epoch);
   write_frame(*raw, id, kServerId, id, kTagRejoin, grant);
@@ -615,7 +646,8 @@ void TcpNetwork::handle_control(int peer, const Frame& f) {
           echo.write_pod<std::int64_t>(tracer != nullptr ? tracer->now_ns()
                                                          : -1);
         }
-        write_frame(*conn, kServerId, local_, kServerId, kTagPong, echo);
+        write_frame(*conn, kServerId, local_, kServerId, kTagPong,
+                    SharedBuf::wrap(std::move(echo)));
       }
     } else if (f.tag == kTagState) {
       {
@@ -837,32 +869,129 @@ void TcpNetwork::mark_dead(int peer, const Conn* expect) {
 }
 
 bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
-                             const std::string& tag,
-                             const ByteBuffer& payload,
+                             const std::string& tag, SharedBuf&& payload,
                              const TraceCtx& ctx) {
-  if (opts_.scatter_gather) {
-    // Two iovecs — frame head, payload — gathered by the kernel: the
-    // payload bytes go from the ByteBuffer straight onto the socket,
-    // never through a contiguous wire buffer.
-    auto head = encode_frame_head(src, dst, tag, payload.size(), ctx);
-    iovec iov[2];
-    iov[0] = {head.data(), head.size()};
-    iov[1] = {const_cast<std::uint8_t*>(payload.data()), payload.size()};
-    const std::size_t n_iov = payload.size() > 0 ? 2 : 1;
-    std::lock_guard<std::mutex> lock(conn.write_mu);
-    if (conn.fd < 0 || !write_iovecs(conn.fd, iov, n_iov)) {
-      mark_dead(peer, &conn);
-      return false;
-    }
-    return true;
-  }
-  const auto wire = encode_frame(src, dst, tag, payload, ctx);
-  std::lock_guard<std::mutex> lock(conn.write_mu);
-  if (conn.fd < 0 || !write_exact(conn.fd, wire.data(), wire.size())) {
+  OutFrame f;
+  f.head = encode_frame_head(src, dst, tag, payload.size(), ctx);
+  f.body = std::move(payload);
+  std::unique_lock<std::mutex> lock(conn.write_mu);
+  if (conn.fd < 0 || conn.dead || conn.stop) {
+    lock.unlock();
     mark_dead(peer, &conn);
     return false;
   }
+  if (conn.queue.size() >= opts_.send_queue_depth) {
+    // Backpressure: the producer blocks until the writer frees a slot
+    // or the connection dies (a dead peer's queue is dropped, so this
+    // wait never outlives the peer).
+    const auto t0 = std::chrono::steady_clock::now();
+    conn.write_cv.wait(lock, [&] {
+      return conn.dead || conn.stop ||
+             conn.queue.size() < opts_.send_queue_depth;
+    });
+    obs_queue_stall(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    if (conn.dead || conn.stop) {
+      lock.unlock();
+      mark_dead(peer, &conn);
+      return false;
+    }
+  }
+  conn.queue.push_back(std::move(f));
+  obs_queue_depth(conn.queue.size());
+  conn.write_cv.notify_all();
   return true;
+}
+
+bool TcpNetwork::write_frame(Conn& conn, int peer, int src, int dst,
+                             const std::string& tag,
+                             const ByteBuffer& payload,
+                             const TraceCtx& ctx) {
+  // The queue owns its payloads; copy the (small, reused) control
+  // buffer into a fresh segment.
+  return write_frame(conn, peer, src, dst, tag,
+                     SharedBuf::wrap(ByteBuffer(payload)), ctx);
+}
+
+void TcpNetwork::spawn_writer(int peer, Conn* conn) {
+  conn->writer = std::thread([this, peer, conn] { writer_loop(peer, conn); });
+}
+
+void TcpNetwork::writer_loop(int peer, Conn* conn) {
+  std::unique_lock<std::mutex> lock(conn->write_mu);
+  for (;;) {
+    conn->write_cv.wait(lock, [&] {
+      return conn->stop || conn->dead || !conn->queue.empty();
+    });
+    if (conn->dead) break;
+    if (conn->queue.empty()) {
+      if (conn->stop) break;  // flushed: nothing queued, close requested
+      continue;
+    }
+    OutFrame f = std::move(conn->queue.front());
+    conn->queue.pop_front();
+    conn->inflight = true;
+    const int fd = conn->fd;
+    conn->write_cv.notify_all();  // a producer may be waiting for space
+    lock.unlock();
+    const bool ok = fd >= 0 && write_out(fd, f.head, f.body,
+                                         opts_.scatter_gather);
+    lock.lock();
+    conn->inflight = false;
+    if (!ok) {
+      conn->dead = true;
+      conn->write_cv.notify_all();
+      lock.unlock();
+      mark_dead(peer, conn);
+      lock.lock();
+      break;
+    }
+    conn->write_cv.notify_all();  // close_all's flush linger watches this
+  }
+  // Exit drain: whatever is still queued will never reach the wire.
+  // Count it into the flight recorder (the post-mortem's "what was lost
+  // on the epoch bump") and free any producer blocked on a full queue.
+  std::uint64_t frames = 0, bytes = 0;
+  for (const auto& q : conn->queue) {
+    ++frames;
+    bytes += q.head.size() + q.body.size();
+  }
+  conn->queue.clear();
+  conn->write_cv.notify_all();
+  const bool was_dead = conn->dead;
+  lock.unlock();
+  if (frames > 0 && was_dead) {
+    obs_writer_drop(peer, frames, bytes);
+    if (!closing_.load()) {
+      MDGAN_LOG_WARN << "TcpNetwork: dropped " << frames
+                     << " queued frame(s) (" << bytes
+                     << " bytes) to dead peer " << peer;
+    }
+  }
+}
+
+void TcpNetwork::retire_conn_threads(Conn& conn, bool flush) {
+  {
+    std::unique_lock<std::mutex> lock(conn.write_mu);
+    if (flush) {
+      // Bounded linger so already-accepted frames (a final feedback, a
+      // control ack) reach the wire before the fd is severed.
+      conn.write_cv.wait_for(lock, std::chrono::seconds(5), [&] {
+        return conn.dead || (conn.queue.empty() && !conn.inflight);
+      });
+    } else {
+      conn.dead = true;  // no flush: the peer is gone, drop the queue
+    }
+    conn.stop = true;
+    conn.write_cv.notify_all();
+  }
+  // Sever before joining: a writer blocked in sendmsg (peer not
+  // reading) or a reader blocked in read only returns once the socket
+  // is shut down.
+  if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+  if (conn.writer.joinable()) conn.writer.join();
+  if (conn.reader.joinable()) conn.reader.join();
 }
 
 void TcpNetwork::enqueue_local(int src, const std::string& tag,
@@ -927,9 +1056,10 @@ void TcpNetwork::reader_loop(int peer, Conn* conn) {
         if (dst_conn != nullptr) {
           // Preserve the ORIGINAL sender's trace context across the
           // relay so the merged trace draws one W->W arrow, not a
-          // W->S->W pair with a broken middle.
-          write_frame(*dst_conn, f.dst, f.src, f.dst, f.tag, f.payload,
-                      f.ctx);
+          // W->S->W pair with a broken middle. Moving the payload is
+          // safe: read_frame fills it fresh on the next frame.
+          write_frame(*dst_conn, f.dst, f.src, f.dst, f.tag,
+                      SharedBuf::wrap(std::move(f.payload)), f.ctx);
         }
       }
     } else {
@@ -949,6 +1079,11 @@ void TcpNetwork::begin_iteration(std::int64_t /*iter*/) {
 
 void TcpNetwork::send(int from, int to, const std::string& tag,
                       ByteBuffer&& payload) {
+  send(from, to, tag, SharedBuf::wrap(std::move(payload)));
+}
+
+void TcpNetwork::send(int from, int to, const std::string& tag,
+                      SharedBuf&& payload) {
   check_node(to);
   check_local(from, "send(from)");
   if (to == local_) {
@@ -988,6 +1123,10 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
   }
 
   if (conn == nullptr) return;
+  // Refcount dividend: payload bytes whose segment is shared with
+  // another recipient's frame were serialized once, not per worker.
+  obs_broadcast_saved(payload.shared_bytes());
+  const std::size_t n_bytes = payload.size();  // the move below empties it
   obs::Tracer* tracer = obs_tracer();
   const std::int64_t wall_t0 = tracer != nullptr ? tracer->now_ns() : 0;
   const double sim_t0 = tracer != nullptr ? elapsed_s() : -1.0;
@@ -999,10 +1138,12 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
   ctx.node = static_cast<std::uint32_t>(local_);
   ctx.seq = flow_seq;
   ctx.span = flow_id(local_, to, flow_seq);
-  if (!write_frame(*conn, route, local_, to, tag, payload, ctx)) return;
+  if (!write_frame(*conn, route, local_, to, tag, std::move(payload), ctx)) {
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    charge(local_, to, tag, payload.size());
+    charge(local_, to, tag, n_bytes);
   }
   if (tracer != nullptr) {
     obs::TraceEvent ev;
@@ -1013,7 +1154,7 @@ void TcpNetwork::send(int from, int to, const std::string& tag,
     ev.wall_dur_ns = tracer->now_ns() - wall_t0;
     ev.sim_t0 = sim_t0;
     ev.sim_t1 = elapsed_s();
-    ev.bytes = payload.size();
+    ev.bytes = n_bytes;
     ev.flow = ctx.span;
     tracer->emit(ev);
   }
@@ -1303,12 +1444,14 @@ void TcpNetwork::ship_rejoin_state(int worker, ByteBuffer&& state) {
       conn = conns_[static_cast<std::size_t>(worker)].get();
     }
   }
+  const std::size_t state_bytes = state.size();
   if (conn != nullptr) {
-    write_frame(*conn, worker, kServerId, worker, kTagState, state);
+    write_frame(*conn, worker, kServerId, worker, kTagState,
+                SharedBuf::wrap(std::move(state)));
   }
-  obs_rejoin_admitted(worker, static_cast<std::int64_t>(state.size()));
+  obs_rejoin_admitted(worker, static_cast<std::int64_t>(state_bytes));
   MDGAN_LOG_INFO << "TcpNetwork: shipped rejoin state to worker " << worker
-                 << " (" << state.size() << " bytes)";
+                 << " (" << state_bytes << " bytes)";
 }
 
 bool TcpNetwork::await_alive(int node, double timeout_s) {

@@ -63,6 +63,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -102,12 +103,20 @@ struct TcpOptions {
   double heartbeat_interval_s = 0.0;
   double suspect_after_s = 2.0;
   double grace_s = 8.0;
-  // Scatter-gather sends: frame head and payload go out as two iovecs
-  // of one sendmsg(2), so the payload (the bulk of a swap frame, which
-  // the relay pays twice) is never copied into a contiguous wire
-  // buffer. Off = the legacy encode-then-write path; the wire bytes are
-  // identical either way (BM_TcpLoopbackSendRecv benches the delta).
+  // Scatter-gather sends: frame head and payload go out as iovecs
+  // of one sendmsg(2) — one iovec per SharedBuf segment — so the
+  // payload (the bulk of a swap frame, which the relay pays twice) is
+  // never copied into a contiguous wire buffer. Off = the legacy
+  // encode-then-write path; the wire bytes are identical either way
+  // (BM_TcpLoopbackSendRecv benches the delta).
   bool scatter_gather = true;
+  // Bound of the per-connection async send queue (frames). Every write
+  // is enqueued and drained by the connection's writer thread; a full
+  // queue blocks the producer (backpressure, observed by the
+  // send_queue_stall_seconds histogram) until the writer frees a slot
+  // or the peer dies — a dead peer's queue is dropped wholesale so the
+  // crash control plane never waits on undeliverable frames.
+  std::size_t send_queue_depth = 128;
 };
 
 class TcpNetwork final : public Transport {
@@ -186,6 +195,12 @@ class TcpNetwork final : public Transport {
   void begin_iteration(std::int64_t iter) override;
   void send(int from, int to, const std::string& tag,
             ByteBuffer&& payload) override;
+  // Zero-copy broadcast path: the payload segments ride the queue and
+  // the sendmsg iovec array by reference; W queued broadcast frames
+  // share one serialized batch. Wire bytes and charges are identical to
+  // sending payload.concat().
+  void send(int from, int to, const std::string& tag,
+            SharedBuf&& payload) override;
   std::optional<Message> receive_tagged(int node,
                                         const std::string& tag) override;
   std::optional<Message> try_receive_tagged(int node,
@@ -213,9 +228,28 @@ class TcpNetwork final : public Transport {
   bool await_alive(int node, double timeout_s) override;
 
  private:
+  // One frame staged for the connection's writer thread: the pre-payload
+  // bytes (header + fixed fields + tag) plus the refcounted payload
+  // segments, written as one gathered sendmsg. Broadcast frames queued
+  // to W connections share their batch segments — the queue holds
+  // references, never copies.
+  struct OutFrame {
+    std::vector<std::uint8_t> head;
+    SharedBuf body;
+  };
   struct Conn {
     int fd = -1;
+    // Guards queue/stop/dead/inflight (and fd at close). Producers
+    // enqueue under it; the writer thread drains in enqueue order, so
+    // per-connection FIFO — the ordering contract the !admit broadcast
+    // and the mailbox rely on — is preserved across the async hop.
     std::mutex write_mu;
+    std::condition_variable write_cv;
+    std::deque<OutFrame> queue;
+    bool stop = false;      // close requested: drain, then exit
+    bool dead = false;      // writer hit a socket error; queue dropped
+    bool inflight = false;  // writer is mid-write outside the lock
+    std::thread writer;
     std::thread reader;
     ConnRxStats rx;  // last frame this connection delivered; under mu_
   };
@@ -229,15 +263,31 @@ class TcpNetwork final : public Transport {
   void check_node(int node) const;
   void check_local(int node, const char* what) const;
   double elapsed_s() const;
-  // Frames + writes one message to `conn`; returns false (and marks
-  // `peer` dead, if `conn` is still its current connection) when the
-  // connection is gone.
+  // Frames one message and hands it to `conn`'s writer thread; returns
+  // false (and marks `peer` dead, if `conn` is still its current
+  // connection) when the connection is already gone. A full queue
+  // blocks until the writer frees a slot (backpressure) or the
+  // connection dies. True means accepted in FIFO order, not yet on the
+  // wire — the writer drains asynchronously.
   // `ctx` is the causal trace context stamped into the frame head: the
   // sender's flow id on first hop, or the ORIGINAL sender's context
   // preserved verbatim on the W->W relay.
   bool write_frame(Conn& conn, int peer, int src, int dst,
+                   const std::string& tag, SharedBuf&& payload,
+                   const TraceCtx& ctx = {});
+  // Copying convenience for small control payloads the caller reuses.
+  bool write_frame(Conn& conn, int peer, int src, int dst,
                    const std::string& tag, const ByteBuffer& payload,
                    const TraceCtx& ctx = {});
+  // The per-connection drain loop: pops frames in enqueue order and
+  // writes them (head + payload segments as sendmsg iovecs). On a write
+  // failure it drops whatever is queued (counted into the flight
+  // recorder), marks the peer dead, and exits.
+  void writer_loop(int peer, Conn* conn);
+  void spawn_writer(int peer, Conn* conn);
+  // Teardown half of the writer protocol: bounded linger for the queue
+  // to flush, then stop + sever + join (writer first, then reader).
+  void retire_conn_threads(Conn& conn, bool flush);
   void reader_loop(int peer, Conn* conn);
   void accept_loop(int listen_fd);
   // Answers a `!stats` probe on a freshly accepted connection: one

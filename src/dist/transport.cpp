@@ -39,6 +39,9 @@ void Transport::set_sink(obs::Sink* sink) {
     suspects_total_ = nullptr;
     dial_retries_total_ = nullptr;
     heartbeat_rtt_s_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    queue_stall_s_ = nullptr;
+    broadcast_saved_total_ = nullptr;
     return;
   }
   // Resolve the hot-path counters once; updates are then lock-free.
@@ -61,6 +64,11 @@ void Transport::set_sink(obs::Sink* sink) {
   heartbeat_rtt_s_ = &r.histogram(
       "heartbeat_rtt_seconds",
       {1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 5e-1, 1.0, 5.0});
+  queue_depth_gauge_ = &r.gauge("send_queue_depth");
+  queue_stall_s_ = &r.histogram(
+      "send_queue_stall_seconds",
+      {1e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0, 5.0});
+  broadcast_saved_total_ = &r.counter("broadcast_bytes_saved_total");
   // An endpoint may attach the sink after membership already changed
   // (MdGan::train attaches on entry); publish the current epoch so the
   // gauge never reads behind the counter it summarizes.

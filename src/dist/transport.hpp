@@ -35,8 +35,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/serialize.hpp"
@@ -84,6 +86,61 @@ inline std::uint64_t flow_id(int from, int to, std::uint32_t seq) {
          static_cast<std::uint64_t>(seq);
 }
 
+// A refcounted, immutable, segmented payload: the zero-copy broadcast
+// currency. The server serializes each generated batch ONCE into a
+// `shared_ptr<const ByteBuffer>` and composes the per-worker frame as
+// (tiny per-worker header segment, shared batch segment, ...). Sending
+// W such frames shares the batch bytes across all W sends — the TCP
+// backend writes the segments directly as sendmsg iovecs behind the
+// frame head, the simulator charges size() exactly as if the segments
+// had been concatenated — so wire bytes, accountant totals, and the
+// receiver-visible payload are identical to a plain ByteBuffer send.
+class SharedBuf {
+ public:
+  using Segment = std::shared_ptr<const ByteBuffer>;
+
+  SharedBuf() = default;
+
+  // Wraps a single owned buffer (one allocation, no byte copy).
+  static SharedBuf wrap(ByteBuffer&& buf) {
+    SharedBuf b;
+    b.append(std::make_shared<const ByteBuffer>(std::move(buf)));
+    return b;
+  }
+
+  void append(Segment seg) {
+    if (seg == nullptr || seg->size() == 0) return;
+    size_ += seg->size();
+    segments_.push_back(std::move(seg));
+  }
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Bytes in segments referenced by at least one OTHER SharedBuf — the
+  // allocation the refcounting avoided vs a per-recipient copy. Feeds
+  // broadcast_bytes_saved_total.
+  std::size_t shared_bytes() const {
+    std::size_t n = 0;
+    for (const auto& s : segments_) {
+      if (s.use_count() > 1) n += s->size();
+    }
+    return n;
+  }
+
+  // Flattens into one owned ByteBuffer (the copying fallback).
+  ByteBuffer concat() const {
+    ByteBuffer out;
+    for (const auto& s : segments_) out.append_raw(s->data(), s->size());
+    return out;
+  }
+
+ private:
+  std::vector<Segment> segments_;
+  std::size_t size_ = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport();
@@ -103,6 +160,15 @@ class Transport {
   // never make it onto the wire). Throws on out-of-range ids.
   virtual void send(int from, int to, const std::string& tag,
                     ByteBuffer&& payload) = 0;
+
+  // Segmented zero-copy variant: identical wire bytes, charges, and
+  // receiver-visible payload as sending payload.concat(). Backends that
+  // can, write the segments without flattening (TcpNetwork's sendmsg
+  // iovec path); the default falls back to the concatenating send.
+  virtual void send(int from, int to, const std::string& tag,
+                    SharedBuf&& payload) {
+    send(from, to, tag, payload.concat());
+  }
 
   // Pops the queued message for `node` with tag `tag` that has the
   // smallest (sender id, sender sequence) key. See the header comment
@@ -307,6 +373,32 @@ class Transport {
   void obs_heartbeat_rtt(double seconds) {
     if (heartbeat_rtt_s_ != nullptr) heartbeat_rtt_s_->observe(seconds);
   }
+  // Async-writer instruments: queue occupancy after an enqueue, seconds
+  // a producer spent blocked on a full queue, payload bytes the
+  // refcounted broadcast did NOT copy, and frames dropped when a writer
+  // queue is torn down for a dead peer (also a flight-recorder event so
+  // the post-mortem shows what never reached the wire).
+  void obs_queue_depth(std::size_t depth) {
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->set(static_cast<double>(depth));
+    }
+  }
+  void obs_queue_stall(double seconds) {
+    if (queue_stall_s_ != nullptr) queue_stall_s_->observe(seconds);
+  }
+  void obs_broadcast_saved(std::size_t bytes) {
+    if (broadcast_saved_total_ != nullptr && bytes > 0) {
+      broadcast_saved_total_->inc(bytes);
+    }
+  }
+  void obs_writer_drop(int worker, std::uint64_t frames,
+                       std::uint64_t bytes) {
+    if (flight_ != nullptr && frames > 0) {
+      flight_->record(obs::FlightKind::kWriterDrop, worker,
+                      static_cast<std::int64_t>(frames),
+                      static_cast<std::int64_t>(bytes));
+    }
+  }
   void obs_dial_retries(std::uint64_t n) {
     if (dial_retries_total_ != nullptr && n > 0) {
       dial_retries_total_->inc(n);
@@ -337,6 +429,9 @@ class Transport {
   obs::Counter* suspects_total_ = nullptr;
   obs::Counter* dial_retries_total_ = nullptr;
   obs::Histogram* heartbeat_rtt_s_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* queue_stall_s_ = nullptr;
+  obs::Counter* broadcast_saved_total_ = nullptr;
 };
 
 // "c2w" / "w2c" / "w2w": the label value of the per-link metrics and

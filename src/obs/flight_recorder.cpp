@@ -31,6 +31,8 @@ const char* flight_kind_name(FlightKind kind) {
       return "stale_drop";
     case FlightKind::kDialRetry:
       return "dial_retry";
+    case FlightKind::kWriterDrop:
+      return "writer_drop";
   }
   return "?";
 }

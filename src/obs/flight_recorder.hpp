@@ -47,6 +47,7 @@ enum class FlightKind : std::uint8_t {
   kStateTransfer,  // node: recipient; a: serialized state bytes
   kStaleDrop,      // node: sender; a: round received; b: staleness
   kDialRetry,      // a: retry attempts represented by this event
+  kWriterDrop,     // node: dead peer; a: frames dropped; b: bytes dropped
 };
 const char* flight_kind_name(FlightKind kind);
 

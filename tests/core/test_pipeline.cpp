@@ -1,0 +1,113 @@
+// Pipelined rounds (MdGanConfig::pipeline): the async server snapshots
+// the generator and produces round i+1's batches while round i's
+// feedbacks drain. Pinned here: sync mode treats the flag as a strict
+// no-op (bit-identical weights AND wire ledger), async pipelined runs
+// stay deterministic with an unchanged data-plane ledger (the overlap
+// moves compute, never bytes), and a k_eff change between rounds makes
+// the engine discard the stale prefetch instead of adopting it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/md_gan.hpp"
+#include "data/synthetic.hpp"
+#include "dist/fault.hpp"
+#include "dist/sim_network.hpp"
+
+namespace mdgan::core {
+namespace {
+
+MdGanConfig base_cfg() {
+  MdGanConfig cfg;
+  cfg.hp.batch = 8;
+  cfg.hp.disc_steps = 1;
+  cfg.k = 2;
+  cfg.epochs_per_swap = 1;
+  cfg.parallel_workers = false;
+  return cfg;
+}
+
+std::vector<data::InMemoryDataset> shards_for(std::size_t n_workers,
+                                              std::size_t per_shard,
+                                              std::uint64_t seed) {
+  auto full = data::make_synthetic_digits(n_workers * per_shard, seed);
+  Rng rng(seed);
+  return data::split_iid(full, n_workers, rng);
+}
+
+struct RunResult {
+  std::vector<float> weights;
+  dist::LinkTotals c2w, w2c, w2w;
+};
+
+RunResult run(MdGanConfig cfg, bool pipeline, std::uint64_t seed,
+              std::int64_t iters,
+              const dist::AvailabilitySchedule* sched = nullptr) {
+  cfg.pipeline = pipeline;
+  dist::Network net(2);
+  MdGan md(gan::make_arch(gan::ArchKind::kMlpMnist), cfg,
+           shards_for(2, 16, seed), seed, net, sched);
+  md.train(iters);
+  RunResult r;
+  r.weights = md.generator().flatten_parameters();
+  r.c2w = net.totals(dist::LinkKind::kServerToWorker);
+  r.w2c = net.totals(dist::LinkKind::kWorkerToServer);
+  r.w2w = net.totals(dist::LinkKind::kWorkerToWorker);
+  return r;
+}
+
+// Sync folds the whole round against one frozen theta, so there is
+// nothing to overlap: the flag must change neither the weights nor a
+// single byte of the ledger.
+TEST(PipelinedRounds, SyncPipelinedIsBitIdenticalToPlain) {
+  const auto plain = run(base_cfg(), false, 17, 4);
+  const auto piped = run(base_cfg(), true, 17, 4);
+  EXPECT_EQ(piped.weights, plain.weights);
+  EXPECT_EQ(piped.c2w.bytes, plain.c2w.bytes);
+  EXPECT_EQ(piped.c2w.messages, plain.c2w.messages);
+  EXPECT_EQ(piped.w2c.bytes, plain.w2c.bytes);
+  EXPECT_EQ(piped.w2w.bytes, plain.w2w.bytes);
+}
+
+// Async pipelined generation uses the pre-fold theta snapshot (that is
+// the latency win), so the trajectory may move — but the run must stay
+// deterministic, finite, and ship exactly the same bytes: batch counts
+// and sizes do not depend on when they were generated.
+TEST(PipelinedRounds, AsyncPipelinedIsDeterministicWithUnchangedLedger) {
+  MdGanConfig cfg = base_cfg();
+  cfg.async = true;
+  const auto plain = run(cfg, false, 19, 4);
+  const auto piped = run(cfg, true, 19, 4);
+  const auto piped2 = run(cfg, true, 19, 4);
+  EXPECT_EQ(piped.weights, piped2.weights);
+  ASSERT_FALSE(piped.weights.empty());
+  for (float v : piped.weights) ASSERT_TRUE(std::isfinite(v));
+  EXPECT_EQ(piped.c2w.bytes, plain.c2w.bytes);
+  EXPECT_EQ(piped.c2w.messages, plain.c2w.messages);
+  EXPECT_EQ(piped.w2c.bytes, plain.w2c.bytes);
+  EXPECT_EQ(piped.w2c.messages, plain.w2c.messages);
+  EXPECT_EQ(piped.w2w.bytes, plain.w2w.bytes);
+}
+
+// A worker scheduled away shrinks k_eff between the prefetch and its
+// adoption round: the engine must notice the mismatch, throw the stale
+// batches away, and regenerate for the membership it actually has —
+// completing the run with finite weights either way.
+TEST(PipelinedRounds, MembershipChangeDiscardsTheStalePrefetch) {
+  MdGanConfig cfg = base_cfg();
+  cfg.async = true;
+  dist::AvailabilitySchedule sched;
+  sched.add_absence(/*worker=*/2, /*from=*/2, /*until=*/4);
+  const auto plain = run(cfg, false, 23, 5, &sched);
+  const auto piped = run(cfg, true, 23, 5, &sched);
+  ASSERT_FALSE(piped.weights.empty());
+  for (float v : piped.weights) ASSERT_TRUE(std::isfinite(v));
+  // The absence reshapes both runs identically on the wire.
+  EXPECT_EQ(piped.c2w.bytes, plain.c2w.bytes);
+  EXPECT_EQ(piped.c2w.messages, plain.c2w.messages);
+  EXPECT_EQ(piped.w2c.bytes, plain.w2c.bytes);
+}
+
+}  // namespace
+}  // namespace mdgan::core

@@ -1,0 +1,177 @@
+// dist::SharedBuf — the refcounted segmented payload behind the
+// zero-copy broadcast. Pinned here: segment bookkeeping (size /
+// shared_bytes / concat), the Transport contract that a SharedBuf send
+// is indistinguishable from sending its concatenation (receiver bytes
+// AND accountant totals, on both backends), and the
+// broadcast_bytes_saved_total counter that measures the allocation the
+// refcounting avoided.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dist/sim_network.hpp"
+#include "dist/tcp_network.hpp"
+#include "dist/transport.hpp"
+#include "obs/sink.hpp"
+
+namespace mdgan::dist {
+namespace {
+
+ByteBuffer float_buf(std::size_t n_floats, float fill) {
+  std::vector<float> v(n_floats, fill);
+  ByteBuffer buf;
+  buf.write_floats(v.data(), v.size());
+  return buf;
+}
+
+std::vector<std::uint8_t> bytes_of(const ByteBuffer& b) {
+  return std::vector<std::uint8_t>(b.data(), b.data() + b.size());
+}
+
+TEST(SharedBuf, SegmentBookkeepingAndConcat) {
+  SharedBuf buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.shared_bytes(), 0u);
+
+  ByteBuffer head;
+  head.write_pod<std::uint32_t>(7);
+  auto blob = std::make_shared<const ByteBuffer>(float_buf(16, 2.f));
+  const std::size_t blob_bytes = blob->size();
+
+  buf.append(std::make_shared<const ByteBuffer>(std::move(head)));
+  buf.append(blob);
+  // Null and empty segments are ignored, not stored.
+  buf.append(nullptr);
+  buf.append(std::make_shared<const ByteBuffer>());
+  ASSERT_EQ(buf.segments().size(), 2u);
+  EXPECT_EQ(buf.size(), 4u + blob_bytes);
+  EXPECT_FALSE(buf.empty());
+
+  // Only the blob is referenced outside this SharedBuf (our local
+  // handle); the header segment is exclusively owned.
+  EXPECT_EQ(buf.shared_bytes(), blob_bytes);
+
+  // concat() flattens in segment order.
+  const ByteBuffer flat = buf.concat();
+  ASSERT_EQ(flat.size(), buf.size());
+  ByteBuffer expect;
+  expect.write_pod<std::uint32_t>(7);
+  expect.append_raw(blob->data(), blob->size());
+  EXPECT_EQ(bytes_of(flat), bytes_of(expect));
+
+  // Two frames sharing one blob: each reports the blob as shared.
+  SharedBuf other;
+  other.append(blob);
+  EXPECT_EQ(other.shared_bytes(), blob_bytes);
+  EXPECT_EQ(buf.shared_bytes(), blob_bytes);
+
+  // wrap() is a single exclusively-owned segment.
+  SharedBuf wrapped = SharedBuf::wrap(float_buf(4, 1.f));
+  ASSERT_EQ(wrapped.segments().size(), 1u);
+  EXPECT_EQ(wrapped.shared_bytes(), 0u);
+}
+
+// The simulator charges and delivers a segmented send exactly as if
+// the segments had been concatenated by the caller.
+TEST(SharedBuf, SimSendMatchesConcatSendExactly) {
+  auto blob = std::make_shared<const ByteBuffer>(float_buf(32, 3.f));
+  const auto make_frame = [&] {
+    SharedBuf f;
+    ByteBuffer head;
+    head.write_pod<std::uint32_t>(1);
+    f.append(std::make_shared<const ByteBuffer>(std::move(head)));
+    f.append(blob);
+    return f;
+  };
+
+  SimNetwork seg_net(1), flat_net(1);
+  SharedBuf frame = make_frame();
+  const ByteBuffer flat = frame.concat();
+  seg_net.send(kServerId, 1, "gen_batches", std::move(frame));
+  flat_net.send(kServerId, 1, "gen_batches", ByteBuffer(flat));
+
+  auto seg_msg = seg_net.receive_tagged(1, "gen_batches");
+  auto flat_msg = flat_net.receive_tagged(1, "gen_batches");
+  ASSERT_TRUE(seg_msg.has_value());
+  ASSERT_TRUE(flat_msg.has_value());
+  EXPECT_EQ(bytes_of(seg_msg->payload), bytes_of(flat_msg->payload));
+
+  // Identical ledger, byte for byte and message for message.
+  EXPECT_EQ(seg_net.totals(LinkKind::kServerToWorker).bytes,
+            flat_net.totals(LinkKind::kServerToWorker).bytes);
+  EXPECT_EQ(seg_net.totals(LinkKind::kServerToWorker).messages,
+            flat_net.totals(LinkKind::kServerToWorker).messages);
+  EXPECT_EQ(seg_net.totals(LinkKind::kServerToWorker).bytes, flat.size());
+}
+
+// broadcast_bytes_saved_total counts the payload bytes whose segment
+// was shared with another frame at send time: a blob broadcast to W
+// recipients was serialized once, and each of the W sends books the
+// blob's size as saved allocation.
+TEST(SharedBuf, BroadcastSavedCounterBooksSharedSegments) {
+  obs::Sink sink;
+  SimNetwork net(2);
+  net.set_sink(&sink);
+
+  auto blob = std::make_shared<const ByteBuffer>(float_buf(64, 4.f));
+  const std::uint64_t blob_bytes = blob->size();
+  for (int w = 1; w <= 2; ++w) {
+    SharedBuf frame;
+    ByteBuffer head;
+    head.write_pod<std::uint32_t>(static_cast<std::uint32_t>(w));
+    frame.append(std::make_shared<const ByteBuffer>(std::move(head)));
+    frame.append(blob);
+    net.send(kServerId, w, "gen_batches", std::move(frame));
+  }
+  EXPECT_EQ(sink.registry().counter_value("broadcast_bytes_saved_total"),
+            2 * blob_bytes);
+
+  // An exclusively-owned payload saves nothing.
+  net.send(kServerId, 1, "solo", SharedBuf::wrap(float_buf(8, 1.f)));
+  EXPECT_EQ(sink.registry().counter_value("broadcast_bytes_saved_total"),
+            2 * blob_bytes);
+}
+
+// Over real sockets the segments ride the sendmsg iovec path; the
+// receiver must still see the exact concatenation, the accountant the
+// exact payload size, and '!' tags stay reserved on this overload too.
+TEST(SharedBuf, TcpRoundTripIsBitIdenticalToConcat) {
+  TcpOptions opts;
+  opts.rendezvous_timeout_s = 20.0;
+  opts.receive_timeout_s = 20.0;
+  auto server = TcpNetwork::serve(0, 1, opts);
+  auto w1 = TcpNetwork::connect("127.0.0.1", server->port(), 1, 1, opts);
+  ASSERT_TRUE(server->wait_ready());
+
+  auto blob = std::make_shared<const ByteBuffer>(float_buf(100, 5.f));
+  SharedBuf frame;
+  ByteBuffer head;
+  head.write_pod<std::uint32_t>(3);
+  frame.append(std::make_shared<const ByteBuffer>(std::move(head)));
+  frame.append(blob);
+  ByteBuffer tail;
+  tail.write_pod<std::uint32_t>(9);
+  frame.append(std::make_shared<const ByteBuffer>(std::move(tail)));
+  const ByteBuffer flat = frame.concat();
+
+  server->send(kServerId, 1, "gen_batches", std::move(frame));
+  auto m = w1->receive_tagged(1, "gen_batches");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, kServerId);
+  EXPECT_EQ(bytes_of(m->payload), bytes_of(flat));
+
+  EXPECT_EQ(server->totals(LinkKind::kServerToWorker).bytes, flat.size());
+  EXPECT_EQ(server->message_count(LinkKind::kServerToWorker), 1u);
+  EXPECT_EQ(w1->totals(LinkKind::kServerToWorker).bytes, flat.size());
+
+  EXPECT_THROW(
+      server->send(kServerId, 1, "!hello", SharedBuf::wrap(float_buf(1, 1.f))),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mdgan::dist
